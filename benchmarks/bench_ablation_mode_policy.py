@@ -1,0 +1,54 @@
+"""Ablation: tile-mode policies (hybrid vs forced local vs forced remote).
+
+Isolates the symbolic mode-selection step (§III-D): hybrid must match the
+better of the two forced policies on communicated bytes at tile
+granularity, on both a skewed (RMAT) and a uniform (ER) graph.
+"""
+
+import pytest
+
+from repro.analysis import fmt_bytes, print_table
+from repro.core import TsConfig, ts_spgemm
+from repro.data import load, tall_skinny
+from repro.mpi import SCALED_PERLMUTTER
+
+P = 16
+POLICIES = ("hybrid", "local", "remote")
+
+
+def bench_ablation_mode_policy(benchmark, sink):
+    rows = []
+    for alias in ("uk", "ER"):
+        A = load(alias, scale=1.0, seed=0)
+        B = tall_skinny(A.nrows, 128, 0.80, seed=1)
+        results = {
+            policy: ts_spgemm(
+                A, B, P, config=TsConfig(mode_policy=policy), machine=SCALED_PERLMUTTER
+            )
+            for policy in POLICIES
+        }
+        for policy in POLICIES[1:]:
+            assert results[policy].C.equal(results["hybrid"].C)
+        byte_counts = {p_: r.comm_bytes() for p_, r in results.items()}
+        rows.append(
+            [alias]
+            + [fmt_bytes(byte_counts[p_]) for p_ in POLICIES]
+            + [results["hybrid"].diagnostics["remote_tiles"]]
+        )
+        assert byte_counts["hybrid"] <= min(
+            byte_counts["local"], byte_counts["remote"]
+        ) * 1.001, f"{alias}: hybrid must match the better forced policy"
+    print_table(
+        f"Ablation: mode policy vs communicated bytes [p={P}, d=128, 80% sparse]",
+        ["dataset", "hybrid", "local-only", "remote-only", "remote tiles chosen"],
+        rows,
+        file=sink,
+    )
+
+    A = load("uk", scale=1.0, seed=0)
+    B = tall_skinny(A.nrows, 128, 0.80, seed=1)
+    benchmark(
+        lambda: ts_spgemm(
+            A, B, P, config=TsConfig(mode_policy="remote"), machine=SCALED_PERLMUTTER
+        )
+    )

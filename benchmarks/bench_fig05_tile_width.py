@@ -1,0 +1,60 @@
+"""Figure 5: impact of tile width on memory and runtime.
+
+Paper setup: 8 nodes (p = 64), tile height n/p, width swept from n/p to n
+(expressed as multiples of n/p).  Expected shape: memory consumption rises
+monotonically with width (more of B resident per round) while runtime
+falls (fewer communication rounds), with w = 16·n/p the sweet spot the
+paper adopts as default.
+"""
+
+import pytest
+
+from repro.analysis import fmt_bytes, fmt_seconds, print_table
+from repro.core import TsConfig, ts_spgemm
+from repro.data import load, tall_skinny
+from repro.mpi import SCALED_PERLMUTTER
+
+P = 16
+WIDTHS = [1, 2, 4, 8, 16]  # multiples of n/p; 16 == full width at p=16
+DATASETS = ["uk", "arabic"]
+
+
+def _sweep(alias):
+    A = load(alias, scale=1.0, seed=0)
+    B = tall_skinny(A.nrows, 128, 0.80, seed=1)
+    rows = []
+    for w in WIDTHS:
+        result = ts_spgemm(
+            A, B, P, config=TsConfig(tile_width_factor=w), machine=SCALED_PERLMUTTER
+        )
+        rows.append(
+            (w, result.diagnostics["peak_recv_b_bytes"], result.multiply_time)
+        )
+    return rows
+
+
+def bench_fig05_tile_width(benchmark, sink):
+    all_rows = []
+    for alias in DATASETS:
+        for w, mem, runtime in _sweep(alias):
+            all_rows.append([alias, f"{w}x n/p", fmt_bytes(mem), fmt_seconds(runtime)])
+    print_table(
+        "Fig 5: tile width vs peak received-B memory (a) and runtime (b) "
+        f"[p={P}, d=128, 80% sparse B]",
+        ["dataset", "tile width", "peak recv-B / rank", "runtime"],
+        all_rows,
+        file=sink,
+    )
+
+    # Shape checks (the paper's observations)
+    for alias in DATASETS:
+        rows = _sweep(alias)
+        mems = [m for _, m, _ in rows]
+        times = [t for _, _, t in rows]
+        assert mems[-1] >= mems[0], "memory must grow with tile width"
+        assert times[-1] <= times[0], "runtime must fall with tile width"
+
+    # Wall-clock reference point: one multiply at the default width.
+    A = load(DATASETS[0], scale=1.0, seed=0)
+    B = tall_skinny(A.nrows, 128, 0.80, seed=1)
+    benchmark(lambda: ts_spgemm(A, B, P, machine=SCALED_PERLMUTTER))

@@ -1,0 +1,62 @@
+"""Figure 10: strong-scaling runtime at 99 % sparse B, d = 128.
+
+Same sweep as Fig 9 at the higher sparsity.  Expected shape: with only
+~1.3 nonzeros per B row, payloads are tiny — the 1-D algorithms' advantage
+over SUMMA (which still broadcasts A) grows, and everything becomes
+latency-bound earlier.
+"""
+
+import pytest
+
+from repro.analysis import print_series
+from repro.baselines import ALGORITHMS
+from repro.data import load, tall_skinny
+from repro.model import COST_MODELS, Workload
+from repro.mpi import SCALED_PERLMUTTER
+
+SPARSITY = 0.99
+D = 128
+SIM_PS = [1, 2, 4, 8, 16, 32]
+MODEL_PS = [8, 32, 128, 512, 1024, 4096]
+ALGOS = ["TS-SpGEMM", "SUMMA-2D", "SUMMA-3D", "PETSc-1D"]
+DATASETS = ["uk", "it"]
+
+
+def bench_fig10_strong_scaling_99(benchmark, sink):
+    for alias in DATASETS:
+        A = load(alias, scale=1.0, seed=0)
+        B = tall_skinny(A.nrows, D, SPARSITY, seed=1)
+        series = {name: [] for name in ALGOS}
+        for p in SIM_PS:
+            for name in ALGOS:
+                result = ALGORITHMS[name](A, B, p, machine=SCALED_PERLMUTTER)
+                series[name].append(result.multiply_time)
+        print_series(
+            f"Fig 10 (measured): strong scaling runtime "
+            f"[{alias} stand-in, d={D}, {SPARSITY:.0%} sparse B]",
+            "p",
+            SIM_PS,
+            series,
+            file=sink,
+        )
+        # At 99% sparsity the 1-D algorithms must beat SUMMA at scale:
+        # SUMMA still moves A while B payloads have become negligible.
+        idx = SIM_PS.index(16)
+        assert series["TS-SpGEMM"][idx] < series["SUMMA-2D"][idx]
+
+    w = Workload(n=18_520_486, kA=16.0, d=D, b_sparsity=SPARSITY)
+    model = {
+        name: [COST_MODELS[name](w, p).runtime for p in MODEL_PS]
+        for name in ALGOS
+    }
+    print_series(
+        "Fig 10 (model, full uk scale): runtime vs p",
+        "p",
+        MODEL_PS,
+        model,
+        file=sink,
+    )
+
+    A = load("uk", scale=1.0, seed=0)
+    B = tall_skinny(A.nrows, D, SPARSITY, seed=1)
+    benchmark(lambda: ALGORITHMS["TS-SpGEMM"](A, B, 16, machine=SCALED_PERLMUTTER))

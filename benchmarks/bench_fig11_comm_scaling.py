@@ -1,0 +1,78 @@
+"""Figure 11: strong-scaling *communication time*, 80 % sparse B.
+
+Paper setup: same sweep as Fig 9, communication time only (PETSc omitted
+— "it does not report the communication time separately"; we include it
+anyway since the simulator measures everything).  Expected shape:
+TS-SpGEMM's communication scales to ~1024 ranks and then latency
+dominates; SUMMA-3D — the communication-avoiding algorithm — keeps
+scaling and eventually beats TS-SpGEMM's communication (§V-E).
+"""
+
+import pytest
+
+from repro.analysis import print_series
+from repro.baselines import ALGORITHMS
+from repro.data import load, tall_skinny
+from repro.model import COST_MODELS, Workload
+from repro.mpi import SCALED_PERLMUTTER
+
+SPARSITY = 0.80
+D = 128
+SIM_PS = [2, 4, 8, 16, 32]
+MODEL_PS = [8, 32, 128, 512, 1024, 4096]
+ALGOS = ["TS-SpGEMM", "SUMMA-2D", "SUMMA-3D", "PETSc-1D"]
+
+
+def bench_fig11_comm_scaling(benchmark, sink):
+    A = load("gap", scale=1.0, seed=0)
+    B = tall_skinny(A.nrows, D, SPARSITY, seed=1)
+    series = {name: [] for name in ALGOS}
+    volumes = {name: [] for name in ALGOS}
+    for p in SIM_PS:
+        for name in ALGOS:
+            result = ALGORITHMS[name](A, B, p, machine=SCALED_PERLMUTTER)
+            series[name].append(result.comm_time)
+            volumes[name].append(result.comm_bytes())
+    print_series(
+        f"Fig 11 (measured): communication time vs p "
+        f"[gap stand-in, d={D}, {SPARSITY:.0%} sparse B]",
+        "p",
+        SIM_PS,
+        series,
+        file=sink,
+    )
+    from repro.analysis import fmt_bytes
+
+    print_series(
+        "Fig 11 supplement (measured): total communicated bytes vs p",
+        "p",
+        SIM_PS,
+        volumes,
+        formatter=fmt_bytes,
+        file=sink,
+    )
+    # TS-SpGEMM must move less data than SUMMA-2D at every p >= 4.
+    for i, p in enumerate(SIM_PS):
+        if p >= 4:
+            assert volumes["TS-SpGEMM"][i] < volumes["SUMMA-2D"][i], f"p={p}"
+
+    # Model at full scale: the SUMMA-3D crossover.
+    w = Workload(n=50_636_151, kA=38.1, d=D, b_sparsity=SPARSITY)
+    model = {
+        name: [COST_MODELS[name](w, p, layers=16).comm_time for p in MODEL_PS]
+        if name == "SUMMA-3D"
+        else [COST_MODELS[name](w, p).comm_time for p in MODEL_PS]
+        for name in ALGOS
+    }
+    print_series(
+        "Fig 11 (model, full gap scale): communication time vs p",
+        "p",
+        MODEL_PS,
+        model,
+        file=sink,
+    )
+    # §V-E: "SUMMA3D communication can even beat TS-SpGEMM at 512 nodes"
+    i = MODEL_PS.index(4096)
+    assert model["SUMMA-3D"][i] < model["SUMMA-2D"][i]
+
+    benchmark(lambda: ALGORITHMS["TS-SpGEMM"](A, B, 16, machine=SCALED_PERLMUTTER))

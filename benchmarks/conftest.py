@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every ``bench_figXX_*.py`` module regenerates one table or figure of the
+paper's evaluation section (the index lives in DESIGN.md §4).  Each bench
+
+1. runs its parameter sweep on the simulated machine (modelled seconds and
+   exact byte counts), printing the same rows/series the paper plots and
+   writing them to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+   quote them;
+2. registers one representative multiply with pytest-benchmark so
+   ``pytest benchmarks/ --benchmark-only`` also reports wall-clock numbers
+   for the Python kernels themselves.
+
+All sweeps use :data:`repro.mpi.SCALED_PERLMUTTER` — see that constant's
+docstring for why toy-scale matrices need a rescaled β — and Table V
+stand-in datasets at reduced scale.
+"""
+
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+class TableSink:
+    """Tee for bench output: stdout (visible with -s) plus a results file."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.buffer = io.StringIO()
+
+    def write(self, text: str) -> None:
+        self.buffer.write(text)
+
+    def flush(self) -> None:  # file-like protocol
+        pass
+
+    def close(self) -> None:
+        text = self.buffer.getvalue()
+        self.path.write_text(text)
+        sys.stdout.write(text)
+
+
+@pytest.fixture
+def sink(request, results_dir):
+    """A :class:`TableSink` named after the bench module."""
+    name = request.module.__name__.replace("bench_", "")
+    s = TableSink(results_dir / f"{name}.txt")
+    yield s
+    s.close()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""AMG setup-phase products with TS-SpGEMM.
+
+The paper's third motivating application (§I): "In the context of
+Algebraic Multigrid methods, TS-SpGEMM is utilized during the setup
+phase, where B is the restriction matrix created from a distance-2
+maximal independent set computation."  This example builds a 2-D Poisson
+problem, constructs an aggregation-based prolongator P (tall and skinny,
+extremely sparse: one nonzero per row), and computes the two setup-phase
+products distributedly:
+
+    AP  = A · P          (a TS-SpGEMM; P is n × nc with nc ≪ n)
+    A_c = Pᵀ · (A · P)   (the Galerkin coarse operator)
+
+verifying both against scipy and reporting the modelled cost breakdown.
+
+Run:  python examples/amg_restriction.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+import repro
+from repro.analysis import fmt_bytes, fmt_seconds, print_table
+from repro.mpi import SCALED_PERLMUTTER
+from repro.sparse import CsrMatrix, coo_to_csr, spgemm, transpose
+
+
+def poisson_2d(k: int) -> CsrMatrix:
+    """Standard 5-point Laplacian on a k×k grid (n = k²)."""
+    main = sp.diags([4.0] * k) - sp.diags([1.0] * (k - 1), 1) - sp.diags(
+        [1.0] * (k - 1), -1
+    )
+    eye = sp.identity(k)
+    lap = sp.kron(eye, main) + sp.kron(
+        sp.diags([1.0] * (k - 1), 1) + sp.diags([1.0] * (k - 1), -1), -eye
+    )
+    return CsrMatrix.from_scipy(lap.tocsr())
+
+
+def aggregation_prolongator(k: int, agg: int = 2) -> CsrMatrix:
+    """Piecewise-constant prolongator aggregating agg×agg grid patches.
+
+    Each fine vertex maps to exactly one coarse aggregate — the classic
+    tall-and-skinny, one-nonzero-per-row restriction pattern the paper
+    refers to.
+    """
+    n = k * k
+    kc = -(-k // agg)
+    rows = np.arange(n)
+    x, y = rows % k, rows // k
+    cols = (x // agg) + kc * (y // agg)
+    vals = np.ones(n)
+    return coo_to_csr(rows, cols, vals, (n, kc * kc))
+
+
+def main() -> None:
+    k, p = 96, 16
+    A = poisson_2d(k)
+    P = aggregation_prolongator(k)
+    n, nc = P.shape
+    print(
+        f"AMG setup: 2-D Poisson {k}x{k} (n={n}, nnz={A.nnz:,}); "
+        f"prolongator P is {n}x{nc} with 1 nnz/row "
+        f"({100 * (1 - P.nnz / (n * nc)):.1f}% sparse); p = {p} ranks"
+    )
+
+    # --- AP: the tall-and-skinny product --------------------------------
+    ap_result = repro.ts_spgemm(A, P, p, machine=SCALED_PERLMUTTER)
+    expected_ap, _ = spgemm(A, P)
+    assert ap_result.C.equal(expected_ap), "AP mismatch"
+
+    # --- Galerkin coarse operator Ac = P^T (A P) -------------------------
+    # P^T is short-and-fat; compute serially (it is not the TS regime) and
+    # verify the full triple product against scipy.
+    coarse, _ = spgemm(transpose(P), ap_result.C)
+    scipy_coarse = (
+        P.to_scipy().T @ (A.to_scipy() @ P.to_scipy())
+    ).tocsr()
+    assert coarse.equal(CsrMatrix.from_scipy(scipy_coarse)), "Galerkin mismatch"
+
+    print_table(
+        "AMG setup products (distributed AP via TS-SpGEMM)",
+        ["quantity", "value"],
+        [
+            ["AP shape / nnz", f"{ap_result.C.shape} / {ap_result.C.nnz:,}"],
+            ["AP multiply time (modelled)", fmt_seconds(ap_result.multiply_time)],
+            ["AP communication", fmt_seconds(ap_result.comm_time)],
+            ["AP bytes on wire", fmt_bytes(ap_result.comm_bytes())],
+            ["remote tiles chosen", ap_result.diagnostics["remote_tiles"]],
+            ["coarse operator", f"{coarse.shape}, nnz={coarse.nnz:,}"],
+            [
+                "coarsening ratio",
+                f"{A.nnz / max(coarse.nnz, 1):.1f}x fewer nonzeros",
+            ],
+        ],
+    )
+    print("\nBoth products verified against scipy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Sparse force-directed graph embedding (the paper's §IV-B application).
+
+Trains sparse Force2Vec embeddings of a community graph at several target
+sparsities and reports the Fig 13 quantities: link-prediction accuracy,
+total modelled runtime, communicated volume and the remote-tile share.
+
+Run:  python examples/sparse_embedding.py
+"""
+
+from repro.analysis import fmt_bytes, fmt_seconds, print_table
+from repro.apps import train_sparse_embedding
+from repro.data import planted_partition
+
+
+def main() -> None:
+    n, d, p, epochs = 400, 16, 4, 25
+    print(f"Graph: planted partition ({n} vertices, 5 communities); "
+          f"embedding dim {d}; {epochs} epochs; p = {p} simulated ranks")
+
+    adj, _ = planted_partition(n, 5, p_in=0.2, p_out=0.01, seed=11)
+
+    rows = []
+    for sparsity in (0.0, 0.25, 0.5, 0.75, 0.875):
+        result = train_sparse_embedding(
+            adj,
+            p,
+            d=d,
+            sparsity=sparsity,
+            epochs=epochs,
+            seed=1,
+            learning_rate=0.05,
+        )
+        remote_share = sum(e.remote_tiles for e in result.epochs)
+        total_tiles = remote_share + sum(e.local_tiles for e in result.epochs)
+        rows.append(
+            [
+                f"{sparsity:.0%}",
+                f"{result.accuracy:.3f}",
+                fmt_seconds(result.total_runtime),
+                fmt_bytes(result.total_comm_bytes),
+                f"{remote_share / total_tiles:.0%}" if total_tiles else "-",
+                f"{result.Z.nnz:,}",
+            ]
+        )
+
+    print_table(
+        "Sparse embedding vs target sparsity (Fig 13)",
+        [
+            "Z sparsity",
+            "link-pred acc",
+            "runtime",
+            "comm volume",
+            "remote tiles",
+            "nnz(Z)",
+        ],
+        rows,
+    )
+    print(
+        "\nExpected shape (paper, Fig 13): accuracy degrades only a few "
+        "points out to ~80% sparsity while runtime and communication fall."
+    )
+
+
+if __name__ == "__main__":
+    main()

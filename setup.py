@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs cannot build; this shim lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Measurement aggregation and paper-style reporting."""
+
+from .metrics import RunRecord, geometric_mean, parallel_efficiency, speedups
+from .reporting import fmt_bytes, fmt_count, fmt_seconds, print_series, print_table
+
+__all__ = [
+    "RunRecord",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_seconds",
+    "geometric_mean",
+    "parallel_efficiency",
+    "print_series",
+    "print_table",
+    "speedups",
+]

@@ -1,0 +1,90 @@
+"""Paper-style plain-text tables and series for benchmark output.
+
+Every benchmark prints the rows/series its figure plots; these helpers
+keep the formatting uniform (fixed-width tables, engineering units) so
+EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, List, Optional, Sequence, TextIO
+
+
+def fmt_seconds(t: float) -> str:
+    """Engineering-format a duration (modelled seconds)."""
+    if t <= 0:
+        return "0"
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6), ("ns", 1e-9)):
+        if t >= scale:
+            return f"{t / scale:.3g}{unit}"
+    return f"{t:.2e}s"
+
+
+def fmt_bytes(b: float) -> str:
+    """Engineering-format a byte count."""
+    if b <= 0:
+        return "0"
+    for unit, scale in (
+        ("GB", 1e9),
+        ("MB", 1e6),
+        ("KB", 1e3),
+        ("B", 1.0),
+    ):
+        if b >= scale:
+            return f"{b / scale:.3g}{unit}"
+    return f"{b:.0f}B"
+
+
+def fmt_count(x: float) -> str:
+    if x >= 1e9:
+        return f"{x / 1e9:.3g}G"
+    if x >= 1e6:
+        return f"{x / 1e6:.3g}M"
+    if x >= 1e3:
+        return f"{x / 1e3:.3g}K"
+    return f"{x:.0f}" if float(x).is_integer() else f"{x:.3g}"
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    file: Optional[TextIO] = None,
+) -> None:
+    """Print a fixed-width table with a title banner."""
+    file = file or sys.stdout
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==", file=file)
+    print(line, file=file)
+    print("-" * len(line), file=file)
+    for r in rows:
+        print("  ".join(c.ljust(widths[i]) for i, c in enumerate(r)), file=file)
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict,
+    *,
+    formatter=fmt_seconds,
+    file: Optional[TextIO] = None,
+) -> None:
+    """Print one figure's line series as a table: x column + one column
+    per named series (Fig 8/9/10/11 style)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            value = series[name][i]
+            row.append(formatter(value) if value is not None else "-")
+        rows.append(row)
+    print_table(title, headers, rows, file=file)

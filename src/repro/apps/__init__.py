@@ -1,0 +1,39 @@
+"""Applications built on TS-SpGEMM: multi-source BFS (reachability and
+parent trees), closeness centrality and sparse embedding."""
+
+from .bfs_tree import BfsTreeResult, msbfs_tree, validate_forest
+from .centrality import ClosenessResult, closeness_centrality
+from .influence import InfluenceResult, influence_maximization, sample_live_edges
+from .embedding import (
+    EmbeddingEpoch,
+    EmbeddingResult,
+    link_prediction_accuracy,
+    train_sparse_embedding,
+)
+from .msbfs import (
+    BfsIteration,
+    BfsResult,
+    msbfs,
+    msbfs_spmd,
+    reference_reachability,
+)
+
+__all__ = [
+    "BfsIteration",
+    "BfsResult",
+    "BfsTreeResult",
+    "ClosenessResult",
+    "EmbeddingEpoch",
+    "EmbeddingResult",
+    "InfluenceResult",
+    "closeness_centrality",
+    "influence_maximization",
+    "link_prediction_accuracy",
+    "msbfs",
+    "msbfs_spmd",
+    "msbfs_tree",
+    "reference_reachability",
+    "sample_live_edges",
+    "train_sparse_embedding",
+    "validate_forest",
+]

@@ -1,0 +1,102 @@
+"""Closeness centrality via multi-source BFS.
+
+The paper motivates TS-SpGEMM with "multi-source BFS operations [that]
+are central to calculations of influence maximization and closeness
+centrality" (§I, citing [11]).  This module closes that loop: it runs the
+level-synchronous MSBFS of :mod:`repro.apps.msbfs`, accumulates per-source
+distance sums from the per-level discoveries, and returns closeness
+centrality — exact when every vertex is a source, a sampling estimate
+otherwise (the standard trick for large graphs).
+
+Closeness of source ``s`` (Wasserman–Faust form, robust to disconnected
+graphs, the same normalization networkx uses):
+
+    C(s) = ((r − 1) / (n − 1)) · ((r − 1) / Σ_{v reachable} dist(s, v))
+
+where ``r`` is the number of vertices reachable from ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import DEFAULT_CONFIG, TsConfig
+from ..mpi.costmodel import PERLMUTTER, MachineProfile
+from ..sparse.csr import INDEX_DTYPE, CsrMatrix
+from ..sparse.ops import ewise_add, pattern_difference
+from ..sparse.semiring import BOOL_AND_OR
+from .msbfs import msbfs
+
+
+@dataclass
+class ClosenessResult:
+    """Closeness values for the sampled sources."""
+
+    sources: np.ndarray
+    closeness: np.ndarray  # aligned with sources
+    distance_sums: np.ndarray
+    reachable: np.ndarray
+    total_runtime: float
+
+
+def closeness_centrality(
+    A: CsrMatrix,
+    sources: np.ndarray,
+    p: int,
+    *,
+    config: TsConfig = DEFAULT_CONFIG,
+    machine: MachineProfile = PERLMUTTER,
+) -> ClosenessResult:
+    """Closeness centrality of ``sources`` on the graph of ``A``.
+
+    One MSBFS supplies, per level ``ℓ``, the set of vertices first reached
+    at depth ``ℓ`` for every source column; summing ``ℓ · |level set|``
+    gives the distance sums without storing distances explicitly.
+    """
+    if A.nrows != A.ncols:
+        raise ValueError("adjacency matrix must be square")
+    n = A.nrows
+    sources = np.asarray(sources, dtype=INDEX_DTYPE)
+    d = len(sources)
+
+    # Re-run the frontier recurrence, tracking per-level discoveries.
+    # (msbfs() itself only returns the final visited set, so we drive the
+    # same loop here and reuse its per-iteration accounting for runtime.)
+    result = msbfs(A, sources, p, config=config, machine=machine)
+    # Recover level sets serially from the visited structure: BFS depth is
+    # the first level at which a vertex appears; replay cheaply using the
+    # boolean recurrence on the (already verified) serial side.
+    from ..sparse.spgemm import spgemm
+    from ..data.generators import bfs_frontier
+
+    a_bool = A if A.dtype == np.bool_ else A.astype(np.bool_)
+    frontier = bfs_frontier(n, sources)
+    visited = frontier
+    dist_sums = np.zeros(d, dtype=np.float64)
+    reachable = np.ones(d, dtype=np.int64)  # the source itself
+    level = 0
+    while frontier.nnz > 0:
+        product, _ = spgemm(a_bool, frontier, BOOL_AND_OR)
+        frontier = pattern_difference(product, visited)
+        visited = ewise_add(visited, product, BOOL_AND_OR)
+        level += 1
+        if frontier.nnz:
+            counts = np.bincount(frontier.indices, minlength=d)
+            dist_sums += level * counts
+            reachable += counts
+
+    closeness = np.zeros(d, dtype=np.float64)
+    for j in range(d):
+        r = reachable[j]
+        if r > 1 and dist_sums[j] > 0 and n > 1:
+            closeness[j] = ((r - 1) / (n - 1)) * ((r - 1) / dist_sums[j])
+    return ClosenessResult(
+        sources=sources,
+        closeness=closeness,
+        distance_sums=dist_sums,
+        reachable=reachable,
+        total_runtime=result.total_runtime,
+    )

@@ -1,0 +1,236 @@
+"""Sparse force-directed graph embedding (sparse Force2Vec, §IV-B).
+
+Vertices are embedded in ``R^d`` with attractive forces along edges and
+repulsive forces toward negative-sampled non-neighbours (Fig 4).  The
+gradient of vertex ``u`` is
+
+    ∇f(u) = Σ_{v ∈ N(u)} (σ(z_u·z_v) − 1) · z_v   (attractive)
+          + Σ_{v ∈ neg(u)} σ(z_u·z_v) · z_v        (repulsive)
+
+which is exactly a TS-SpGEMM: a coefficient matrix ``W`` with the pattern
+of ``A`` (+ negative samples) times the *sparse* embedding matrix ``Z``.
+After each synchronous-SGD step the embedding is re-sparsified by keeping
+the highest-magnitude entries per row (§IV-B), and the tile height is set
+to the mini-batch size so each row tile is one mini-batch (Fig 4c) — the
+regime where remote tiles pay off (Fig 13d).
+
+Simplification recorded in DESIGN.md: the σ(z_u·z_v) coefficients (an
+SDDMM over the same fetched rows as the SpGEMM) are computed driver-side
+without extra charged communication — on the real system they ride along
+with the SpGEMM's row fetches, so the charged traffic matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import DEFAULT_CONFIG, TsConfig
+from ..core.driver import ts_spgemm
+from ..mpi.costmodel import PERLMUTTER, MachineProfile
+from ..sparse.build import coo_to_csr
+from ..sparse.csr import INDEX_DTYPE, CsrMatrix
+from ..sparse.ops import row_topk
+from ..sparse.sddmm import sddmm
+from ..sparse.semiring import PLUS_TIMES, Semiring
+
+
+#: Collapses duplicate (u, v) pairs in the force pattern by summing their
+#: ±1 labels: an edge that is also drawn as a negative sample nets out.
+_LABEL_SEMIRING = Semiring(
+    "label_sum", np.add, np.multiply, 0.0, np.dtype(np.float64)
+)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass
+class EmbeddingEpoch:
+    """Per-epoch measurements (the series of Fig 13 b-d)."""
+
+    epoch: int
+    runtime: float
+    comm_bytes: int
+    remote_tiles: int
+    local_tiles: int
+    z_nnz: int
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.remote_tiles + self.local_tiles
+        return self.remote_tiles / total if total else 0.0
+
+
+@dataclass
+class EmbeddingResult:
+    """Outcome of sparse-embedding training."""
+
+    Z: CsrMatrix
+    epochs: List[EmbeddingEpoch] = field(default_factory=list)
+    accuracy: float = 0.0
+
+    @property
+    def total_runtime(self) -> float:
+        return sum(e.runtime for e in self.epochs)
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return sum(e.comm_bytes for e in self.epochs)
+
+
+def train_sparse_embedding(
+    adj: CsrMatrix,
+    p: int,
+    *,
+    d: int = 16,
+    sparsity: float = 0.8,
+    epochs: int = 10,
+    n_negative: int = 3,
+    config: TsConfig = DEFAULT_CONFIG,
+    machine: MachineProfile = PERLMUTTER,
+    seed: int = 0,
+    holdout_fraction: float = 0.1,
+    learning_rate: Optional[float] = None,
+) -> EmbeddingResult:
+    """Train a sparse Force2Vec embedding of the graph ``adj``.
+
+    ``sparsity`` is the target fraction of zero entries per embedding row
+    (Fig 13 sweeps it); ``d`` the embedding dimension.  Link-prediction
+    accuracy is evaluated on held-out edges vs. random non-edges.
+    """
+    if adj.nrows != adj.ncols:
+        raise ValueError("adjacency matrix must be square")
+    if not (0.0 <= sparsity < 1.0):
+        raise ValueError("sparsity must be in [0, 1)")
+    n = adj.nrows
+    rng = np.random.default_rng(seed)
+    keep_per_row = max(int(round(d * (1.0 - sparsity))), 1)
+
+    # --- train / test edge split -------------------------------------
+    edge_rows = adj.row_ids()
+    edge_cols = adj.indices
+    upper = edge_rows < edge_cols  # undirected: one direction is enough
+    pos_u, pos_v = edge_rows[upper], edge_cols[upper]
+    n_test = max(int(len(pos_u) * holdout_fraction), 1)
+    test_idx = rng.choice(len(pos_u), size=min(n_test, len(pos_u)), replace=False)
+    test_mask = np.zeros(len(pos_u), dtype=bool)
+    test_mask[test_idx] = True
+    train_u = np.concatenate([pos_u[~test_mask], pos_v[~test_mask]])
+    train_v = np.concatenate([pos_v[~test_mask], pos_u[~test_mask]])
+
+    # --- initialization ------------------------------------------------
+    z_dense = (rng.random((n, d)) - 0.5) / np.sqrt(d)
+    z_sparse = row_topk(CsrMatrix.from_dense(z_dense), keep_per_row)
+    lr = config.learning_rate if learning_rate is None else learning_rate
+    batch = min(config.batch_size, max(n // max(p, 1), 1))
+    train_config = TsConfig(
+        tile_width_factor=config.tile_width_factor,
+        tile_height=batch,
+        mode_policy=config.mode_policy,
+        spa_threshold=config.spa_threshold,
+        batch_size=config.batch_size,
+        learning_rate=config.learning_rate,
+    )
+
+    result = EmbeddingResult(Z=z_sparse)
+    for epoch in range(epochs):
+        z_dense = z_sparse.to_dense()
+        # negative samples: n_negative random non-self targets per vertex
+        neg_u = np.repeat(np.arange(n, dtype=INDEX_DTYPE), n_negative)
+        neg_v = rng.integers(0, n, n * n_negative, dtype=INDEX_DTYPE)
+        keep = neg_u != neg_v
+        neg_u, neg_v = neg_u[keep], neg_v[keep]
+
+        # Coefficient matrix W via an SDDMM over the (edges + negatives)
+        # pattern (driver-side; see module docstring): the pattern carries
+        # +1 on attractive edges and -1 on repulsive samples (Fig 4b), the
+        # SDDMM computes the dot products, and the Force2Vec per-edge map
+        # turns them into gradient coefficients.
+        labels = np.concatenate(
+            [np.ones(len(train_u)), -np.ones(len(neg_u))]
+        )
+        pattern = coo_to_csr(
+            np.concatenate([train_u, neg_u]),
+            np.concatenate([train_v, neg_v]),
+            labels,
+            (n, n),
+            _LABEL_SEMIRING,
+        )
+        scores = sddmm(pattern, z_dense, z_dense)
+        # attractive (label > 0): sigma(s) - 1 ; repulsive: sigma(s)
+        coeff_vals = _sigmoid(scores.data) - (pattern.data > 0).astype(np.float64)
+        W = CsrMatrix(
+            pattern.shape, pattern.indptr, pattern.indices, coeff_vals, check=False
+        )
+
+        # the distributed multiply: gradient = W · Z (sparse × sparse TS)
+        mult = ts_spgemm(
+            W, z_sparse, p, config=train_config, machine=machine
+        )
+        grad = mult.C.to_dense()
+
+        # synchronous SGD step + re-sparsification (keep top-k per row)
+        z_dense = z_dense - lr * grad
+        z_sparse = row_topk(CsrMatrix.from_dense(z_dense), keep_per_row)
+
+        diag = mult.diagnostics
+        result.epochs.append(
+            EmbeddingEpoch(
+                epoch=epoch,
+                runtime=mult.multiply_time,
+                comm_bytes=mult.comm_bytes(),
+                remote_tiles=int(diag.get("remote_tiles", 0)),
+                local_tiles=int(diag.get("local_tiles", 0)),
+                z_nnz=z_sparse.nnz,
+            )
+        )
+
+    result.Z = z_sparse
+    result.accuracy = link_prediction_accuracy(
+        z_sparse, pos_u[test_mask], pos_v[test_mask], rng=rng
+    )
+    return result
+
+
+def link_prediction_accuracy(
+    Z: CsrMatrix,
+    test_u: np.ndarray,
+    test_v: np.ndarray,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    n_negative: Optional[int] = None,
+) -> float:
+    """AUC-style link-prediction accuracy of an embedding.
+
+    Scores pairs by ``σ(z_u·z_v)`` and reports the probability that a
+    held-out edge outranks a random non-edge (the ranking accuracy
+    Force2Vec's evaluation uses).  Returns 0.5 for an uninformative
+    embedding.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if len(test_u) == 0:
+        return 0.5
+    z = Z.to_dense()
+    norms = np.linalg.norm(z, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    z = z / norms
+    n = Z.nrows
+    k = n_negative if n_negative is not None else len(test_u)
+    neg_u = rng.integers(0, n, k)
+    neg_v = rng.integers(0, n, k)
+    pos_scores = np.einsum("ij,ij->i", z[test_u], z[test_v])
+    neg_scores = np.einsum("ij,ij->i", z[neg_u], z[neg_v])
+    # probability a positive outranks a negative (sampled pairing)
+    wins = (pos_scores[:, None] > neg_scores[None, :]).mean()
+    ties = (pos_scores[:, None] == neg_scores[None, :]).mean()
+    return float(wins + 0.5 * ties)

@@ -1,0 +1,60 @@
+"""Uniform algorithm registry used by benchmarks and examples.
+
+Every entry is a callable ``fn(A, B, p, semiring=..., machine=...)``
+returning an object with ``.C``, ``.runtime``, ``.multiply_time``,
+``.comm_time``, ``.comm_bytes()`` and ``.report`` — so the benchmark
+harness can sweep algorithms exactly the way Figs 8-11 do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.config import DEFAULT_CONFIG, TsConfig
+from ..core.driver import ts_spgemm
+from ..mpi.costmodel import PERLMUTTER
+from ..sparse.semiring import PLUS_TIMES
+from .petsc1d import petsc1d
+from .summa2d import summa2d
+from .summa3d import summa3d
+
+
+def _ts(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=DEFAULT_CONFIG):
+    return ts_spgemm(A, B, p, semiring=semiring, machine=machine, config=config)
+
+
+def _naive(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=DEFAULT_CONFIG):
+    return ts_spgemm(
+        A, B, p, semiring=semiring, machine=machine, config=config, algorithm="naive"
+    )
+
+
+def _summa2d(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=None):
+    return summa2d(A, B, p, semiring=semiring, machine=machine)
+
+
+def _summa3d(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=None):
+    return summa3d(A, B, p, semiring=semiring, machine=machine)
+
+
+def _petsc(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=None):
+    return petsc1d(A, B, p, semiring=semiring, machine=machine)
+
+
+#: name → driver; the names match the legends of Figs 8-11.
+ALGORITHMS: Dict[str, Callable] = {
+    "TS-SpGEMM": _ts,
+    "TS-SpGEMM-Naive": _naive,
+    "SUMMA-2D": _summa2d,
+    "SUMMA-3D": _summa3d,
+    "PETSc-1D": _petsc,
+}
+
+
+def get_algorithm(name: str) -> Callable:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None

@@ -1,0 +1,100 @@
+"""2-D Sparse SUMMA — the CombBLAS baseline [14, 34].
+
+Operands live as rectangular blocks on a ``pr × pc`` process grid.  The
+multiply runs ``pc`` stages over the inner dimension: at stage ``k`` the
+owners broadcast ``A``'s block column ``k`` along grid rows and ``B``'s
+row chunk ``k`` along grid columns, and every process accumulates
+``C[i,j] ⊕= A[i,k] ⊗ B[k,j]``.
+
+The structural weakness for tall-and-skinny ``B`` is visible directly in
+the cost accounting: *both* operands are broadcast, and ``A`` (the big
+square matrix) dominates the traffic even though each process only needs
+a sliver of ``B`` — exactly the observation that motivates TS-SpGEMM
+("these algorithms involve communication for both A and B", §V-D).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..mpi.cartesian import make_grid2d
+from ..mpi.comm import SimComm
+from ..mpi.costmodel import PERLMUTTER, MachineProfile
+from ..mpi.executor import run_spmd
+from ..partition.grid_dist import grid_block, inner_chunk_owner_row, summa_b_chunks
+from ..sparse.csr import CsrMatrix
+from ..sparse.merge import merge_bytes, merge_csrs
+from ..sparse.semiring import PLUS_TIMES, Semiring
+from ..sparse.spgemm import spgemm
+from ..sparse.tile import block_ranges
+from .result import BaselineResult, assemble_2d_blocks
+
+
+def summa2d_rank(
+    comm: SimComm,
+    A: CsrMatrix,
+    B: CsrMatrix,
+    semiring: Semiring,
+    accumulator: str,
+) -> Tuple[Tuple[int, int], CsrMatrix]:
+    """One rank of 2-D sparse SUMMA; returns ``((i, j), C block)``."""
+    grid = make_grid2d(comm)
+    pr, pc = grid.pr, grid.pc
+    i, j = grid.row, grid.col
+    d = B.ncols
+
+    a_blocks_held = grid_block(A, pr, pc, i, j)  # A[i, j] in local coords
+    b_chunks_held = summa_b_chunks(B, pr, pc, i, j)  # {k: B[k, j]}
+
+    partials: List[CsrMatrix] = []
+    c_rows = block_ranges(A.nrows, pr)[i]
+    c_cols = block_ranges(B.ncols, pc)[j]
+    c_shape = (c_rows[1] - c_rows[0], c_cols[1] - c_cols[0])
+
+    for k in range(pc):
+        # Broadcast A[:, k] along grid rows from the column-k owner.
+        with comm.phase("bcast-A"):
+            a_ik = grid.row_comm.bcast(a_blocks_held if j == k else None, root=k)
+        # Broadcast B[k, :] along grid columns from its round-robin row.
+        owner_row = inner_chunk_owner_row(k, pr)
+        with comm.phase("bcast-B"):
+            b_kj = grid.col_comm.bcast(
+                b_chunks_held.get(k) if i == owner_row else None, root=owner_row
+            )
+        with comm.phase("local-compute"):
+            if a_ik.nnz and b_kj.nnz:
+                c_part, flops = spgemm(a_ik, b_kj, semiring)
+                comm.charge_spgemm(flops, d=d, accumulator=accumulator)
+                if c_part.nnz:
+                    partials.append(c_part)
+
+    with comm.phase("merge"):
+        if partials:
+            comm.charge_touch(merge_bytes(partials))
+            c_block = merge_csrs(partials, semiring)
+        else:
+            c_block = CsrMatrix.empty(c_shape, dtype=semiring.dtype)
+    return (i, j), c_block
+
+
+def summa2d(
+    A: CsrMatrix,
+    B: CsrMatrix,
+    p: int,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    machine: MachineProfile = PERLMUTTER,
+    spa_threshold: int = 1024,
+) -> BaselineResult:
+    """Run 2-D sparse SUMMA on ``p`` ranks; returns the assembled product."""
+    if A.ncols != B.nrows:
+        raise ValueError(f"dimension mismatch: {A.shape} x {B.shape}")
+    accumulator = "spa" if B.ncols <= spa_threshold else "hash"
+    result = run_spmd(p, summa2d_rank, A, B, semiring, accumulator, machine=machine)
+    from ..mpi.cartesian import square_grid_dims
+
+    pr, pc = square_grid_dims(p)
+    C = assemble_2d_blocks(result.values, A.nrows, B.ncols, pr, pc, semiring)
+    return BaselineResult(C=C, report=result.report)

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four subcommands cover the workflows a downstream user reaches for first:
+
+``multiply``
+    One distributed multiply on a generated (or MatrixMarket) workload
+    with any registered algorithm; prints the modelled cost breakdown.
+``bfs``
+    Multi-source BFS on a Table V stand-in; prints the per-level trace.
+``embed``
+    Sparse-embedding training; prints the per-epoch trace and accuracy.
+``model``
+    Evaluate the closed-form §III-E cost models over a rank sweep.
+
+Examples::
+
+    python -m repro multiply --dataset uk --d 128 --sparsity 0.8 -p 16
+    python -m repro multiply --algorithm SUMMA-2D --dataset ER -p 16
+    python -m repro bfs --dataset arabic --sources 64 -p 8
+    python -m repro embed --dataset cora --sparsity 0.8 --epochs 20
+    python -m repro model --n 18520486 --ka 16 --d 128 --ps 8,64,512,4096
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import fmt_bytes, fmt_seconds, print_series, print_table
+from .apps import influence_maximization, msbfs, train_sparse_embedding
+from .baselines import ALGORITHMS
+from .core import TsConfig
+from .data import DATASETS, load, random_sources, tall_skinny
+from .model import COST_MODELS, Workload
+from .mpi import PROFILES, SCALED_PERLMUTTER, get_profile
+from .sparse import read_matrix_market
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="uk",
+        help=f"Table V stand-in alias ({', '.join(sorted(DATASETS))}) "
+        "or a path to a MatrixMarket file",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    parser.add_argument("-p", "--ranks", type=int, default=16, help="simulated ranks")
+    parser.add_argument(
+        "--machine",
+        default=SCALED_PERLMUTTER.name,
+        choices=sorted(PROFILES),
+        help="machine cost profile",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_matrix(args):
+    if args.dataset in DATASETS:
+        return load(args.dataset, scale=args.scale, seed=args.seed)
+    return read_matrix_market(args.dataset)
+
+
+def _cmd_multiply(args) -> int:
+    A = _load_matrix(args)
+    B = tall_skinny(A.nrows, args.d, args.sparsity, seed=args.seed + 1)
+    machine = get_profile(args.machine)
+    config = TsConfig(tile_width_factor=args.tile_width)
+    try:
+        algorithm = ALGORITHMS[args.algorithm]
+    except KeyError:
+        print(f"unknown algorithm {args.algorithm!r}; choose from "
+              f"{sorted(ALGORITHMS)}", file=sys.stderr)
+        return 2
+    result = algorithm(A, B, args.ranks, machine=machine, config=config)
+    rows = [
+        ["algorithm", args.algorithm],
+        ["A", f"{A.shape}, nnz={A.nnz:,}"],
+        ["B", f"{B.shape}, nnz={B.nnz:,} ({args.sparsity:.0%} sparse)"],
+        ["C", f"{result.C.shape}, nnz={result.C.nnz:,}"],
+        ["multiply time (modelled)", fmt_seconds(result.multiply_time)],
+        ["communication time", fmt_seconds(result.comm_time)],
+        ["bytes on wire", fmt_bytes(result.comm_bytes())],
+    ]
+    for key in ("local_tiles", "remote_tiles", "peak_recv_b_bytes"):
+        if key in getattr(result, "diagnostics", {}):
+            value = result.diagnostics[key]
+            rows.append([key, fmt_bytes(value) if "bytes" in key else value])
+    print_table(f"Distributed multiply on p={args.ranks}", ["metric", "value"], rows)
+    return 0
+
+
+def _cmd_bfs(args) -> int:
+    A = _load_matrix(args)
+    sources = random_sources(A.nrows, args.sources, seed=args.seed)
+    machine = get_profile(args.machine)
+    result = msbfs(A, sources, args.ranks, algorithm=args.algorithm, machine=machine)
+    rows = [
+        [it.iteration, it.frontier_nnz, it.comm_nnz, fmt_seconds(it.runtime)]
+        for it in result.iterations
+    ]
+    print_table(
+        f"MSBFS: {args.sources} sources on {args.dataset} (p={args.ranks}, "
+        f"{result.levels} levels, total {fmt_seconds(result.total_runtime)})",
+        ["level", "frontier nnz", "comm nnz", "runtime"],
+        rows,
+    )
+    counts = result.reachable_counts()
+    print(f"\nmean vertices reached per source: {counts.mean():.1f}")
+    return 0
+
+
+def _cmd_embed(args) -> int:
+    A = _load_matrix(args)
+    machine = get_profile(args.machine)
+    result = train_sparse_embedding(
+        A,
+        args.ranks,
+        d=args.d,
+        sparsity=args.sparsity,
+        epochs=args.epochs,
+        seed=args.seed,
+        learning_rate=args.lr,
+        machine=machine,
+    )
+    rows = [
+        [e.epoch, fmt_seconds(e.runtime), fmt_bytes(e.comm_bytes), f"{e.remote_fraction:.0%}"]
+        for e in result.epochs
+    ]
+    print_table(
+        f"Sparse embedding on {args.dataset} (d={args.d}, "
+        f"{args.sparsity:.0%} sparse Z)",
+        ["epoch", "runtime", "comm", "remote tiles"],
+        rows,
+    )
+    print(f"\nlink-prediction accuracy: {result.accuracy:.3f}")
+    return 0
+
+
+def _cmd_influence(args) -> int:
+    A = _load_matrix(args)
+    machine = get_profile(args.machine)
+    result = influence_maximization(
+        A,
+        args.k,
+        args.ranks,
+        probability=args.probability,
+        samples=args.samples,
+        seed=args.seed,
+        machine=machine,
+    )
+    rows = [
+        [i + 1, seed_v, f"{spread:.1f}"]
+        for i, (seed_v, spread) in enumerate(
+            zip(result.seeds, result.spread_estimates)
+        )
+    ]
+    print_table(
+        f"IC influence maximization on {args.dataset} "
+        f"(k={args.k}, q={args.probability}, {args.samples} samples)",
+        ["#", "seed vertex", "cumulative E[spread]"],
+        rows,
+    )
+    print(f"\nMSBFS time across samples: {fmt_seconds(result.total_runtime)}")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    ps = [int(x) for x in args.ps.split(",")]
+    w = Workload(n=args.n, kA=args.ka, d=args.d, b_sparsity=args.sparsity)
+    series = {
+        name: [COST_MODELS[name](w, p).runtime for p in ps]
+        for name in sorted(COST_MODELS)
+    }
+    print_series(
+        f"§III-E model: runtime vs p (n={args.n:,}, kA={args.ka}, d={args.d}, "
+        f"{args.sparsity:.0%} sparse B)",
+        "p",
+        ps,
+        series,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TS-SpGEMM reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mult = sub.add_parser("multiply", help="one distributed multiply")
+    _add_common(p_mult)
+    p_mult.add_argument("--algorithm", default="TS-SpGEMM")
+    p_mult.add_argument("--d", type=int, default=128)
+    p_mult.add_argument("--sparsity", type=float, default=0.8)
+    p_mult.add_argument("--tile-width", type=int, default=16)
+    p_mult.set_defaults(func=_cmd_multiply)
+
+    p_bfs = sub.add_parser("bfs", help="multi-source BFS")
+    _add_common(p_bfs)
+    p_bfs.add_argument("--sources", type=int, default=64)
+    p_bfs.add_argument("--algorithm", default="TS-SpGEMM")
+    p_bfs.set_defaults(func=_cmd_bfs)
+
+    p_emb = sub.add_parser("embed", help="sparse embedding training")
+    _add_common(p_emb)
+    p_emb.add_argument("--d", type=int, default=16)
+    p_emb.add_argument("--sparsity", type=float, default=0.8)
+    p_emb.add_argument("--epochs", type=int, default=10)
+    p_emb.add_argument("--lr", type=float, default=0.05)
+    p_emb.set_defaults(func=_cmd_embed)
+
+    p_inf = sub.add_parser("influence", help="IC influence maximization")
+    _add_common(p_inf)
+    p_inf.add_argument("--k", type=int, default=3, help="number of seeds")
+    p_inf.add_argument("--probability", type=float, default=0.1)
+    p_inf.add_argument("--samples", type=int, default=4)
+    p_inf.set_defaults(func=_cmd_influence)
+
+    p_model = sub.add_parser("model", help="closed-form cost model sweep")
+    p_model.add_argument("--n", type=int, default=18_520_486)
+    p_model.add_argument("--ka", type=float, default=16.0)
+    p_model.add_argument("--d", type=int, default=128)
+    p_model.add_argument("--sparsity", type=float, default=0.8)
+    p_model.add_argument("--ps", default="8,64,256,1024,4096")
+    p_model.set_defaults(func=_cmd_model)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""The paper's contribution: distributed TS-SpGEMM (naive, tiled) and SpMM."""
+
+from .config import DEFAULT_CONFIG, MODE_POLICIES, TsConfig
+from .driver import MultiplyResult, SETUP_PHASES, ts_spgemm, ts_spmm
+from .naive import naive_multiply
+from .spmm import SpmmDiagnostics, spmm_multiply
+from .symbolic import (
+    DIAGONAL,
+    EMPTY,
+    LOCAL,
+    REMOTE,
+    SubtileInfo,
+    SymbolicPlan,
+    build_symbolic_plan,
+    row_tile_ranges,
+)
+from .tiled import TileDiagnostics, tiled_multiply
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DIAGONAL",
+    "EMPTY",
+    "LOCAL",
+    "MODE_POLICIES",
+    "MultiplyResult",
+    "REMOTE",
+    "SETUP_PHASES",
+    "SpmmDiagnostics",
+    "SubtileInfo",
+    "SymbolicPlan",
+    "TileDiagnostics",
+    "TsConfig",
+    "build_symbolic_plan",
+    "naive_multiply",
+    "row_tile_ranges",
+    "spmm_multiply",
+    "tiled_multiply",
+    "ts_spgemm",
+    "ts_spmm",
+]

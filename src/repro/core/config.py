@@ -1,0 +1,92 @@
+"""Configuration of the TS-SpGEMM algorithm (Table IV defaults).
+
+The paper's default parameters, "identified via extensive benchmarking"
+(§V-A):
+
+====================================  =============
+Number of OpenMP threads per process  16
+Number of processes per node          8
+Dimension of B matrix (d)             128
+Height of a tile (h)                  n/p
+Width of a tile (w)                   16 × n/p
+Default sparsity of B                 80 %
+Embedding mini-batch size (b)         256
+Embedding learning rate               0.02
+====================================  =============
+
+Threads-per-process lives in the machine profile (it rescales compute
+constants); everything tile- and policy-related lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Tile-mode policies: the paper's algorithm ("hybrid") picks local or
+#: remote per tile; "local"/"remote" force one mode everywhere (Fig 6's
+#: ablation compares hybrid against local-only).
+MODE_POLICIES = ("hybrid", "local", "remote")
+
+
+@dataclass(frozen=True)
+class TsConfig:
+    """Tuning knobs of the distributed TS-SpGEMM algorithm.
+
+    Parameters
+    ----------
+    tile_width_factor:
+        Tile width ``w`` expressed as a multiple of ``n/p`` column blocks
+        processed per communication round.  Table IV default: 16.
+    tile_height:
+        Tile height ``h`` in rows; ``None`` means the full local block
+        ``n/p`` (Table IV default).  The sparse-embedding application sets
+        it to the mini-batch size (§IV-B).
+    mode_policy:
+        ``"hybrid"`` (paper's algorithm), ``"local"`` or ``"remote"``.
+    spa_threshold:
+        Largest ``d`` for which the SPA accumulator is cost-modelled; hash
+        accumulation is charged beyond it (§III-C: "For d > 1024, we opt
+        for a hash-based SpGEMM").
+    default_d / default_b_sparsity:
+        Table IV experiment defaults, exported for the benchmark harness.
+    batch_size / learning_rate:
+        Embedding defaults (Table IV).
+    """
+
+    tile_width_factor: int = 16
+    tile_height: Optional[int] = None
+    mode_policy: str = "hybrid"
+    spa_threshold: int = 1024
+    default_d: int = 128
+    default_b_sparsity: float = 0.80
+    batch_size: int = 256
+    learning_rate: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.tile_width_factor < 1:
+            raise ValueError("tile_width_factor must be >= 1")
+        if self.tile_height is not None and self.tile_height < 1:
+            raise ValueError("tile_height must be >= 1 when given")
+        if self.mode_policy not in MODE_POLICIES:
+            raise ValueError(
+                f"mode_policy must be one of {MODE_POLICIES}, got {self.mode_policy!r}"
+            )
+        if self.spa_threshold < 1:
+            raise ValueError("spa_threshold must be >= 1")
+
+    def accumulator_for(self, d: int) -> str:
+        """The accumulator the cost model charges for output width ``d``."""
+        return "spa" if d <= self.spa_threshold else "hash"
+
+    def effective_tile_height(self, local_rows: int) -> int:
+        """Resolve ``h``: explicit value clamped to the block, else n/p."""
+        if local_rows <= 0:
+            return 1
+        if self.tile_height is None:
+            return local_rows
+        return min(self.tile_height, local_rows)
+
+
+#: The paper's defaults (Table IV).
+DEFAULT_CONFIG = TsConfig()

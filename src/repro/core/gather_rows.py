@@ -1,0 +1,76 @@
+"""Helpers for shipping and re-assembling sparse row subsets.
+
+Both TS-SpGEMM variants move *selected rows* of ``B`` between processes:
+the producer packs ``(row ids, extracted rows)`` and the consumer places
+them back into a block of the right height so the local multiply can index
+it by column id.  These two halves live here so the naive algorithm, the
+tiled algorithm and the SpMM variant all share them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse.csr import INDEX_DTYPE, CsrMatrix
+from ..sparse.ops import extract_rows
+
+
+def pack_rows(mat: CsrMatrix, row_ids: np.ndarray) -> Optional[Tuple[np.ndarray, CsrMatrix]]:
+    """Extract ``row_ids`` of ``mat`` for shipping; ``None`` when empty.
+
+    Returning ``None`` for an empty request keeps zero bytes on the wire
+    (the α cost of the all-to-all slot is still paid, as in real MPI).
+    """
+    row_ids = np.asarray(row_ids, dtype=INDEX_DTYPE)
+    if len(row_ids) == 0:
+        return None
+    return row_ids, extract_rows(mat, row_ids)
+
+
+def place_rows(
+    nrows: int, payload: Optional[Tuple[np.ndarray, CsrMatrix]], ncols: int, dtype
+) -> CsrMatrix:
+    """Re-assemble shipped rows into an ``nrows × ncols`` block.
+
+    Rows not present in the payload are empty.  ``payload=None`` yields an
+    all-empty block.  Row ids must be strictly increasing (producers build
+    them from sorted nonzero-column lists).
+    """
+    if payload is None:
+        return CsrMatrix.empty((nrows, ncols), dtype=dtype)
+    row_ids, rows = payload
+    if rows.nrows != len(row_ids):
+        raise ValueError("payload row count does not match id count")
+    if len(row_ids) and (row_ids.min() < 0 or row_ids.max() >= nrows):
+        raise ValueError("placed row id out of range")
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    counts = rows.row_nnz()
+    indptr[row_ids + 1] = counts
+    np.cumsum(indptr, out=indptr)
+    return CsrMatrix((nrows, ncols), indptr, rows.indices, rows.data, check=False)
+
+
+def pack_dense_rows(
+    dense: np.ndarray, row_ids: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Dense analogue of :func:`pack_rows` (SpMM ships only values)."""
+    row_ids = np.asarray(row_ids, dtype=INDEX_DTYPE)
+    if len(row_ids) == 0:
+        return None
+    return row_ids, dense[row_ids]
+
+
+def place_dense_rows(
+    nrows: int, payload: Optional[Tuple[np.ndarray, np.ndarray]], ncols: int
+) -> np.ndarray:
+    """Scatter shipped dense rows into a zero block of height ``nrows``."""
+    out = np.zeros((nrows, ncols))
+    if payload is None:
+        return out
+    row_ids, rows = payload
+    if len(row_ids) and (row_ids.min() < 0 or row_ids.max() >= nrows):
+        raise ValueError("placed row id out of range")
+    out[row_ids] = rows
+    return out

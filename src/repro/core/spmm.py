@@ -1,0 +1,204 @@
+"""Distributed SpMM (dense tall-and-skinny B) with TS-SpGEMM's comm pattern.
+
+§V-C compares TS-SpGEMM against "an SpMM with a dense B using the same
+communication patterns as TS-SpGEMM": 1-D partitions, the ``Ac`` column
+copy, tile rounds and hybrid local/remote modes — but payloads are dense
+rows (values only, no index structure), and local multiplies are CSR ×
+dense.  The crossover the paper reports (~50 % sparsity, Fig 7) falls out
+of exactly these two differences: SpGEMM ships indices+values of only the
+*nonzero* entries, SpMM ships all ``d`` values of each needed row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..partition.distmat import DistDenseMatrix, DistSparseMatrix
+from ..sparse.csr import CsrMatrix
+from ..sparse.ops import extract_row_range, spmm_dense
+from .config import DEFAULT_CONFIG, TsConfig
+from .gather_rows import pack_dense_rows, place_dense_rows
+from .symbolic import row_tile_ranges
+
+
+@dataclass
+class SpmmDiagnostics:
+    """Per-rank counters for the SpMM variant."""
+
+    local_tiles: int = 0
+    remote_tiles: int = 0
+    diagonal_tiles: int = 0
+    empty_tiles: int = 0
+    rounds: int = 0
+    flops: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def spmm_multiply(
+    A: DistSparseMatrix,
+    B: DistDenseMatrix,
+    config: TsConfig = DEFAULT_CONFIG,
+) -> Tuple[DistDenseMatrix, SpmmDiagnostics]:
+    """One distributed SpMM; returns ``(C_dense, diagnostics)``.
+
+    Requires ``A.build_column_copy()``.  Output ``C = A · B`` is dense,
+    1-D row partitioned like ``A``.
+    """
+    comm = A.comm
+    if B.comm is not comm:
+        raise ValueError("A and B must live on the same communicator")
+    if A.col_copy is None:
+        raise RuntimeError("spmm_multiply requires A.build_column_copy() first")
+    p = comm.size
+    d = B.ncols
+    diag = SpmmDiagnostics()
+    my_lo, _ = A.rows.range_of(comm.rank)
+    my_nrows = A.local.nrows
+    c_local = np.zeros((my_nrows, d))
+
+    # ---- symbolic step: per (peer, row tile) mode off Ac ---------------
+    produced = {}
+    with comm.phase("symbolic"):
+        for peer in range(p):
+            tile_block = A.col_copy_rows_of(peer)
+            h = config.effective_tile_height(tile_block.nrows)
+            infos = []
+            for rt, (r0, r1) in enumerate(row_tile_ranges(tile_block.nrows, h)):
+                sub = extract_row_range(tile_block, r0, r1)
+                if sub.nnz == 0:
+                    infos.append((rt, (r0, r1), "empty", None, None))
+                    continue
+                if peer == comm.rank:
+                    infos.append((rt, (r0, r1), "diagonal", sub, None))
+                    continue
+                nzc = sub.nonzero_columns()
+                affected = np.unique(sub.row_ids())
+                comm.charge_symbolic(sub.nnz)
+                # dense payloads: d values per needed B row vs per output row
+                if config.mode_policy == "hybrid":
+                    mode = "remote" if len(affected) < len(nzc) else "local"
+                elif config.mode_policy == "local":
+                    mode = "local"
+                else:
+                    mode = "remote"
+                infos.append((rt, (r0, r1), mode, sub, nzc))
+            produced[peer] = infos
+        outgoing = [[info[2] for info in produced[peer]] for peer in range(p)]
+        consumed_modes = comm.alltoall(outgoing)
+
+    # ---- diagonal ------------------------------------------------------
+    with comm.phase("diagonal"):
+        for rt, (r0, r1), mode, sub, _ in produced[comm.rank]:
+            if mode != "diagonal":
+                continue
+            part, flops = spmm_dense(sub, B.local)
+            comm.charge_spmm(flops)
+            diag.flops += flops
+            diag.diagonal_tiles += 1
+            c_local[r0:r1] += part
+
+    # ---- tile rounds ----------------------------------------------------
+    width = config.tile_width_factor
+    n_rounds = -(-p // width)
+    diag.rounds = n_rounds
+    strips = _consumer_strips(A)
+    my_group = comm.rank // width
+    for rnd in range(n_rounds):
+        # Rotated tile schedule; see repro.core.tiled's module docstring.
+        cons_group = (comm.rank + rnd) % n_rounds
+        active = range(cons_group * width, min((cons_group + 1) * width, p))
+        my_consumers = [
+            i for i in range(p) if (my_group - i) % n_rounds == rnd and i != comm.rank
+        ]
+        send_b: List[Optional[list]] = [None] * p
+        send_c: List[Optional[tuple]] = [None] * p
+        for peer in my_consumers:
+            infos = produced[peer]
+            # per-tile fetches (no union) — see repro.core.tiled
+            tile_payloads = []
+            for (rt, _, m, _, nzc) in infos:
+                if m != "local" or nzc is None:
+                    continue
+                packed = pack_dense_rows(B.local, nzc)
+                if packed is not None:
+                    lids, vals = packed
+                    tile_payloads.append((rt, my_lo + lids, vals))
+            if tile_payloads:
+                send_b[peer] = tile_payloads
+            remote_rows, remote_vals = [], []
+            for (_, (r0, r1), m, sub, _) in infos:
+                if m != "remote":
+                    continue
+                part, flops = spmm_dense(sub, B.local)
+                comm.charge_spmm(flops)
+                diag.flops += flops
+                affected = np.unique(sub.row_ids())
+                remote_rows.append(affected + r0)
+                remote_vals.append(part[affected])
+            if remote_rows:
+                send_c[peer] = (
+                    np.concatenate(remote_rows),
+                    np.vstack(remote_vals),
+                )
+        with comm.phase("fetch-B"):
+            recv_b = comm.alltoall(send_b)
+        with comm.phase("send-C"):
+            recv_c = comm.alltoall(send_c)
+
+        with comm.phase("local-compute"):
+            for j in active:
+                if j == comm.rank:
+                    continue
+                payload = recv_b[j]
+                if payload is not None:
+                    j_lo, j_hi = A.rows.range_of(j)
+                    strip = strips[j]
+                    ranges = row_tile_ranges(
+                        strip.nrows, config.effective_tile_height(strip.nrows)
+                    )
+                    for rt, gids, vals in payload:
+                        if rt >= len(ranges):
+                            continue
+                        r0, r1 = ranges[rt]
+                        sub = extract_row_range(strip, r0, r1)
+                        if sub.nnz == 0:
+                            continue
+                        block_b = place_dense_rows(
+                            j_hi - j_lo, (gids - j_lo, vals), d
+                        )
+                        part, flops = spmm_dense(sub, block_b)
+                        comm.charge_spmm(flops)
+                        diag.flops += flops
+                        c_local[r0:r1] += part
+                remote = recv_c[j]
+                if remote is not None:
+                    rids, vals = remote
+                    np.add.at(c_local, rids, vals)
+
+    _count(produced, diag)
+    return DistDenseMatrix(comm, A.rows, c_local, d), diag
+
+
+def _consumer_strips(A: DistSparseMatrix):
+    from ..sparse.tile import ColumnStrips
+
+    with A.comm.phase("tiling"):
+        strips = ColumnStrips(A.local, A.rows.ranges)
+        A.comm.charge_touch(A.local.nbytes_estimate())
+    return strips
+
+
+def _count(produced, diag: SpmmDiagnostics) -> None:
+    for infos in produced.values():
+        for (_, _, mode, _, _) in infos:
+            if mode == "local":
+                diag.local_tiles += 1
+            elif mode == "remote":
+                diag.remote_tiles += 1
+            elif mode == "empty":
+                diag.empty_tiles += 1

@@ -1,0 +1,154 @@
+"""Symbolic tile-mode selection (§III-D, Fig 3).
+
+Thanks to the column-partitioned copy ``Ac``, process ``Pj`` holds —
+without any communication — the slice ``A[rows_i, cols_j]`` of every peer
+``Pi``'s tile that intersects its column block.  For each such subtile it
+compares the two ways the corresponding output could be produced:
+
+* **local** mode ships the ``B_j`` rows the subtile needs to ``Pi``
+  (cost ∝ nnz of those rows);
+* **remote** mode multiplies at ``Pj`` and ships the partial ``C`` back
+  (cost ∝ nnz of the partial output).
+
+The cheaper side wins (`hybrid` policy); `local` / `remote` policies force
+one mode for ablation (Fig 6).  Tiles on the diagonal (``i == j``) need no
+communication at all.  Modes are finally shared with the tile owners in
+one tiny all-to-all ("the cost of this communication is not significant
+since it only communicates a binary value for each tile").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..partition.distmat import DistSparseMatrix
+from ..sparse.csr import CsrMatrix
+from ..sparse.ops import extract_row_range
+from ..sparse.semiring import BOOL_AND_OR, Semiring
+from ..sparse.spgemm import spgemm, spgemm_flops
+from .config import TsConfig
+
+#: Subtile modes.  EMPTY subtiles (no stored entries) are skipped outright.
+LOCAL, REMOTE, DIAGONAL, EMPTY = "local", "remote", "diagonal", "empty"
+
+
+@dataclass
+class SubtileInfo:
+    """Producer-side record for one (peer, row-tile) subtile of ``Ac_j``."""
+
+    peer: int
+    row_tile: int
+    row_range: Tuple[int, int]  # within the peer's local rows
+    mode: str
+    block: Optional[CsrMatrix]  # the subtile (peer-local rows × my local cols)
+    needed_b_rows: Optional[np.ndarray]  # my local B row ids the subtile touches
+    needed_b_nnz: int
+    output_nnz: int
+
+
+@dataclass
+class SymbolicPlan:
+    """Everything each rank knows after the symbolic step.
+
+    ``produced``: subtiles of *my* column block, keyed by consumer rank —
+    what I must ship (B rows or partial C) each round.
+    ``consumed_modes``: modes of *my* tiles across producer column blocks,
+    keyed by producer rank — which row tiles of my strip I multiply
+    locally after B rows arrive.
+    """
+
+    produced: Dict[int, List[SubtileInfo]] = field(default_factory=dict)
+    consumed_modes: Dict[int, List[str]] = field(default_factory=dict)
+    row_tile_ranges: List[Tuple[int, int]] = field(default_factory=list)
+
+    def count(self, mode: str) -> int:
+        return sum(
+            1 for infos in self.produced.values() for s in infos if s.mode == mode
+        )
+
+
+def row_tile_ranges(nrows: int, h: int) -> List[Tuple[int, int]]:
+    """Split ``nrows`` local rows into tiles of height ``h``."""
+    if nrows <= 0:
+        return []
+    return [(r0, min(r0 + h, nrows)) for r0 in range(0, nrows, h)]
+
+
+def build_symbolic_plan(
+    A: DistSparseMatrix,
+    B: DistSparseMatrix,
+    semiring: Semiring,
+    config: TsConfig,
+) -> SymbolicPlan:
+    """Run the communication-free mode selection, then share the modes.
+
+    Must be called collectively; requires ``A.col_copy``.  The symbolic
+    multiplications are charged to the virtual compute clock (the real
+    implementation pays them too); the mode exchange is one all-to-all of
+    a few bytes per tile.
+    """
+    comm = A.comm
+    if A.col_copy is None:
+        raise RuntimeError("symbolic step requires A.build_column_copy() first")
+    d = B.ncols
+    b_row_nnz = B.local.row_nnz()
+    plan = SymbolicPlan()
+
+    with comm.phase("symbolic"):
+        for peer in range(comm.size):
+            tile_block = A.col_copy_rows_of(peer)
+            h = config.effective_tile_height(tile_block.nrows)
+            ranges = row_tile_ranges(tile_block.nrows, h)
+            if peer == comm.rank:
+                plan.row_tile_ranges = ranges
+            infos: List[SubtileInfo] = []
+            for rt, (r0, r1) in enumerate(ranges):
+                sub = extract_row_range(tile_block, r0, r1)
+                if sub.nnz == 0:
+                    infos.append(
+                        SubtileInfo(peer, rt, (r0, r1), EMPTY, None, None, 0, 0)
+                    )
+                    continue
+                if peer == comm.rank:
+                    infos.append(
+                        SubtileInfo(peer, rt, (r0, r1), DIAGONAL, sub, None, 0, 0)
+                    )
+                    continue
+                nzc = sub.nonzero_columns()  # my local B rows this tile needs
+                needed_nnz = int(b_row_nnz[nzc].sum())
+                # Exact symbolic product: pattern-only multiply against my B.
+                pattern, sym_flops = spgemm(
+                    sub.astype(np.bool_), B.local.astype(np.bool_), BOOL_AND_OR
+                )
+                comm.charge_symbolic(sym_flops)
+                out_nnz = pattern.nnz
+                if config.mode_policy == "hybrid":
+                    # Compare exact wire bytes of the two options: both
+                    # payloads are (row ids, packed rows), i.e. 16 B per
+                    # nonzero plus 16 B per shipped row (id + row pointer).
+                    out_rows = int(np.count_nonzero(pattern.row_nnz()))
+                    local_bytes = 16 * needed_nnz + 16 * len(nzc)
+                    remote_bytes = 16 * out_nnz + 16 * out_rows
+                    mode = REMOTE if remote_bytes < local_bytes else LOCAL
+                elif config.mode_policy == "local":
+                    mode = LOCAL
+                else:
+                    mode = REMOTE
+                infos.append(
+                    SubtileInfo(
+                        peer, rt, (r0, r1), mode, sub, nzc, needed_nnz, out_nnz
+                    )
+                )
+            plan.produced[peer] = infos
+
+        # Share modes with tile owners: consumer i learns, for each
+        # producer j, the mode of every one of its row tiles.
+        outgoing = [
+            [s.mode for s in plan.produced[peer]] for peer in range(comm.size)
+        ]
+        incoming = comm.alltoall(outgoing)
+        plan.consumed_modes = {j: modes for j, modes in enumerate(incoming)}
+    return plan

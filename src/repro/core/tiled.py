@@ -1,0 +1,348 @@
+"""Algorithm 2: the tiled distributed TS-SpGEMM (the paper's contribution).
+
+Every rank plays two roles simultaneously:
+
+* **producer** for its own column block ``j = rank``: using ``Ac_j`` and
+  its ``B_j``, it ships — per the symbolic plan — either the ``B`` rows a
+  peer's *local* subtile needs (Alg 2 line 27) or the computed partial
+  ``C`` of a peer's *remote* subtile (lines 14-17);
+* **consumer** for its own row block: it multiplies its local-mode strips
+  against received ``B`` rows (line 28) and merges received remote
+  partials (line 18), plus the communication-free diagonal tile
+  (lines 20-22).
+
+Communication is consolidated: column blocks are processed in *rounds* of
+``tile_width_factor`` blocks (a tile of width ``w = 16·n/p`` spans 16
+column blocks, Table IV), and each round performs exactly one all-to-all
+for B rows ("fetch-B") and one for partial C ("send-C") across all ranks.
+Fewer, wider rounds reduce latency but grow the peak footprint of received
+``B`` rows — the Fig 5 trade-off, tracked in the diagnostics as
+``peak_recv_b_bytes``.
+
+Round schedule: consumers visit their width-``w`` tiles in a *rotated*
+order (consumer ``i`` processes block group ``(i + k) mod R`` in round
+``k``) rather than all sweeping left-to-right.  The tiles and their
+per-tile communication are identical; the rotation — the same trick that
+distinguishes Cannon's algorithm from naive stage order — keeps every
+rank's injection bandwidth busy in every round instead of leaving all but
+``w/(n/p)`` producers idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..partition.distmat import DistSparseMatrix
+from ..sparse.csr import INDEX_DTYPE, CsrMatrix
+from ..sparse.merge import merge_bytes, merge_csrs
+from ..sparse.ops import extract_row_range
+from ..sparse.semiring import PLUS_TIMES, Semiring
+from ..sparse.spgemm import spgemm
+from ..sparse.tile import ColumnStrips
+from .config import DEFAULT_CONFIG, TsConfig
+from .gather_rows import pack_rows, place_rows
+from .symbolic import (
+    DIAGONAL,
+    EMPTY,
+    LOCAL,
+    REMOTE,
+    SubtileInfo,
+    SymbolicPlan,
+    build_symbolic_plan,
+    row_tile_ranges,
+)
+
+
+@dataclass
+class TileDiagnostics:
+    """Per-rank counters surfaced to benchmarks and EXPERIMENTS.md."""
+
+    local_tiles: int = 0
+    remote_tiles: int = 0
+    diagonal_tiles: int = 0
+    empty_tiles: int = 0
+    rounds: int = 0
+    flops: int = 0
+    peak_recv_b_bytes: int = 0
+    sent_b_nnz: int = 0
+    sent_c_nnz: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def tiled_multiply(
+    A: DistSparseMatrix,
+    B: DistSparseMatrix,
+    semiring: Semiring = PLUS_TIMES,
+    config: TsConfig = DEFAULT_CONFIG,
+    plan: Optional[SymbolicPlan] = None,
+) -> Tuple[DistSparseMatrix, TileDiagnostics]:
+    """One DIST-TS-SPGEMM multiply; returns ``(C, diagnostics)``.
+
+    Requires ``A.build_column_copy()`` to have been called.  ``plan`` may
+    be supplied to reuse a symbolic plan across multiplies with the same
+    ``A``/``B`` pattern (the embedding application re-plans every epoch
+    because ``B`` changes).
+    """
+    comm = A.comm
+    if B.comm is not comm:
+        raise ValueError("A and B must live on the same communicator")
+    if A.col_copy is None:
+        raise RuntimeError("tiled_multiply requires A.build_column_copy() first")
+    p = comm.size
+    d = B.ncols
+    acc = config.accumulator_for(d)
+    diag = TileDiagnostics()
+
+    if plan is None:
+        plan = build_symbolic_plan(A, B, semiring, config)
+
+    # Consumer-side strips of my local A block, one per producer column
+    # block, with column ids local to that block.
+    with comm.phase("tiling"):
+        strips = ColumnStrips(A.local, A.rows.ranges)
+        comm.charge_touch(A.local.nbytes_estimate())
+
+    my_nrows = A.local.nrows
+    my_lo, _ = A.rows.range_of(comm.rank)
+    partials: List[CsrMatrix] = []
+
+    # ------------------------------------------------------------------
+    # Diagonal tile: everything needed is already here (Alg 2 lines 20-22).
+    # ------------------------------------------------------------------
+    with comm.phase("diagonal"):
+        diag_infos = plan.produced.get(comm.rank, [])
+        for info in diag_infos:
+            if info.mode != DIAGONAL:
+                continue
+            c_part, flops = spgemm(info.block, B.local, semiring)
+            comm.charge_spgemm(flops, d=d, accumulator=acc)
+            diag.flops += flops
+            diag.diagonal_tiles += 1
+            partials.append(_offset_rows(c_part, info.row_range[0], my_nrows, d))
+
+    # ------------------------------------------------------------------
+    # Tile rounds (Alg 2 lines 11-18 and 24-29, consolidated all-to-alls).
+    # ------------------------------------------------------------------
+    width = config.tile_width_factor
+    n_rounds = -(-p // width)
+    diag.rounds = n_rounds
+    my_group = comm.rank // width  # block group my column block belongs to
+    for rnd in range(n_rounds):
+        # Rotated schedule: this round I consume block group
+        # (rank + rnd) mod R, and as a producer I serve the consumers
+        # whose sweep reaches my group this round.
+        cons_group = (comm.rank + rnd) % n_rounds
+        active = range(cons_group * width, min((cons_group + 1) * width, p))
+        my_consumers = [
+            i for i in range(p) if (my_group - i) % n_rounds == rnd and i != comm.rank
+        ]
+
+        # ---- producer side: build this round's payloads ---------------
+        # B rows are packed per local-mode row tile — a row needed by two
+        # tiles is shipped twice, exactly as in the paper's per-tile
+        # all-to-alls.  Avoiding that duplication is precisely what the
+        # remote mode is for (Fig 4c), so "optimizing" it away here would
+        # erase the hybrid mode's benefit (Fig 6).
+        send_b: List[Optional[list]] = [None] * p
+        send_c: List[Optional[tuple]] = [None] * p
+        for peer in my_consumers:
+            infos = plan.produced[peer]
+            tile_payloads = []
+            for info in infos:
+                if info.mode != LOCAL or info.needed_b_rows is None:
+                    continue
+                packed = pack_rows(B.local, info.needed_b_rows)
+                if packed is None:
+                    continue
+                local_ids, rows = packed
+                tile_payloads.append((info.row_tile, my_lo + local_ids, rows))
+                diag.sent_b_nnz += rows.nnz
+                comm.charge_touch(rows.nbytes_estimate())
+            if tile_payloads:
+                send_b[peer] = tile_payloads
+            remote_part = _compute_remote_partial(
+                comm, infos, B.local, semiring, d, acc, diag
+            )
+            if remote_part is not None:
+                send_c[peer] = remote_part
+                diag.sent_c_nnz += remote_part[1].nnz
+
+        with comm.phase("fetch-B"):
+            recv_b = comm.alltoall(send_b)
+        with comm.phase("send-C"):
+            recv_c = comm.alltoall(send_c)
+
+        # ---- consumer side --------------------------------------------
+        round_b_bytes = sum(
+            rows.nbytes_estimate()
+            for j, payload in enumerate(recv_b)
+            if payload is not None and j != comm.rank
+            for (_, _, rows) in payload
+        )
+        diag.peak_recv_b_bytes = max(diag.peak_recv_b_bytes, round_b_bytes)
+
+        with comm.phase("local-compute"):
+            for j in active:
+                if j == comm.rank:
+                    continue
+                payload = recv_b[j]
+                if payload is not None:
+                    c_part = _consume_local(
+                        comm,
+                        strips[j],
+                        payload,
+                        A.rows.range_of(j),
+                        config,
+                        semiring,
+                        d,
+                        acc,
+                        diag,
+                    )
+                    if c_part is not None:
+                        partials.append(c_part)
+                remote = recv_c[j]
+                if remote is not None:
+                    partials.append(
+                        place_rows(my_nrows, remote, d, semiring.dtype)
+                    )
+
+        # Merge this round's partial results into the running output
+        # (Alg 2's per-tile MERGE, batched per round).
+        if len(partials) > 1:
+            with comm.phase("merge"):
+                comm.charge_touch(merge_bytes(partials))
+                partials = [merge_csrs(partials, semiring)]
+
+    with comm.phase("merge"):
+        if partials:
+            comm.charge_touch(merge_bytes(partials))
+            c_local = merge_csrs(partials, semiring)
+        else:
+            c_local = CsrMatrix.empty((my_nrows, d), dtype=semiring.dtype)
+
+    _count_modes(plan, diag)
+    return DistSparseMatrix(comm, A.rows, c_local, d), diag
+
+
+# ----------------------------------------------------------------------
+# producer helpers
+# ----------------------------------------------------------------------
+def _compute_remote_partial(
+    comm,
+    infos: List[SubtileInfo],
+    b_local: CsrMatrix,
+    semiring: Semiring,
+    d: int,
+    acc: str,
+    diag: TileDiagnostics,
+) -> Optional[Tuple[np.ndarray, CsrMatrix]]:
+    """Multiply the peer's remote-mode subtiles here.
+
+    Returns a compact ``(row ids, packed rows)`` payload — only the
+    affected rows travel, mirroring how B rows are shipped, so the wire
+    cost matches what the symbolic mode decision compared.  Row ids are in
+    the *peer's local* row space.
+    """
+    remote_infos = [s for s in infos if s.mode == REMOTE]
+    if not remote_infos:
+        return None
+    peer_rows = max(s.row_range[1] for s in infos)
+    rows_acc, cols_acc, vals_acc = [], [], []
+    for info in remote_infos:
+        c_part, flops = spgemm(info.block, b_local, semiring)
+        comm.charge_spgemm(flops, d=d, accumulator=acc)
+        diag.flops += flops
+        if c_part.nnz:
+            rows_acc.append(c_part.row_ids() + info.row_range[0])
+            cols_acc.append(c_part.indices)
+            vals_acc.append(c_part.data)
+    if not rows_acc:
+        return None
+    from ..sparse.build import coo_to_csr
+    from ..sparse.ops import extract_rows
+
+    stacked = coo_to_csr(
+        np.concatenate(rows_acc),
+        np.concatenate(cols_acc),
+        np.concatenate(vals_acc),
+        (peer_rows, d),
+        semiring,
+        assume_sorted=True,
+    )
+    affected = np.flatnonzero(stacked.row_nnz()).astype(INDEX_DTYPE)
+    return affected, extract_rows(stacked, affected)
+
+
+# ----------------------------------------------------------------------
+# consumer helpers
+# ----------------------------------------------------------------------
+def _consume_local(
+    comm,
+    strip: CsrMatrix,
+    payload: list,
+    producer_range: Tuple[int, int],
+    config: TsConfig,
+    semiring: Semiring,
+    d: int,
+    acc: str,
+    diag: TileDiagnostics,
+) -> Optional[CsrMatrix]:
+    """Multiply my local-mode row tiles of ``strip`` with received B rows.
+
+    ``payload`` holds one ``(row tile id, global B row ids, rows)`` entry
+    per local-mode tile; each tile multiplies against its own copy of the
+    rows it requested.
+    """
+    j_lo, j_hi = producer_range
+    ranges = row_tile_ranges(strip.nrows, config.effective_tile_height(strip.nrows))
+    rows_acc, cols_acc, vals_acc = [], [], []
+    for rt, global_ids, rows in payload:
+        if rt >= len(ranges):
+            continue
+        r0, r1 = ranges[rt]
+        sub = extract_row_range(strip, r0, r1)
+        if sub.nnz == 0:
+            continue
+        block_b = place_rows(
+            j_hi - j_lo, (global_ids - j_lo, rows), d, semiring.dtype
+        )
+        c_part, flops = spgemm(sub, block_b, semiring)
+        comm.charge_spgemm(flops, d=d, accumulator=acc)
+        diag.flops += flops
+        if c_part.nnz:
+            rows_acc.append(c_part.row_ids() + r0)
+            cols_acc.append(c_part.indices)
+            vals_acc.append(c_part.data)
+    if not rows_acc:
+        return None
+    from ..sparse.build import coo_to_csr
+
+    return coo_to_csr(
+        np.concatenate(rows_acc),
+        np.concatenate(cols_acc),
+        np.concatenate(vals_acc),
+        (strip.nrows, d),
+        semiring,
+        assume_sorted=False,
+    )
+
+
+def _offset_rows(mat: CsrMatrix, offset: int, nrows: int, ncols: int) -> CsrMatrix:
+    """Re-home a partial result computed on a row tile into the full block."""
+    if mat.nnz == 0:
+        return CsrMatrix.empty((nrows, ncols), dtype=mat.dtype)
+    indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+    indptr[offset + 1 : offset + 1 + mat.nrows] = mat.indptr[1:]
+    np.maximum.accumulate(indptr, out=indptr)
+    return CsrMatrix((nrows, ncols), indptr, mat.indices, mat.data, check=False)
+
+
+def _count_modes(plan: SymbolicPlan, diag: TileDiagnostics) -> None:
+    diag.local_tiles = plan.count(LOCAL)
+    diag.remote_tiles = plan.count(REMOTE)
+    diag.empty_tiles = plan.count(EMPTY)

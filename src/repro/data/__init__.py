@@ -1,0 +1,24 @@
+"""Workload generators and the Table V dataset registry."""
+
+from .datasets import DATASETS, DatasetSpec, get_dataset, load
+from .generators import (
+    bfs_frontier,
+    erdos_renyi,
+    planted_partition,
+    random_sources,
+    rmat,
+    tall_skinny,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "bfs_frontier",
+    "erdos_renyi",
+    "get_dataset",
+    "load",
+    "planted_partition",
+    "random_sources",
+    "rmat",
+    "tall_skinny",
+]

@@ -1,0 +1,79 @@
+"""Simulated distributed-memory message-passing runtime.
+
+This package stands in for MPI on Perlmutter (see DESIGN.md §2): rank
+programs are ordinary Python functions executed one-thread-per-rank with an
+mpi4py-flavoured communicator, and all "runtime" numbers come from per-rank
+virtual clocks driven by an α–β cost model.
+
+Typical usage::
+
+    from repro.mpi import run_spmd
+
+    def program(comm):
+        data = comm.allgather(comm.rank)
+        return sum(data)
+
+    result = run_spmd(4, program)
+    assert result.values == [6, 6, 6, 6]
+    print(result.report.runtime)   # modelled seconds
+"""
+
+from .clock import VirtualClock
+from .comm import SimComm
+from .cartesian import (
+    Grid2D,
+    Grid3D,
+    layered_grid_dims,
+    make_grid2d,
+    make_grid3d,
+    square_grid_dims,
+)
+from .costmodel import (
+    ETHERNET_CLUSTER,
+    PERLMUTTER,
+    PROFILES,
+    SCALED_PERLMUTTER,
+    MachineProfile,
+    get_profile,
+)
+from .errors import (
+    CommMismatchError,
+    DeadlockError,
+    RankError,
+    SpmdAbort,
+    SpmdError,
+)
+from .executor import SpmdResult, run_spmd
+from .payload import payload_nbytes
+from .runtime import ANY_SOURCE, ANY_TAG
+from .stats import PhaseStats, RankStats, SpmdReport
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommMismatchError",
+    "DeadlockError",
+    "ETHERNET_CLUSTER",
+    "Grid2D",
+    "Grid3D",
+    "MachineProfile",
+    "PERLMUTTER",
+    "PROFILES",
+    "PhaseStats",
+    "RankError",
+    "RankStats",
+    "SCALED_PERLMUTTER",
+    "SimComm",
+    "SpmdAbort",
+    "SpmdError",
+    "SpmdReport",
+    "SpmdResult",
+    "VirtualClock",
+    "get_profile",
+    "layered_grid_dims",
+    "make_grid2d",
+    "make_grid3d",
+    "payload_nbytes",
+    "run_spmd",
+    "square_grid_dims",
+]

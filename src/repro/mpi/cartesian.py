@@ -1,0 +1,112 @@
+"""Cartesian process grids for the SUMMA baselines.
+
+The 2-D sparse SUMMA algorithm lays ``p = pr × pc`` processes on a grid and
+broadcasts stages along grid rows and columns; the 3-D variant adds a layer
+dimension.  These helpers build the row/column/layer sub-communicators from
+a parent :class:`~repro.mpi.comm.SimComm` via ``split`` and expose the grid
+coordinates, matching the shape of ``MPI_Cart_create`` + ``MPI_Cart_sub``
+usage in CombBLAS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .comm import SimComm
+from .errors import CommMismatchError
+
+
+def square_grid_dims(p: int) -> Tuple[int, int]:
+    """Return the most-square ``(pr, pc)`` factorization of ``p``.
+
+    CombBLAS requires a square process count for SUMMA; we relax that to
+    the most-square factor pair so any ``p`` can run, preferring
+    ``pr <= pc``.
+    """
+    pr = int(math.isqrt(p))
+    while pr > 1 and p % pr != 0:
+        pr -= 1
+    return pr, p // pr
+
+
+def layered_grid_dims(p: int, layers: int) -> Tuple[int, int, int]:
+    """Return ``(pr, pc, l)`` for a 3-D grid with the requested layers.
+
+    Falls back to the largest divisor of ``p`` not exceeding ``layers`` so
+    callers can ask for e.g. 4 layers on any process count.
+    """
+    l = min(layers, p)
+    while l > 1 and p % l != 0:
+        l -= 1
+    pr, pc = square_grid_dims(p // l)
+    return pr, pc, l
+
+
+@dataclass
+class Grid2D:
+    """A 2-D process grid with row and column sub-communicators.
+
+    Process of parent rank ``r`` sits at ``(row, col) = (r // pc, r % pc)``
+    (row-major order).  ``row_comm`` spans the process's grid row (size
+    ``pc``); ``col_comm`` spans its grid column (size ``pr``).
+    """
+
+    comm: SimComm
+    pr: int
+    pc: int
+    row: int
+    col: int
+    row_comm: SimComm
+    col_comm: SimComm
+
+
+def make_grid2d(comm: SimComm, pr: Optional[int] = None, pc: Optional[int] = None) -> Grid2D:
+    """Build a :class:`Grid2D` over all ranks of ``comm``."""
+    if pr is None or pc is None:
+        pr, pc = square_grid_dims(comm.size)
+    if pr * pc != comm.size:
+        raise CommMismatchError(
+            f"grid {pr}x{pc} does not match communicator size {comm.size}"
+        )
+    row, col = divmod(comm.rank, pc)
+    row_comm = comm.split(color=row, key=col)
+    col_comm = comm.split(color=col, key=row)
+    assert row_comm is not None and col_comm is not None
+    return Grid2D(comm, pr, pc, row, col, row_comm, col_comm)
+
+
+@dataclass
+class Grid3D:
+    """A 3-D (layered) process grid for SUMMA3D.
+
+    Parent rank ``r`` maps to ``layer = r // (pr*pc)`` with the remainder
+    laid out row-major on the 2-D face.  ``fiber_comm`` connects the ``l``
+    processes sharing one 2-D grid position across layers (used for the
+    final reduction/merge of partial C blocks).
+    """
+
+    comm: SimComm
+    pr: int
+    pc: int
+    layers: int
+    layer: int
+    row: int
+    col: int
+    row_comm: SimComm
+    col_comm: SimComm
+    fiber_comm: SimComm
+
+
+def make_grid3d(comm: SimComm, layers: int) -> Grid3D:
+    """Build a :class:`Grid3D` with (up to) ``layers`` layers."""
+    pr, pc, l = layered_grid_dims(comm.size, layers)
+    face = pr * pc
+    layer, rem = divmod(comm.rank, face)
+    row, col = divmod(rem, pc)
+    row_comm = comm.split(color=layer * pr + row, key=col)
+    col_comm = comm.split(color=layer * pc + col, key=row)
+    fiber_comm = comm.split(color=rem, key=layer)
+    assert row_comm is not None and col_comm is not None and fiber_comm is not None
+    return Grid3D(comm, pr, pc, l, layer, row, col, row_comm, col_comm, fiber_comm)

@@ -1,0 +1,57 @@
+"""Error types raised by the simulated message-passing runtime.
+
+The runtime executes one Python thread per simulated rank.  When any rank
+raises, the executor aborts every synchronization primitive so the peer
+ranks unwind instead of deadlocking; those peers observe :class:`SpmdAbort`
+while the original exception is re-raised (wrapped in :class:`RankError`)
+from :func:`repro.mpi.executor.run_spmd`.
+"""
+
+from __future__ import annotations
+
+
+class SpmdError(RuntimeError):
+    """Base class for all simulated-MPI runtime errors."""
+
+
+class SpmdAbort(SpmdError):
+    """Raised inside surviving ranks after some other rank failed.
+
+    This mirrors how a real MPI job is torn down by ``MPI_Abort``: ranks
+    blocked in collectives or receives are released with an error rather
+    than left hanging.
+    """
+
+
+class RankError(SpmdError):
+    """Wraps the first exception raised by a rank program.
+
+    Attributes
+    ----------
+    rank:
+        The simulated rank whose program raised.
+    original:
+        The underlying exception instance.
+    """
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"rank {rank} failed: {type(original).__name__}: {original}")
+
+
+class CommMismatchError(SpmdError):
+    """A collective was called with inconsistent arguments across ranks.
+
+    Examples: differing ``root`` in a broadcast, or an ``alltoallv`` where a
+    rank supplied the wrong number of per-destination buffers.
+    """
+
+
+class DeadlockError(SpmdError):
+    """The executor's watchdog timeout expired while ranks were blocked.
+
+    In a correct SPMD program this indicates a communication-pattern bug
+    (e.g. a receive with no matching send); the timeout converts an
+    infinite hang into a test failure.
+    """

@@ -1,0 +1,141 @@
+"""Thread-per-rank SPMD executor.
+
+:func:`run_spmd` is the single entry point used by every distributed
+algorithm, example and benchmark in this repository: it launches ``size``
+threads, each running ``fn(comm, *args, **kwargs)`` against its own
+:class:`~repro.mpi.comm.SimComm`, and returns the per-rank results together
+with an :class:`~repro.mpi.stats.SpmdReport` of modelled time and traffic.
+
+Failure semantics mirror ``MPI_Abort``: the first rank to raise triggers a
+run-wide abort that releases every peer blocked in a collective or a
+receive; the original traceback is re-raised as
+:class:`~repro.mpi.errors.RankError`.  A watchdog timeout converts genuine
+communication-pattern deadlocks into :class:`~repro.mpi.errors.DeadlockError`
+instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Any, Callable, List, Optional, Tuple
+
+from .clock import VirtualClock
+from .comm import SimComm
+from .costmodel import PERLMUTTER, MachineProfile
+from .errors import DeadlockError, RankError, SpmdAbort
+from .runtime import AbortController, GroupContext
+from .stats import RankStats, SpmdReport
+
+
+class SpmdResult:
+    """Return value of :func:`run_spmd`.
+
+    Attributes
+    ----------
+    values:
+        ``values[i]`` is whatever rank ``i``'s function returned.
+    report:
+        Modelled makespan, per-phase traffic and per-rank statistics.
+    """
+
+    def __init__(self, values: List[Any], report: SpmdReport):
+        self.values = values
+        self.report = report
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, i: int) -> Any:
+        return self.values[i]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    machine: MachineProfile = PERLMUTTER,
+    timeout: float = 600.0,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``size`` simulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of simulated ranks (threads).  The thread-based runtime is
+        exercised faithfully up to a few hundred ranks; larger scales are
+        covered by the analytic model (``repro.model``).
+    fn:
+        The SPMD rank program.  Its first argument is the rank's
+        :class:`SimComm`; remaining arguments are shared (treat as
+        read-only, like memory behind a real network).
+    machine:
+        The α–β/compute cost profile to charge against.
+    timeout:
+        Watchdog in *real* seconds; on expiry the run is aborted and
+        :class:`DeadlockError` raised.
+
+    Returns
+    -------
+    SpmdResult
+        Per-rank return values plus the :class:`SpmdReport`.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    abort = AbortController()
+    ctx = GroupContext(size, abort, list(range(size)))
+    clocks = [VirtualClock() for _ in range(size)]
+    stats = [RankStats(rank=r) for r in range(size)]
+    results: List[Any] = [None] * size
+    errors: List[Optional[Tuple[int, BaseException]]] = [None]
+    error_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = SimComm(ctx, rank, machine, clocks[rank], stats[rank])
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except SpmdAbort:
+            pass  # collateral of another rank's failure
+        except BaseException as exc:  # noqa: BLE001 - must catch everything
+            with error_lock:
+                if errors[0] is None:
+                    errors[0] = (rank, exc)
+            abort.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+
+    deadline = _time.monotonic() + timeout
+    for t in threads:
+        remaining = deadline - _time.monotonic()
+        t.join(max(remaining, 0.0))
+    if any(t.is_alive() for t in threads):
+        abort.abort()
+        for t in threads:
+            t.join(5.0)
+        if errors[0] is None:
+            stuck = [t.name for t in threads if t.is_alive()]
+            raise DeadlockError(
+                f"SPMD run exceeded {timeout}s watchdog; blocked threads: {stuck}"
+            )
+
+    if errors[0] is not None:
+        rank, exc = errors[0]
+        raise RankError(rank, exc) from exc
+
+    report = SpmdReport(
+        size=size,
+        rank_stats=stats,
+        clocks=[c.now for c in clocks],
+        comm_times=[c.comm_time for c in clocks],
+        compute_times=[c.compute_time for c in clocks],
+    )
+    return SpmdResult(results, report)

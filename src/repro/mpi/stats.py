@@ -1,0 +1,159 @@
+"""Per-rank communication and computation statistics.
+
+Every :class:`repro.mpi.comm.SimComm` records, per *phase*, how many
+messages and bytes it moved and how much virtual time it spent.  Phases are
+opened with ``comm.phase("fetch-B")`` context managers by the algorithms so
+benchmarks can report the same decomposition the paper plots (e.g. Fig 11's
+communication-time-only scaling, Fig 12(b)'s communicated nonzeros).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class PhaseStats:
+    """Counters for one named phase on one rank."""
+
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    messages_sent: int = 0
+    messages_recv: int = 0
+    collectives: int = 0
+    comm_time: float = 0.0
+    compute_time: float = 0.0
+
+    def merge(self, other: "PhaseStats") -> None:
+        """Accumulate ``other`` into this instance (used for aggregation)."""
+        self.bytes_sent += other.bytes_sent
+        self.bytes_recv += other.bytes_recv
+        self.messages_sent += other.messages_sent
+        self.messages_recv += other.messages_recv
+        self.collectives += other.collectives
+        self.comm_time += other.comm_time
+        self.compute_time += other.compute_time
+
+
+@dataclass
+class RankStats:
+    """All statistics gathered by one rank during one SPMD run."""
+
+    rank: int
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    _stack: List[str] = field(default_factory=lambda: ["total"])
+
+    @property
+    def current_phase(self) -> str:
+        return self._stack[-1]
+
+    def phase_stats(self, name: Optional[str] = None) -> PhaseStats:
+        """Return (creating if needed) the counters for ``name``."""
+        key = self.current_phase if name is None else name
+        stats = self.phases.get(key)
+        if stats is None:
+            stats = self.phases[key] = PhaseStats()
+        return stats
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Label all traffic recorded inside the block with ``name``.
+
+        Phases nest; counters are recorded under the innermost label only,
+        so ``totals()`` (which sums all phases) never double-counts.
+        """
+        self._stack.append(name)
+        try:
+            yield self.phase_stats(name)
+        finally:
+            self._stack.pop()
+
+    # Recording helpers used by SimComm -------------------------------
+    def record_send(self, nbytes: int) -> None:
+        stats = self.phase_stats()
+        stats.bytes_sent += nbytes
+        stats.messages_sent += 1
+
+    def record_recv(self, nbytes: int) -> None:
+        stats = self.phase_stats()
+        stats.bytes_recv += nbytes
+        stats.messages_recv += 1
+
+    def record_collective(self, sent: int, recv: int) -> None:
+        stats = self.phase_stats()
+        stats.collectives += 1
+        stats.bytes_sent += sent
+        stats.bytes_recv += recv
+
+    def record_comm_time(self, dt: float) -> None:
+        self.phase_stats().comm_time += dt
+
+    def record_compute_time(self, dt: float) -> None:
+        self.phase_stats().compute_time += dt
+
+    def totals(self) -> PhaseStats:
+        """Sum of every phase recorded on this rank."""
+        out = PhaseStats()
+        for stats in self.phases.values():
+            out.merge(stats)
+        return out
+
+
+@dataclass
+class SpmdReport:
+    """Run-level summary returned by :func:`repro.mpi.executor.run_spmd`.
+
+    ``runtime`` is the modelled makespan: the maximum per-rank virtual
+    clock.  ``comm_time``/``compute_time`` report the same maximum-over-
+    ranks decomposition the paper's figures use.
+    """
+
+    size: int
+    rank_stats: List[RankStats]
+    clocks: List[float]
+    comm_times: List[float]
+    compute_times: List[float]
+
+    @property
+    def runtime(self) -> float:
+        return max(self.clocks) if self.clocks else 0.0
+
+    @property
+    def comm_time(self) -> float:
+        return max(self.comm_times) if self.comm_times else 0.0
+
+    @property
+    def compute_time(self) -> float:
+        return max(self.compute_times) if self.compute_times else 0.0
+
+    def total_bytes(self, phase: Optional[str] = None) -> int:
+        """Total bytes sent across all ranks (optionally one phase only).
+
+        Each transferred byte is counted once on its sender, so this is the
+        total traffic on the simulated interconnect.
+        """
+        total = 0
+        for rs in self.rank_stats:
+            if phase is None:
+                total += rs.totals().bytes_sent
+            elif phase in rs.phases:
+                total += rs.phases[phase].bytes_sent
+        return total
+
+    def total_messages(self) -> int:
+        return sum(rs.totals().messages_sent for rs in self.rank_stats)
+
+    def phase_bytes(self) -> Dict[str, int]:
+        """Bytes sent per phase name, summed over ranks."""
+        out: Dict[str, int] = {}
+        for rs in self.rank_stats:
+            for name, stats in rs.phases.items():
+                out[name] = out.get(name, 0) + stats.bytes_sent
+        return out
+
+    def max_rank_bytes_recv(self) -> int:
+        """Largest per-rank received volume — the memory-pressure proxy
+        used by Fig 5(a)'s tile-width/memory study."""
+        return max((rs.totals().bytes_recv for rs in self.rank_stats), default=0)

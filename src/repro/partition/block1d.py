@@ -1,0 +1,73 @@
+"""1-D block partition maps.
+
+The paper's data distribution (Table III): ``A``, ``B`` and ``C`` are
+row-partitioned into ``p`` contiguous blocks (``Ai ∈ R^{n/p × n}`` etc.),
+and the second copy ``Ac`` is column-partitioned the same way.  A
+:class:`Block1D` captures that map: block boundaries, ownership lookups and
+global↔local index translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..sparse.tile import block_owner, block_owners, block_ranges
+
+
+@dataclass(frozen=True)
+class Block1D:
+    """Contiguous balanced block partition of ``n`` indices over ``p`` parts."""
+
+    n: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise ValueError("p must be positive")
+        if self.n < 0:
+            raise ValueError("n must be non-negative")
+
+    @property
+    def ranges(self) -> List[Tuple[int, int]]:
+        return block_ranges(self.n, self.p)
+
+    def range_of(self, rank: int) -> Tuple[int, int]:
+        """Global ``[lo, hi)`` owned by ``rank``."""
+        if not (0 <= rank < self.p):
+            raise IndexError(f"rank {rank} out of range for p={self.p}")
+        return self.ranges[rank]
+
+    def size_of(self, rank: int) -> int:
+        lo, hi = self.range_of(rank)
+        return hi - lo
+
+    def owner(self, index: int) -> int:
+        """Rank owning global ``index``."""
+        if not (0 <= index < self.n):
+            raise IndexError(f"index {index} out of range for n={self.n}")
+        return block_owner(index, self.n, self.p)
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner`."""
+        return block_owners(indices, self.n, self.p)
+
+    def to_local(self, rank: int, global_ids: np.ndarray) -> np.ndarray:
+        """Translate global indices (owned by ``rank``) to local offsets."""
+        lo, hi = self.range_of(rank)
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if len(global_ids) and (
+            global_ids.min() < lo or global_ids.max() >= hi
+        ):
+            raise IndexError(f"index not owned by rank {rank}")
+        return global_ids - lo
+
+    def to_global(self, rank: int, local_ids: np.ndarray) -> np.ndarray:
+        """Translate local offsets on ``rank`` to global indices."""
+        lo, hi = self.range_of(rank)
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        if len(local_ids) and (local_ids.min() < 0 or local_ids.max() >= hi - lo):
+            raise IndexError(f"local index out of range on rank {rank}")
+        return local_ids + lo

@@ -1,0 +1,234 @@
+"""Distributed matrix handles (per-rank views of 1-D partitioned matrices).
+
+A :class:`DistSparseMatrix` is what one rank holds of a row-partitioned
+sparse matrix: its local CSR block (local rows × *global* columns) plus the
+partition map.  The optional column-partitioned copy ``Ac`` (the paper's
+key data-structure trick, §III-A: it lets every process determine which of
+its ``B`` rows others need *without communicating requests*) is built
+through a genuine all-to-all of column strips so its cost shows up on the
+virtual clocks as a setup phase.
+
+Initial distribution (``scatter_rows``) follows the common practice — also
+the paper's — of not timing data loading: with ``charge_comm=False``
+(default) each rank simply slices the shared input, modelling a matrix
+already resident across the machine (e.g. read from a parallel FS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..mpi.comm import SimComm
+from ..sparse.csr import CsrMatrix
+from ..sparse.merge import merge_csrs
+from ..sparse.ops import extract_col_range, extract_row_range
+from ..sparse.semiring import PLUS_TIMES, Semiring
+from .block1d import Block1D
+
+
+@dataclass
+class DistSparseMatrix:
+    """One rank's share of a 1-D row-partitioned sparse matrix.
+
+    Attributes
+    ----------
+    comm:
+        The communicator the matrix lives on.
+    rows:
+        Row partition map (``Block1D`` over the global row dimension).
+    local:
+        This rank's block: ``rows.size_of(rank) × ncols`` CSR with global
+        column ids.
+    col_copy:
+        When present, this rank's block of the column-partitioned copy
+        ``Ac``: ``nrows_global × rows.size_of(rank)`` CSR with *global row*
+        ids and local column ids (the column partition reuses the same
+        ``Block1D``; it only makes sense for square matrices).
+    """
+
+    comm: SimComm
+    rows: Block1D
+    local: CsrMatrix
+    ncols: int
+    col_copy: Optional[CsrMatrix] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scatter_rows(
+        cls,
+        comm: SimComm,
+        global_mat: CsrMatrix,
+        *,
+        charge_comm: bool = False,
+    ) -> "DistSparseMatrix":
+        """Distribute ``global_mat`` row-block-wise onto ``comm``.
+
+        With ``charge_comm=True`` the distribution is performed as a root
+        scatter and its α–β cost lands on the clocks; by default it is
+        free (pre-distributed input, matching the paper's timing scope).
+        """
+        rows = Block1D(global_mat.nrows, comm.size)
+        lo, hi = rows.range_of(comm.rank)
+        block = extract_row_range(global_mat, lo, hi)
+        if charge_comm:
+            with comm.phase("scatter-input"):
+                blocks = None
+                if comm.rank == 0:
+                    blocks = [
+                        extract_row_range(global_mat, a, b) for a, b in rows.ranges
+                    ]
+                block = comm.scatter(blocks, root=0)
+        return cls(comm, rows, block, global_mat.ncols)
+
+    def gather(self, root: int = 0, *, charge_comm: bool = False) -> Optional[CsrMatrix]:
+        """Collect the full matrix on ``root`` (None on other ranks)."""
+        if charge_comm:
+            with self.comm.phase("gather-output"):
+                blocks = self.comm.gather(self.local, root=root)
+        else:
+            blocks = self.comm.allgather(self.local)
+            if self.comm.rank != root:
+                return None
+        if blocks is None:
+            return None
+        return _vstack_blocks(blocks, self.ncols)
+
+    # ------------------------------------------------------------------
+    @property
+    def nrows_global(self) -> int:
+        return self.rows.n
+
+    @property
+    def local_range(self):
+        return self.rows.range_of(self.comm.rank)
+
+    @property
+    def nnz_local(self) -> int:
+        return self.local.nnz
+
+    def nnz_global(self) -> int:
+        """Total nonzeros across ranks (collective: allreduce)."""
+        return int(self.comm.allreduce(self.local.nnz))
+
+    # ------------------------------------------------------------------
+    def build_column_copy(self, *, phase: str = "build-Ac") -> None:
+        """Materialize ``Ac`` — the column-partitioned second copy of A.
+
+        Every rank cuts its row block into per-owner column strips and
+        exchanges them in one all-to-all; rank ``j`` then stacks the strips
+        it received into ``Ac_j ∈ R^{n × n_j}`` (global rows, local
+        columns).  The traffic is charged under ``phase`` so benchmarks can
+        separate this one-time setup from multiply time.  Requires a
+        square matrix (row and column partitions coincide).
+        """
+        if self.ncols != self.rows.n:
+            raise ValueError(
+                "column copy requires a square matrix "
+                f"(got {self.rows.n} x {self.ncols})"
+            )
+        comm = self.comm
+        ranges = self.rows.ranges
+        my_lo, my_hi = self.local_range
+        with comm.phase(phase):
+            # Strip k of my block, with LOCAL column ids and tagged with my
+            # global row offset so the receiver can place the rows.
+            send = []
+            for (c0, c1) in ranges:
+                strip = extract_col_range(self.local, c0, c1, reindex=True)
+                send.append((my_lo, strip))
+            received = comm.alltoall(send)
+            comm.charge_touch(sum(s.nbytes_estimate() for _, s in send))
+            width = my_hi - my_lo
+            self.col_copy = _vstack_tagged(received, self.rows.n, width)
+
+    def col_copy_rows_of(self, rank: int) -> CsrMatrix:
+        """Rows of ``Ac`` belonging to ``rank``'s row block (a view).
+
+        This is the tile-of-``A`` slice ``A[rows_rank, my_cols]`` that this
+        process can read *locally* thanks to the column copy — the basis of
+        both the symbolic mode-selection step and remote-tile computation.
+        """
+        if self.col_copy is None:
+            raise RuntimeError("build_column_copy() has not been called")
+        lo, hi = self.rows.range_of(rank)
+        return extract_row_range(self.col_copy, lo, hi)
+
+
+@dataclass
+class DistDenseMatrix:
+    """One rank's share of a 1-D row-partitioned dense matrix (SpMM B)."""
+
+    comm: SimComm
+    rows: Block1D
+    local: np.ndarray
+    ncols: int
+
+    @classmethod
+    def scatter_rows(cls, comm: SimComm, global_mat: np.ndarray) -> "DistDenseMatrix":
+        global_mat = np.asarray(global_mat)
+        rows = Block1D(global_mat.shape[0], comm.size)
+        lo, hi = rows.range_of(comm.rank)
+        return cls(comm, rows, global_mat[lo:hi], global_mat.shape[1])
+
+    def gather(self) -> np.ndarray:
+        blocks = self.comm.allgather(self.local)
+        return np.vstack(blocks)
+
+
+# ----------------------------------------------------------------------
+def _vstack_blocks(blocks: List[CsrMatrix], ncols: int) -> CsrMatrix:
+    """Stack row blocks (in rank order) into one CSR."""
+    import numpy as _np
+
+    indptr = [_np.zeros(1, dtype=np.int64)]
+    indices = []
+    data = []
+    offset = 0
+    for b in blocks:
+        indptr.append(b.indptr[1:] + offset)
+        indices.append(b.indices)
+        data.append(b.data)
+        offset += b.nnz
+    total_rows = sum(b.nrows for b in blocks)
+    return CsrMatrix(
+        (total_rows, ncols),
+        _np.concatenate(indptr),
+        _np.concatenate(indices) if indices else _np.zeros(0, dtype=np.int64),
+        _np.concatenate(data) if data else _np.zeros(0),
+        check=False,
+    )
+
+
+def _vstack_tagged(tagged: List, nrows: int, ncols: int) -> CsrMatrix:
+    """Assemble (row_offset, strip) pairs into an ``nrows × ncols`` CSR.
+
+    Strips arrive in rank order with contiguous, non-overlapping row
+    ranges starting at each tag, so a plain ordered stack suffices.
+    """
+    import numpy as _np
+
+    parts = sorted(tagged, key=lambda t: t[0])
+    indptr = _np.zeros(nrows + 1, dtype=np.int64)
+    indices = []
+    data = []
+    nnz_running = 0
+    for row_offset, strip in parts:
+        counts = strip.row_nnz()
+        indptr[row_offset + 1 : row_offset + 1 + strip.nrows] = (
+            nnz_running + _np.cumsum(counts)
+        )
+        nnz_running += strip.nnz
+        indices.append(strip.indices)
+        data.append(strip.data)
+    # forward-fill empty gaps (ranks owning zero rows)
+    _np.maximum.accumulate(indptr, out=indptr)
+    return CsrMatrix(
+        (nrows, ncols),
+        indptr,
+        _np.concatenate(indices) if indices else _np.zeros(0, dtype=np.int64),
+        _np.concatenate(data) if data else _np.zeros(0),
+        check=False,
+    )

@@ -1,0 +1,91 @@
+"""Sparse-matrix substrate: CSR container, semirings and local kernels.
+
+This layer is the shared-memory foundation under the distributed
+algorithms: a validated CSR type, the semiring abstraction the paper's
+generalized SpGEMM requires, Gustavson SpGEMM kernels with SPA / hash /
+expand-sort-compress accumulation, partial-result merging, tiling, and the
+structural operations (transpose, slicing, pattern set-ops, top-k
+sparsification) that the applications build on.
+"""
+
+from .accumulators import HashAccumulator, SpaAccumulator
+from .build import coo_to_csr, from_edges, random_csr
+from .csr import INDEX_DTYPE, CsrMatrix
+from .io import read_matrix_market, write_matrix_market
+from .merge import merge_bytes, merge_csrs
+from .sddmm import fused_sddmm_spmm, sddmm
+from .ops import (
+    ewise_add,
+    extract_col_range,
+    extract_row_range,
+    extract_rows,
+    nnz_of_rows,
+    pattern_difference,
+    row_topk,
+    spmm_dense,
+    transpose,
+)
+from .semiring import (
+    BOOL_AND_OR,
+    MAX_TIMES,
+    MIN_PLUS,
+    PLUS_TIMES,
+    SEL2ND_MIN,
+    SEMIRINGS,
+    Semiring,
+    get_semiring,
+)
+from .spgemm import (
+    spgemm,
+    spgemm_esc,
+    spgemm_flops,
+    spgemm_hash,
+    spgemm_scipy,
+    spgemm_spa,
+)
+from .tile import ColumnStrips, Tile, TileGrid, block_owner, block_owners, block_ranges
+
+__all__ = [
+    "BOOL_AND_OR",
+    "ColumnStrips",
+    "CsrMatrix",
+    "HashAccumulator",
+    "INDEX_DTYPE",
+    "MAX_TIMES",
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "SEL2ND_MIN",
+    "SEMIRINGS",
+    "Semiring",
+    "SpaAccumulator",
+    "Tile",
+    "TileGrid",
+    "block_owner",
+    "block_owners",
+    "block_ranges",
+    "coo_to_csr",
+    "ewise_add",
+    "extract_col_range",
+    "extract_row_range",
+    "extract_rows",
+    "from_edges",
+    "fused_sddmm_spmm",
+    "get_semiring",
+    "merge_bytes",
+    "merge_csrs",
+    "nnz_of_rows",
+    "pattern_difference",
+    "random_csr",
+    "read_matrix_market",
+    "row_topk",
+    "sddmm",
+    "spgemm",
+    "spgemm_esc",
+    "spgemm_flops",
+    "spgemm_hash",
+    "spgemm_scipy",
+    "spgemm_spa",
+    "spmm_dense",
+    "transpose",
+    "write_matrix_market",
+]

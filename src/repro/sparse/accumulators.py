@@ -1,0 +1,94 @@
+"""Row accumulators for Gustavson-style SpGEMM.
+
+The paper adaptively selects between a dense sparse-accumulator (SPA [19])
+and a hash-based accumulator [20] for local SpGEMM and merging (§III-C):
+SPA wins while the length-``d`` dense vector fits in cache, hash wins for
+``d > 1024``.  These classes are the *reference* scalar implementations —
+exact but loop-based — used for small inputs, for differential testing of
+the vectorized expand-sort-compress kernel, and to document the algorithm.
+The production path in :mod:`repro.sparse.spgemm` is vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .semiring import Semiring
+
+
+class SpaAccumulator:
+    """Dense sparse accumulator (SPA) for one output row of length ``d``.
+
+    Uses the classic stamp trick: ``reset`` is O(1), not O(d), so the cost
+    per row is proportional to the flops it absorbs.  ``values`` is the
+    dense length-``d`` scratch the paper notes must fit in cache for SPA
+    to win.
+    """
+
+    def __init__(self, d: int, semiring: Semiring):
+        self.d = d
+        self.semiring = semiring
+        self.values = np.empty(d, dtype=semiring.dtype)
+        self.stamps = np.full(d, -1, dtype=np.int64)
+        self.occupied: List[int] = []
+        self.generation = 0
+
+    def reset(self) -> None:
+        """Start a new output row (O(1) amortized)."""
+        self.generation += 1
+        self.occupied = []
+
+    def accumulate(self, a_value, b_cols: np.ndarray, b_vals: np.ndarray) -> None:
+        """Fold ``a_value ⊗ B(c, :)`` into the row, one scaled B-row."""
+        sr = self.semiring
+        products = sr.multiply(np.broadcast_to(a_value, b_vals.shape), b_vals)
+        for col, prod in zip(b_cols, products):
+            col = int(col)
+            if self.stamps[col] != self.generation:
+                self.stamps[col] = self.generation
+                self.values[col] = prod
+                self.occupied.append(col)
+            else:
+                self.values[col] = sr.scalar_add(self.values[col], prod)
+
+    def extract(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (sorted column ids, values) of the accumulated row."""
+        cols = np.array(sorted(self.occupied), dtype=np.int64)
+        return cols, self.values[cols].copy()
+
+
+class HashAccumulator:
+    """Hash-based row accumulator (dict-backed reference implementation).
+
+    Memory is proportional to the row's output nonzeros rather than ``d``,
+    which is why the paper switches to hashing for ``d > 1024``.
+    """
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+        self.table: dict = {}
+
+    def reset(self) -> None:
+        self.table = {}
+
+    def accumulate(self, a_value, b_cols: np.ndarray, b_vals: np.ndarray) -> None:
+        sr = self.semiring
+        products = sr.multiply(np.broadcast_to(a_value, b_vals.shape), b_vals)
+        table = self.table
+        for col, prod in zip(b_cols.tolist(), products):
+            if col in table:
+                table[col] = sr.scalar_add(table[col], prod)
+            else:
+                table[col] = prod
+
+    def extract(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.table:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=self.semiring.dtype),
+            )
+        cols = np.array(sorted(self.table), dtype=np.int64)
+        vals = np.array([self.table[int(c)] for c in cols], dtype=self.semiring.dtype)
+        return cols, vals

@@ -1,0 +1,129 @@
+"""Builders converting coordinate data into validated :class:`CsrMatrix`.
+
+Duplicate coordinates are collapsed with a semiring add (``reduceat`` over
+lexsorted triples), so these builders are also the backbone of the
+expand-sort-compress SpGEMM path and of partial-result merging.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .csr import INDEX_DTYPE, CsrMatrix
+from .semiring import PLUS_TIMES, Semiring
+
+
+def coo_to_csr(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: Tuple[int, int],
+    semiring: Semiring = PLUS_TIMES,
+    *,
+    assume_sorted: bool = False,
+) -> CsrMatrix:
+    """Build a CSR matrix from COO triples, combining duplicates.
+
+    Parameters
+    ----------
+    rows, cols, vals:
+        Equal-length coordinate arrays.  Out-of-range coordinates raise.
+    shape:
+        Output shape ``(nrows, ncols)``.
+    semiring:
+        Its ``add`` collapses duplicate ``(row, col)`` entries — e.g.
+        ``np.add`` sums them, ``np.logical_or`` unions boolean patterns.
+    assume_sorted:
+        Skip the lexsort when the caller guarantees triples are already in
+        row-major (row, col) order (duplicates still allowed).
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    vals = semiring.coerce(np.asarray(vals))
+    if not (len(rows) == len(cols) == len(vals)):
+        raise ValueError("rows, cols, vals must have equal length")
+    nrows, ncols = shape
+    if len(rows):
+        if rows.min() < 0 or rows.max() >= nrows:
+            raise ValueError("row index out of bounds")
+        if cols.min() < 0 or cols.max() >= ncols:
+            raise ValueError("column index out of bounds")
+
+    if len(rows) == 0:
+        return CsrMatrix.empty(shape, dtype=vals.dtype)
+
+    if not assume_sorted:
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+
+    # Collapse duplicates: group boundaries where (row, col) changes.
+    key_change = np.empty(len(rows), dtype=bool)
+    key_change[0] = True
+    np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=key_change[1:])
+    starts = np.flatnonzero(key_change)
+    out_rows = rows[starts]
+    out_cols = cols[starts]
+    out_vals = semiring.reduce_segments(vals, starts)
+
+    counts = np.bincount(out_rows, minlength=nrows)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+    return CsrMatrix(shape, indptr, out_cols, out_vals, check=False)
+
+
+def from_edges(
+    src: Sequence[int],
+    dst: Sequence[int],
+    n: int,
+    *,
+    values: Optional[Sequence[float]] = None,
+    symmetric: bool = False,
+    dtype=np.float64,
+) -> CsrMatrix:
+    """Adjacency matrix from an edge list (graph convenience builder).
+
+    ``symmetric=True`` mirrors every edge; self-duplicates collapse via
+    arithmetic max so repeated edges keep weight 1 when ``values`` is None.
+    """
+    src = np.asarray(src, dtype=INDEX_DTYPE)
+    dst = np.asarray(dst, dtype=INDEX_DTYPE)
+    if values is None:
+        vals = np.ones(len(src), dtype=dtype)
+    else:
+        vals = np.asarray(values, dtype=dtype)
+    if symmetric:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        vals = np.concatenate([vals, vals])
+    # max collapses duplicate/mirrored edges to a single stored entry
+    sr = Semiring("dedup_max", np.maximum, np.multiply, 0.0, np.dtype(dtype))
+    return coo_to_csr(src, dst, vals, (n, n), sr)
+
+
+def random_csr(
+    nrows: int,
+    ncols: int,
+    *,
+    nnz_per_row: float,
+    rng: np.random.Generator,
+    dtype=np.float64,
+) -> CsrMatrix:
+    """Uniform random CSR with ~``nnz_per_row`` entries per row.
+
+    Each row draws ``Binomial(ncols, nnz_per_row/ncols)``-distributed
+    column subsets; values are U(0, 1).  Used by tests and the tall-skinny
+    ``B`` generator.
+    """
+    density = min(max(nnz_per_row / max(ncols, 1), 0.0), 1.0)
+    counts = rng.binomial(ncols, density, size=nrows)
+    rows = np.repeat(np.arange(nrows, dtype=INDEX_DTYPE), counts)
+    cols = np.concatenate(
+        [rng.choice(ncols, size=c, replace=False) for c in counts]
+    ) if counts.sum() else np.zeros(0, dtype=INDEX_DTYPE)
+    if dtype == np.bool_:
+        vals = np.ones(len(rows), dtype=np.bool_)
+        sr = Semiring("dedup_or", np.logical_or, np.logical_and, False, np.dtype(np.bool_))
+    else:
+        vals = rng.random(len(rows)).astype(dtype) + 0.1
+        sr = Semiring("dedup_add", np.add, np.multiply, 0.0, np.dtype(dtype))
+    return coo_to_csr(rows, cols, vals, (nrows, ncols), sr)

@@ -1,0 +1,203 @@
+"""Structural and elementwise operations on :class:`CsrMatrix`.
+
+These are the building blocks the distributed algorithms lean on:
+
+* column-range extraction — cutting a tile out of a local block (§III-B);
+* row extraction — packing the ``B`` rows requested by a remote tile;
+* transpose — building the column-partitioned copy ``Ac``;
+* pattern difference / union — the BFS frontier update ``F ← N \\ S`` and
+  visited update ``S ← S ∨ N`` (Alg 3);
+* per-row top-k — the embedding sparsification step (§IV-B);
+* CSR × dense SpMM — the dense-B comparator of §V-C.
+
+Everything is vectorized; no per-nonzero Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .csr import INDEX_DTYPE, CsrMatrix
+from .semiring import PLUS_TIMES, Semiring
+
+
+def transpose(mat: CsrMatrix) -> CsrMatrix:
+    """Transpose a CSR matrix (result is CSR again, rows sorted)."""
+    nrows, ncols = mat.shape
+    if mat.nnz == 0:
+        return CsrMatrix.empty((ncols, nrows), dtype=mat.dtype)
+    rows = mat.row_ids()
+    order = np.lexsort((rows, mat.indices))
+    new_rows = mat.indices[order]
+    new_cols = rows[order]
+    new_vals = mat.data[order]
+    counts = np.bincount(new_rows, minlength=ncols)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+    return CsrMatrix((ncols, nrows), indptr, new_cols, new_vals, check=False)
+
+
+def extract_rows(mat: CsrMatrix, row_ids: np.ndarray) -> CsrMatrix:
+    """Select rows ``row_ids`` (in the given order) into a new CSR.
+
+    The result has ``len(row_ids)`` rows and the original column space —
+    exactly what gets packed onto the wire when a process ships the ``B``
+    rows another process requested.
+    """
+    row_ids = np.asarray(row_ids, dtype=INDEX_DTYPE)
+    if len(row_ids) and (row_ids.min() < 0 or row_ids.max() >= mat.nrows):
+        raise IndexError("row id out of range")
+    counts = mat.row_nnz()[row_ids]
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+    total = int(indptr[-1])
+    if total == 0:
+        return CsrMatrix(
+            (len(row_ids), mat.ncols),
+            indptr,
+            np.zeros(0, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=mat.dtype),
+            check=False,
+        )
+    # Gather segment [indptr[r], indptr[r+1]) for each requested row.
+    starts = mat.indptr[row_ids]
+    offsets = np.arange(total) - np.repeat(indptr[:-1], counts)
+    src = np.repeat(starts, counts) + offsets
+    return CsrMatrix(
+        (len(row_ids), mat.ncols), indptr, mat.indices[src], mat.data[src], check=False
+    )
+
+
+def extract_col_range(
+    mat: CsrMatrix, c0: int, c1: int, *, reindex: bool = True
+) -> CsrMatrix:
+    """Columns ``[c0, c1)`` of ``mat`` as a new CSR.
+
+    With ``reindex=True`` column ids shift to the local ``[0, c1-c0)``
+    space (tile extraction); otherwise the original column space is kept
+    (useful for masking).
+    """
+    if not (0 <= c0 <= c1 <= mat.ncols):
+        raise IndexError(f"column range [{c0}, {c1}) out of bounds for {mat.ncols}")
+    mask = (mat.indices >= c0) & (mat.indices < c1)
+    csum = np.concatenate([[0], np.cumsum(mask)])
+    indptr = csum[mat.indptr].astype(INDEX_DTYPE)
+    indices = mat.indices[mask]
+    if reindex:
+        indices = indices - c0
+        shape = (mat.nrows, c1 - c0)
+    else:
+        shape = mat.shape
+    return CsrMatrix(shape, indptr, indices, mat.data[mask], check=False)
+
+
+def extract_row_range(mat: CsrMatrix, r0: int, r1: int) -> CsrMatrix:
+    """Rows ``[r0, r1)`` as a zero-copy CSR view (indices/data are views)."""
+    if not (0 <= r0 <= r1 <= mat.nrows):
+        raise IndexError(f"row range [{r0}, {r1}) out of bounds for {mat.nrows}")
+    lo, hi = mat.indptr[r0], mat.indptr[r1]
+    indptr = mat.indptr[r0 : r1 + 1] - mat.indptr[r0]
+    return CsrMatrix(
+        (r1 - r0, mat.ncols),
+        indptr,
+        mat.indices[lo:hi],
+        mat.data[lo:hi],
+        check=False,
+    )
+
+
+def _pattern_member(a: CsrMatrix, b: CsrMatrix) -> np.ndarray:
+    """Boolean per stored entry of ``a``: is its (row, col) also in ``b``?"""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    # Encode (row, col) as a single int64 key; both are < 2^31 in practice.
+    a_keys = a.row_ids() * a.ncols + a.indices
+    b_keys = b.row_ids() * b.ncols + b.indices
+    return np.isin(a_keys, b_keys, assume_unique=False)
+
+
+def pattern_difference(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
+    """Entries of ``a`` whose position is *not* stored in ``b``.
+
+    Implements the frontier update ``F ← N \\ S`` of Alg 3.
+    """
+    keep = ~_pattern_member(a, b)
+    csum = np.concatenate([[0], np.cumsum(keep)])
+    return CsrMatrix(
+        a.shape,
+        csum[a.indptr].astype(INDEX_DTYPE),
+        a.indices[keep],
+        a.data[keep],
+        check=False,
+    )
+
+
+def ewise_add(a: CsrMatrix, b: CsrMatrix, semiring: Semiring = PLUS_TIMES) -> CsrMatrix:
+    """Elementwise union combining overlaps with the semiring add.
+
+    ``S ← S ∨ N`` in Alg 3 is ``ewise_add(S, N, BOOL_AND_OR)``.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    from .build import coo_to_csr  # local import to avoid a cycle
+
+    rows = np.concatenate([a.row_ids(), b.row_ids()])
+    cols = np.concatenate([a.indices, b.indices])
+    vals = np.concatenate(
+        [semiring.coerce(a.data), semiring.coerce(b.data)]
+    )
+    return coo_to_csr(rows, cols, vals, a.shape, semiring)
+
+
+def row_topk(mat: CsrMatrix, k: int) -> CsrMatrix:
+    """Keep the ``k`` largest-magnitude entries of every row.
+
+    This is the paper's embedding sparsification: "the updated embedding
+    matrix is sparsified by selecting the required number of nonzero
+    entries to achieve the target sparsity by keeping the highest valued
+    entries" (§IV-B).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    counts = mat.row_nnz()
+    if (counts <= k).all():
+        return mat
+    rows = mat.row_ids()
+    # Rank entries within each row by |value| descending.  Sort globally by
+    # (row, -|value|), then the first k positions of each row's segment win.
+    mag = np.abs(mat.data.astype(np.float64, copy=False))
+    order = np.lexsort((-mag, rows))
+    ranks = np.arange(mat.nnz) - np.repeat(mat.indptr[:-1], counts)
+    keep_sorted = ranks < k
+    keep = np.zeros(mat.nnz, dtype=bool)
+    keep[order] = keep_sorted
+    csum = np.concatenate([[0], np.cumsum(keep)])
+    return CsrMatrix(
+        mat.shape,
+        csum[mat.indptr].astype(INDEX_DTYPE),
+        mat.indices[keep],
+        mat.data[keep],
+        check=False,
+    )
+
+
+def spmm_dense(mat: CsrMatrix, dense: np.ndarray) -> Tuple[np.ndarray, int]:
+    """CSR × dense multiply; returns ``(product, flops)``.
+
+    ``flops`` counts one multiply-add per (A-nonzero × dense column),
+    matching how the cost model charges SpMM (§V-C).
+    """
+    dense = np.asarray(dense)
+    if dense.ndim != 2 or dense.shape[0] != mat.ncols:
+        raise ValueError(
+            f"dense operand must be ({mat.ncols}, d), got {dense.shape}"
+        )
+    product = mat.to_scipy() @ dense
+    flops = mat.nnz * dense.shape[1]
+    return np.asarray(product), flops
+
+
+def nnz_of_rows(mat: CsrMatrix, row_ids: np.ndarray) -> int:
+    """Total stored entries in the selected rows (no materialization)."""
+    row_ids = np.asarray(row_ids, dtype=INDEX_DTYPE)
+    return int(mat.row_nnz()[row_ids].sum())

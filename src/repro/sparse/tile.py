@@ -1,0 +1,158 @@
+"""Tiling of local matrix blocks (the paper's "virtual 2-D layout").
+
+A process's row block ``Ai ∈ R^{n/p × n}`` is divided into ``w × h`` tiles
+(§III-B): ``h`` rows of ``Ai`` by ``w`` global columns.  Computation then
+proceeds tile by tile so that only the ``B`` rows needed by the current
+tile are resident, bounding the memory footprint (Fig 5a) at the price of
+more communication rounds (Fig 5b).
+
+Two helpers matter for the distributed algorithm:
+
+* :func:`block_ranges` — the contiguous 1-D block partition boundaries
+  shared by rows of ``A``/``B``/``C`` and columns of ``Ac``;
+* :class:`ColumnStrips` — a one-pass split of a local block into
+  per-column-block strips with *local* column ids, the unit from which
+  tiles of any width are assembled (a width-``w`` tile is ``w / (n/p)``
+  consecutive strips, Table IV's default being 16 strips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .csr import INDEX_DTYPE, CsrMatrix
+from .ops import extract_col_range, extract_row_range
+
+
+def block_ranges(n: int, p: int) -> List[Tuple[int, int]]:
+    """Contiguous balanced 1-D block boundaries: ``p`` blocks covering ``n``.
+
+    The first ``n % p`` blocks get one extra element, matching the usual
+    block distribution; every index belongs to exactly one block.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    base, extra = divmod(n, p)
+    ranges = []
+    start = 0
+    for i in range(p):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def block_owner(index: int, n: int, p: int) -> int:
+    """Owner block of a global index under :func:`block_ranges`."""
+    base, extra = divmod(n, p)
+    boundary = extra * (base + 1)
+    if index < boundary:
+        return index // (base + 1)
+    if base == 0:
+        raise IndexError(f"index {index} beyond distributed range")
+    return extra + (index - boundary) // base
+
+
+def block_owners(indices: np.ndarray, n: int, p: int) -> np.ndarray:
+    """Vectorized :func:`block_owner` for an index array."""
+    indices = np.asarray(indices, dtype=INDEX_DTYPE)
+    base, extra = divmod(n, p)
+    boundary = extra * (base + 1)
+    out = np.empty(len(indices), dtype=INDEX_DTYPE)
+    low = indices < boundary
+    out[low] = indices[low] // (base + 1)
+    if base > 0:
+        out[~low] = extra + (indices[~low] - boundary) // base
+    elif np.any(~low):
+        raise IndexError("index beyond distributed range")
+    return out
+
+
+class ColumnStrips:
+    """A local block split by the global column partition, in one pass.
+
+    ``strips[j]`` holds the columns owned by block ``j`` with column ids
+    rebased to that block's local space.  Assembling a tile of width
+    ``w = k · n/p`` means taking ``k`` consecutive strips, so mode
+    decisions and per-round communication are naturally per strip.
+    """
+
+    def __init__(self, mat: CsrMatrix, col_ranges: Sequence[Tuple[int, int]]):
+        self.col_ranges = list(col_ranges)
+        self.strips: List[CsrMatrix] = [
+            extract_col_range(mat, c0, c1, reindex=True) for c0, c1 in self.col_ranges
+        ]
+
+    def __len__(self) -> int:
+        return len(self.strips)
+
+    def __getitem__(self, j: int) -> CsrMatrix:
+        return self.strips[j]
+
+    def strip_nnz(self) -> np.ndarray:
+        return np.array([s.nnz for s in self.strips], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One ``h × w`` tile: its coordinates and extracted submatrix."""
+
+    row_tile: int
+    col_tile: int
+    row_range: Tuple[int, int]  # within the local block
+    col_range: Tuple[int, int]  # global columns
+    block: CsrMatrix  # shape (h, w), local coordinates
+
+
+class TileGrid:
+    """All tiles of one local block for given tile height/width.
+
+    Used directly by the tile-width study (Fig 5) and by tests verifying
+    that tiles partition the block exactly; the distributed algorithm
+    assembles its tiles from :class:`ColumnStrips` instead for efficiency.
+    """
+
+    def __init__(self, mat: CsrMatrix, tile_height: int, tile_width: int):
+        if tile_height <= 0 or tile_width <= 0:
+            raise ValueError("tile dimensions must be positive")
+        self.mat = mat
+        self.h = min(tile_height, mat.nrows) if mat.nrows else 1
+        self.w = min(tile_width, mat.ncols) if mat.ncols else 1
+        self.n_row_tiles = max(-(-mat.nrows // self.h), 1) if mat.nrows else 0
+        self.n_col_tiles = max(-(-mat.ncols // self.w), 1) if mat.ncols else 0
+
+    def row_ranges(self) -> List[Tuple[int, int]]:
+        return [
+            (rt * self.h, min((rt + 1) * self.h, self.mat.nrows))
+            for rt in range(self.n_row_tiles)
+        ]
+
+    def col_ranges(self) -> List[Tuple[int, int]]:
+        return [
+            (ct * self.w, min((ct + 1) * self.w, self.mat.ncols))
+            for ct in range(self.n_col_tiles)
+        ]
+
+    def tile(self, rt: int, ct: int) -> Tile:
+        r0, r1 = self.row_ranges()[rt]
+        c0, c1 = self.col_ranges()[ct]
+        rows = extract_row_range(self.mat, r0, r1)
+        block = extract_col_range(rows, c0, c1, reindex=True)
+        return Tile(rt, ct, (r0, r1), (c0, c1), block)
+
+    def __iter__(self) -> Iterator[Tile]:
+        for rt in range(self.n_row_tiles):
+            for ct in range(self.n_col_tiles):
+                yield self.tile(rt, ct)
+
+    def tile_nnz(self) -> np.ndarray:
+        """nnz per tile as an (n_row_tiles, n_col_tiles) array, computed
+        in one pass (no per-tile extraction)."""
+        rows = self.mat.row_ids() // self.h
+        cols = self.mat.indices // self.w
+        out = np.zeros((self.n_row_tiles, self.n_col_tiles), dtype=np.int64)
+        np.add.at(out, (rows, cols), 1)
+        return out

@@ -1,0 +1,108 @@
+"""Tests for metrics aggregation and reporting."""
+
+import io
+
+import pytest
+
+from repro.analysis import (
+    RunRecord,
+    fmt_bytes,
+    fmt_count,
+    fmt_seconds,
+    geometric_mean,
+    parallel_efficiency,
+    print_series,
+    print_table,
+    speedups,
+)
+
+
+def rec(alg, runtime, p=4, dataset="uk", d=128, sparsity=0.8):
+    return RunRecord(alg, dataset, p, d, sparsity, runtime)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_skips_nonpositive(self):
+        assert geometric_mean([0, 4]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestSpeedups:
+    def test_pairwise_matching(self):
+        records = [
+            rec("SUMMA-2D", 10.0, p=4),
+            rec("TS-SpGEMM", 2.0, p=4),
+            rec("SUMMA-2D", 8.0, p=8),
+            rec("TS-SpGEMM", 4.0, p=8),
+        ]
+        s = speedups(records, baseline="SUMMA-2D", target="TS-SpGEMM")
+        assert sorted(s) == [2.0, 5.0]
+
+    def test_unmatched_points_dropped(self):
+        records = [rec("SUMMA-2D", 10.0, p=4), rec("TS-SpGEMM", 2.0, p=16)]
+        assert speedups(records, "SUMMA-2D", "TS-SpGEMM") == []
+
+
+class TestEfficiency:
+    def test_perfect_scaling(self):
+        records = [rec("x", 8.0, p=1), rec("x", 4.0, p=2), rec("x", 2.0, p=4)]
+        eff = parallel_efficiency(records)
+        assert eff[1] == pytest.approx(1.0)
+        assert eff[2] == pytest.approx(1.0)
+        assert eff[4] == pytest.approx(1.0)
+
+    def test_degraded_scaling(self):
+        records = [rec("x", 8.0, p=1), rec("x", 8.0, p=2)]
+        eff = parallel_efficiency(records)
+        assert eff[2] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert parallel_efficiency([]) == {}
+
+
+class TestFormatters:
+    def test_seconds(self):
+        assert fmt_seconds(1.5) == "1.5s"
+        assert fmt_seconds(0.0025) == "2.5ms"
+        assert fmt_seconds(2.5e-6) == "2.5us"
+        assert fmt_seconds(0) == "0"
+
+    def test_bytes(self):
+        assert fmt_bytes(2_500_000) == "2.5MB"
+        assert fmt_bytes(1234) == "1.23KB"
+        assert fmt_bytes(12) == "12B"
+        assert fmt_bytes(0) == "0"
+
+    def test_count(self):
+        assert fmt_count(1_500_000) == "1.5M"
+        assert fmt_count(2_000) == "2K"
+        assert fmt_count(42) == "42"
+
+
+class TestPrinting:
+    def test_table_aligns(self):
+        buf = io.StringIO()
+        print_table("T", ["a", "longer"], [[1, 2], [333, 4]], file=buf)
+        out = buf.getvalue()
+        assert "== T ==" in out
+        assert "a" in out and "longer" in out
+        assert "333" in out
+
+    def test_series(self):
+        buf = io.StringIO()
+        print_series(
+            "S",
+            "p",
+            [1, 2],
+            {"alg": [1.0, 0.5], "other": [2.0, None]},
+            file=buf,
+        )
+        out = buf.getvalue()
+        assert "alg" in out and "other" in out
+        assert "-" in out  # the None cell

@@ -1,0 +1,69 @@
+"""Tests for MSBFS-based closeness centrality vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import closeness_centrality
+from repro.data import erdos_renyi, random_sources
+from repro.sparse import CsrMatrix, from_edges
+
+
+def to_nx(adj):
+    g = nx.Graph()
+    g.add_nodes_from(range(adj.nrows))
+    g.add_edges_from(zip(adj.row_ids().tolist(), adj.indices.tolist()))
+    return g
+
+
+class TestCloseness:
+    def test_star_center_has_max_closeness(self):
+        adj = from_edges([0] * 5, [1, 2, 3, 4, 5], 6, symmetric=True)
+        sources = np.arange(6)
+        result = closeness_centrality(adj, sources, 2)
+        assert np.argmax(result.closeness) == 0
+
+    def test_matches_networkx_exact(self):
+        adj = erdos_renyi(40, 4, seed=3)
+        sources = np.arange(40)
+        result = closeness_centrality(adj, sources, 2)
+        expected = nx.closeness_centrality(to_nx(adj), wf_improved=True)
+        for j in range(40):
+            assert result.closeness[j] == pytest.approx(expected[j], abs=1e-10)
+
+    def test_sampled_subset(self):
+        adj = erdos_renyi(80, 4, seed=5)
+        sources = random_sources(80, 10, seed=1)
+        result = closeness_centrality(adj, sources, 4)
+        expected = nx.closeness_centrality(to_nx(adj), wf_improved=True)
+        for j, s in enumerate(sources):
+            assert result.closeness[j] == pytest.approx(expected[int(s)], abs=1e-10)
+
+    def test_isolated_source_zero(self):
+        adj = from_edges([0], [1], 4, symmetric=True)
+        result = closeness_centrality(adj, np.array([2]), 2)
+        assert result.closeness[0] == 0.0
+        assert result.reachable[0] == 1
+
+    def test_disconnected_components_wf_normalized(self):
+        # two triangles
+        adj = from_edges([0, 1, 2, 3, 4, 5], [1, 2, 0, 4, 5, 3], 6, symmetric=True)
+        result = closeness_centrality(adj, np.arange(6), 2)
+        expected = nx.closeness_centrality(to_nx(adj), wf_improved=True)
+        for j in range(6):
+            assert result.closeness[j] == pytest.approx(expected[j], abs=1e-10)
+
+    def test_distance_sums(self):
+        adj = from_edges([0, 1, 2], [1, 2, 3], 4, symmetric=True)  # path
+        result = closeness_centrality(adj, np.array([0]), 2)
+        assert result.distance_sums[0] == 1 + 2 + 3
+        assert result.reachable[0] == 4
+
+    def test_runtime_accumulated(self):
+        adj = erdos_renyi(40, 3, seed=2)
+        result = closeness_centrality(adj, np.array([0, 1]), 2)
+        assert result.total_runtime > 0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            closeness_centrality(CsrMatrix.empty((2, 3)), np.array([0]), 2)

@@ -1,0 +1,111 @@
+"""Sparse embedding training: invariants and learnability."""
+
+import numpy as np
+import pytest
+
+from repro.apps import link_prediction_accuracy, train_sparse_embedding
+from repro.data import planted_partition
+from repro.sparse import CsrMatrix
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    adj, labels = planted_partition(120, 3, p_in=0.25, p_out=0.01, seed=42)
+    return adj, labels
+
+
+class TestTrainingMechanics:
+    def test_result_shape_and_sparsity(self, community_graph):
+        adj, _ = community_graph
+        result = train_sparse_embedding(
+            adj, 2, d=8, sparsity=0.5, epochs=2, seed=0
+        )
+        assert result.Z.shape == (adj.nrows, 8)
+        # each row keeps at most d*(1-sparsity) entries
+        assert (result.Z.row_nnz() <= 4).all()
+
+    def test_epoch_records(self, community_graph):
+        adj, _ = community_graph
+        result = train_sparse_embedding(adj, 2, d=8, sparsity=0.5, epochs=3, seed=0)
+        assert len(result.epochs) == 3
+        for e in result.epochs:
+            assert e.runtime > 0
+            assert e.comm_bytes >= 0
+            assert 0.0 <= e.remote_fraction <= 1.0
+        assert result.total_runtime == pytest.approx(
+            sum(e.runtime for e in result.epochs)
+        )
+
+    def test_higher_sparsity_fewer_nnz(self, community_graph):
+        adj, _ = community_graph
+        dense = train_sparse_embedding(adj, 2, d=8, sparsity=0.25, epochs=1, seed=0)
+        sparse = train_sparse_embedding(adj, 2, d=8, sparsity=0.75, epochs=1, seed=0)
+        assert sparse.Z.nnz < dense.Z.nnz
+
+    def test_higher_sparsity_less_communication(self, community_graph):
+        """Fig 13(c): communicated volume falls as Z gets sparser."""
+        adj, _ = community_graph
+        dense = train_sparse_embedding(adj, 4, d=16, sparsity=0.0, epochs=2, seed=0)
+        sparse = train_sparse_embedding(adj, 4, d=16, sparsity=0.875, epochs=2, seed=0)
+        assert sparse.total_comm_bytes < dense.total_comm_bytes
+
+    def test_invalid_sparsity(self, community_graph):
+        adj, _ = community_graph
+        with pytest.raises(ValueError):
+            train_sparse_embedding(adj, 2, sparsity=1.0, epochs=1)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            train_sparse_embedding(CsrMatrix.empty((3, 4)), 2, epochs=1)
+
+    def test_deterministic_given_seed(self, community_graph):
+        adj, _ = community_graph
+        r1 = train_sparse_embedding(adj, 2, d=8, sparsity=0.5, epochs=2, seed=7)
+        r2 = train_sparse_embedding(adj, 2, d=8, sparsity=0.5, epochs=2, seed=7)
+        assert r1.Z.equal(r2.Z)
+        assert r1.accuracy == pytest.approx(r2.accuracy)
+
+
+class TestLearnability:
+    def test_beats_random_on_community_graph(self, community_graph):
+        """Training must produce a better-than-chance link predictor."""
+        adj, _ = community_graph
+        result = train_sparse_embedding(
+            adj, 2, d=16, sparsity=0.25, epochs=30, seed=3, learning_rate=0.05
+        )
+        assert result.accuracy > 0.7
+
+    def test_moderate_sparsity_keeps_accuracy(self, community_graph):
+        """Fig 13(a): sparsifying the embedding costs little accuracy."""
+        adj, _ = community_graph
+        dense = train_sparse_embedding(
+            adj, 2, d=16, sparsity=0.0, epochs=30, seed=3, learning_rate=0.05
+        )
+        sparse = train_sparse_embedding(
+            adj, 2, d=16, sparsity=0.5, epochs=30, seed=3, learning_rate=0.05
+        )
+        assert sparse.accuracy > dense.accuracy - 0.15
+
+
+class TestAccuracyMetric:
+    def test_perfect_embedding_scores_high(self):
+        # two well-separated clusters; edges within cluster 0-1 and 2-3
+        z = CsrMatrix.from_dense(
+            np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        )
+        acc = link_prediction_accuracy(
+            z, np.array([0, 2]), np.array([1, 3]), rng=np.random.default_rng(0)
+        )
+        assert acc > 0.5
+
+    def test_empty_test_set_returns_chance(self):
+        z = CsrMatrix.from_dense(np.eye(3))
+        acc = link_prediction_accuracy(z, np.array([], dtype=int), np.array([], dtype=int))
+        assert acc == 0.5
+
+    def test_zero_embedding_is_chance(self):
+        z = CsrMatrix.empty((10, 4))
+        acc = link_prediction_accuracy(
+            z, np.array([0, 1]), np.array([2, 3]), rng=np.random.default_rng(1)
+        )
+        assert acc == pytest.approx(0.5)

@@ -1,0 +1,59 @@
+"""Unit tests for baseline result containers and block assembly."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.result import BaselineResult, assemble_2d_blocks
+from repro.mpi.stats import RankStats, SpmdReport
+from repro.partition import grid_block
+from repro.sparse import CsrMatrix, PLUS_TIMES
+from ..conftest import csr_from_dense, random_dense
+
+
+def make_report():
+    return SpmdReport(
+        size=2,
+        rank_stats=[RankStats(rank=0), RankStats(rank=1)],
+        clocks=[1.0, 2.0],
+        comm_times=[0.5, 0.7],
+        compute_times=[0.5, 1.3],
+    )
+
+
+class TestAssemble2D:
+    def test_roundtrip_through_grid_blocks(self, rng):
+        dense = random_dense(rng, 10, 8, 0.4)
+        mat = csr_from_dense(dense)
+        pr, pc = 2, 4
+        values = []
+        for i in range(pr):
+            for j in range(pc):
+                values.append(((i, j), grid_block(mat, pr, pc, i, j)))
+        assembled = assemble_2d_blocks(values, 10, 8, pr, pc)
+        assert assembled.equal(mat)
+
+    def test_empty_blocks_allowed(self):
+        values = [((0, 0), CsrMatrix.empty((2, 2))), ((0, 1), CsrMatrix.empty((2, 2)))]
+        out = assemble_2d_blocks(values, 2, 4, 1, 2)
+        assert out.nnz == 0 and out.shape == (2, 4)
+
+    def test_uneven_partition(self, rng):
+        dense = random_dense(rng, 7, 5, 0.5)
+        mat = csr_from_dense(dense)
+        pr, pc = 3, 2
+        values = [
+            ((i, j), grid_block(mat, pr, pc, i, j))
+            for i in range(pr)
+            for j in range(pc)
+        ]
+        assert assemble_2d_blocks(values, 7, 5, pr, pc).equal(mat)
+
+
+class TestBaselineResult:
+    def test_api_surface(self):
+        result = BaselineResult(C=CsrMatrix.empty((2, 2)), report=make_report())
+        assert result.runtime == pytest.approx(2.0)
+        assert result.multiply_time == pytest.approx(2.0)
+        assert result.comm_time == pytest.approx(0.7)
+        assert result.comm_bytes() == 0
+        assert result.diagnostics == {}

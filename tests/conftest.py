@@ -1,0 +1,24 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CsrMatrix, coo_to_csr
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_dense(rng, nrows, ncols, density=0.3, dtype=np.float64):
+    """Random dense matrix with ~density fraction of nonzeros."""
+    mask = rng.random((nrows, ncols)) < density
+    if dtype == np.bool_:
+        return mask
+    vals = rng.integers(1, 10, size=(nrows, ncols)).astype(dtype)
+    return np.where(mask, vals, 0)
+
+
+def csr_from_dense(dense) -> CsrMatrix:
+    return CsrMatrix.from_dense(np.asarray(dense))

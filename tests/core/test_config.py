@@ -1,0 +1,59 @@
+"""Table IV defaults and TsConfig validation."""
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, TsConfig
+
+
+class TestTable4Defaults:
+    """Assert the paper's default parameters (Table IV) are encoded."""
+
+    def test_tile_width_is_16_x_n_over_p(self):
+        assert DEFAULT_CONFIG.tile_width_factor == 16
+
+    def test_tile_height_defaults_to_n_over_p(self):
+        assert DEFAULT_CONFIG.tile_height is None
+        assert DEFAULT_CONFIG.effective_tile_height(100) == 100
+
+    def test_default_d_is_128(self):
+        assert DEFAULT_CONFIG.default_d == 128
+
+    def test_default_b_sparsity_80(self):
+        assert DEFAULT_CONFIG.default_b_sparsity == pytest.approx(0.80)
+
+    def test_embedding_defaults(self):
+        assert DEFAULT_CONFIG.batch_size == 256
+        assert DEFAULT_CONFIG.learning_rate == pytest.approx(0.02)
+
+    def test_hybrid_mode_is_default(self):
+        assert DEFAULT_CONFIG.mode_policy == "hybrid"
+
+    def test_accumulator_switches_at_1024(self):
+        assert DEFAULT_CONFIG.accumulator_for(128) == "spa"
+        assert DEFAULT_CONFIG.accumulator_for(1024) == "spa"
+        assert DEFAULT_CONFIG.accumulator_for(1025) == "hash"
+        assert DEFAULT_CONFIG.accumulator_for(16384) == "hash"
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            TsConfig(tile_width_factor=0)
+
+    def test_bad_height(self):
+        with pytest.raises(ValueError):
+            TsConfig(tile_height=0)
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            TsConfig(mode_policy="adaptive")
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            TsConfig(spa_threshold=0)
+
+    def test_explicit_height_clamped(self):
+        cfg = TsConfig(tile_height=64)
+        assert cfg.effective_tile_height(32) == 32
+        assert cfg.effective_tile_height(100) == 64
+        assert cfg.effective_tile_height(0) == 1

@@ -1,0 +1,76 @@
+"""Unit tests for the row pack/place helpers shared by the algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.gather_rows import (
+    pack_dense_rows,
+    pack_rows,
+    place_dense_rows,
+    place_rows,
+)
+from repro.sparse import CsrMatrix
+from ..conftest import csr_from_dense, random_dense
+
+
+class TestSparsePackPlace:
+    def test_roundtrip(self, rng):
+        dense = random_dense(rng, 8, 5, 0.4)
+        mat = csr_from_dense(dense)
+        ids = np.array([1, 4, 6])
+        payload = pack_rows(mat, ids)
+        placed = place_rows(8, payload, 5, mat.dtype)
+        expected = np.zeros_like(dense)
+        expected[ids] = dense[ids]
+        np.testing.assert_allclose(placed.to_dense(), expected)
+
+    def test_empty_request_is_none(self, rng):
+        mat = csr_from_dense(random_dense(rng, 4, 3, 0.5))
+        assert pack_rows(mat, np.array([], dtype=np.int64)) is None
+
+    def test_place_none_gives_empty(self):
+        placed = place_rows(6, None, 4, np.float64)
+        assert placed.nnz == 0 and placed.shape == (6, 4)
+
+    def test_place_rejects_out_of_range(self, rng):
+        mat = csr_from_dense(random_dense(rng, 4, 3, 0.8))
+        payload = pack_rows(mat, np.array([0, 1]))
+        ids, rows = payload
+        with pytest.raises(ValueError, match="out of range"):
+            place_rows(1, (ids + 5, rows), 3, mat.dtype)
+
+    def test_place_rejects_count_mismatch(self, rng):
+        mat = csr_from_dense(random_dense(rng, 4, 3, 0.8))
+        _, rows = pack_rows(mat, np.array([0, 1]))
+        with pytest.raises(ValueError, match="row count"):
+            place_rows(4, (np.array([0]), rows), 3, mat.dtype)
+
+    def test_placed_block_validates(self, rng):
+        dense = random_dense(rng, 10, 6, 0.3)
+        mat = csr_from_dense(dense)
+        ids = np.array([0, 3, 9])
+        placed = place_rows(10, pack_rows(mat, ids), 6, mat.dtype)
+        CsrMatrix(placed.shape, placed.indptr, placed.indices, placed.data, check=True)
+
+
+class TestDensePackPlace:
+    def test_roundtrip(self, rng):
+        dense = rng.random((7, 3))
+        ids = np.array([2, 5])
+        payload = pack_dense_rows(dense, ids)
+        placed = place_dense_rows(7, payload, 3)
+        expected = np.zeros_like(dense)
+        expected[ids] = dense[ids]
+        np.testing.assert_allclose(placed, expected)
+
+    def test_empty_and_none(self, rng):
+        dense = rng.random((4, 2))
+        assert pack_dense_rows(dense, np.array([], dtype=np.int64)) is None
+        np.testing.assert_allclose(place_dense_rows(4, None, 2), np.zeros((4, 2)))
+
+    def test_out_of_range_rejected(self, rng):
+        dense = rng.random((4, 2))
+        payload = pack_dense_rows(dense, np.array([0]))
+        ids, rows = payload
+        with pytest.raises(ValueError):
+            place_dense_rows(2, (ids + 3, rows), 2)

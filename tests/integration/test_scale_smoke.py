@@ -1,0 +1,48 @@
+"""Scale smoke tests: the thread runtime at its intended upper range."""
+
+import numpy as np
+import pytest
+
+from repro.core import ts_spgemm
+from repro.data import erdos_renyi, tall_skinny
+from repro.mpi import run_spmd
+from repro.sparse import spgemm
+
+
+class TestLargeRankCounts:
+    def test_collectives_at_128_ranks(self):
+        def program(comm):
+            total = comm.allreduce(comm.rank)
+            sub = comm.split(color=comm.rank % 4)
+            return (total, sub.allreduce(1))
+
+        result = run_spmd(128, program)
+        expected = 128 * 127 // 2
+        assert all(v == (expected, 32) for v in result.values)
+
+    def test_alltoall_at_96_ranks(self):
+        def program(comm):
+            recv = comm.alltoall([comm.rank] * comm.size)
+            return sum(recv)
+
+        result = run_spmd(96, program)
+        assert result.values == [96 * 95 // 2] * 96
+
+    def test_multiply_at_64_ranks(self):
+        A = erdos_renyi(2048, 8, seed=31)
+        B = tall_skinny(2048, 16, 0.8, seed=32)
+        expected, _ = spgemm(A, B)
+        result = ts_spgemm(A, B, 64)
+        assert result.C.equal(expected)
+        # every rank contributed statistics
+        assert len(result.report.rank_stats) == 64
+
+    def test_report_consistency_at_scale(self):
+        A = erdos_renyi(1024, 6, seed=33)
+        B = tall_skinny(1024, 8, 0.8, seed=34)
+        result = ts_spgemm(A, B, 32)
+        report = result.report
+        # makespan must bound every per-rank decomposition
+        for comm_t, comp_t in zip(report.comm_times, report.compute_times):
+            assert comm_t + comp_t <= report.runtime + 1e-9
+        assert report.total_bytes() > 0

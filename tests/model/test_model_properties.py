@@ -1,0 +1,81 @@
+"""Property-based tests for the closed-form cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import COST_MODELS, Workload, predict
+from repro.mpi import PERLMUTTER
+
+workloads = st.builds(
+    Workload,
+    n=st.integers(10_000, 100_000_000),
+    kA=st.floats(1.0, 100.0),
+    d=st.integers(1, 16_384),
+    b_sparsity=st.floats(0.0, 0.999),
+)
+
+ps = st.sampled_from([1, 2, 4, 8, 16, 64, 256, 1024, 4096])
+names = st.sampled_from(sorted(COST_MODELS))
+
+
+class TestModelInvariants:
+    @given(w=workloads, p=ps, name=names)
+    @settings(max_examples=120, deadline=None)
+    def test_costs_are_finite_and_nonnegative(self, w, p, name):
+        cost = predict(name, w, p)
+        assert cost.comm_time >= 0.0
+        assert cost.compute_time >= 0.0
+        assert cost.runtime < float("inf")
+
+    @given(w=workloads, name=names)
+    @settings(max_examples=60, deadline=None)
+    def test_single_rank_never_communicates(self, w, name):
+        assert predict(name, w, 1).comm_time == 0.0
+
+    @given(w=workloads, p=ps, name=names)
+    @settings(max_examples=60, deadline=None)
+    def test_compute_monotone_in_ranks(self, w, p, name):
+        """Doubling ranks never increases per-rank compute."""
+        c1 = predict(name, w, p).compute_time
+        c2 = predict(name, w, 2 * p).compute_time
+        assert c2 <= c1 * 1.0000001 * 3  # allow spill-threshold jumps
+        # without the spill factor the relation is strict:
+        if c1 > 0 and c2 > 0:
+            assert c2 <= c1 * 3
+
+    @given(w=workloads, p=ps)
+    @settings(max_examples=60, deadline=None)
+    def test_kb_and_kc_consistent(self, w, p):
+        assert 0 <= w.kB <= w.d
+        assert 0 <= w.kC <= w.d
+        # C rows are at least as full as B rows (union of >=1 B row)
+        if w.kA >= 1:
+            assert w.kC >= w.kB - 1e-9
+
+    @given(w=workloads, p=ps)
+    @settings(max_examples=60, deadline=None)
+    def test_fetched_rows_bounded(self, w, p):
+        rows = w.fetched_rows(p)
+        assert 0 <= rows <= w.n
+        # more ranks -> fewer rows needed per rank
+        assert w.fetched_rows(2 * p) <= rows + 1e-9
+
+    @given(w=workloads, p=ps)
+    @settings(max_examples=60, deadline=None)
+    def test_denser_b_never_cheapens_spgemm_comm(self, w, p):
+        """Lowering sparsity (denser B) cannot reduce TS-SpGEMM comm."""
+        if w.b_sparsity < 0.5:
+            return
+        denser = Workload(w.n, w.kA, w.d, w.b_sparsity - 0.5)
+        sparse_cost = predict("TS-SpGEMM", w, p).comm_time
+        dense_cost = predict("TS-SpGEMM", denser, p).comm_time
+        assert dense_cost >= sparse_cost - 1e-12
+
+    @given(w=workloads, p=ps)
+    @settings(max_examples=40, deadline=None)
+    def test_spmm_comm_independent_of_sparsity(self, w, p):
+        other = Workload(w.n, w.kA, w.d, 0.123)
+        assert predict("SpMM", w, p).comm_time == pytest.approx(
+            predict("SpMM", other, p).comm_time
+        )

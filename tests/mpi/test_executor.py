@@ -1,0 +1,108 @@
+"""Tests for the SPMD executor: launch, results, failure propagation."""
+
+import threading
+
+import pytest
+
+from repro.mpi import DeadlockError, RankError, SpmdResult, run_spmd
+
+
+def test_single_rank_returns_value():
+    result = run_spmd(1, lambda comm: comm.rank * 10 + comm.size)
+    assert result.values == [1]
+
+
+def test_each_rank_gets_distinct_rank():
+    result = run_spmd(5, lambda comm: comm.rank)
+    assert result.values == [0, 1, 2, 3, 4]
+
+
+def test_size_reported_consistently():
+    result = run_spmd(7, lambda comm: comm.size)
+    assert result.values == [7] * 7
+
+
+def test_args_and_kwargs_forwarded():
+    def program(comm, a, b, scale=1):
+        return (a + b) * scale + comm.rank
+
+    result = run_spmd(3, program, 2, 3, scale=10)
+    assert result.values == [50, 51, 52]
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        run_spmd(0, lambda comm: None)
+
+
+def test_rank_exception_wrapped_with_rank_id():
+    def program(comm):
+        if comm.rank == 2:
+            raise ValueError("boom on rank 2")
+        comm.barrier()  # peers must be released, not deadlock
+
+    with pytest.raises(RankError) as exc_info:
+        run_spmd(4, program)
+    assert exc_info.value.rank == 2
+    assert isinstance(exc_info.value.original, ValueError)
+
+
+def test_failure_during_collective_releases_peers():
+    def program(comm):
+        if comm.rank == 0:
+            raise RuntimeError("early failure")
+        # Peers block in a collective that rank 0 never joins.
+        comm.allgather(comm.rank)
+
+    with pytest.raises(RankError) as exc_info:
+        run_spmd(3, program)
+    assert exc_info.value.rank == 0
+
+
+def test_failure_during_recv_releases_peers():
+    def program(comm):
+        if comm.rank == 0:
+            raise RuntimeError("no send will ever come")
+        comm.recv(source=0)
+
+    with pytest.raises(RankError):
+        run_spmd(2, program)
+
+
+def test_watchdog_detects_deadlock():
+    def program(comm):
+        if comm.rank == 0:
+            comm.recv(source=1)  # rank 1 never sends: genuine deadlock
+
+    with pytest.raises(DeadlockError):
+        run_spmd(2, program, timeout=1.0)
+
+
+def test_result_is_sequence_like():
+    result = run_spmd(3, lambda comm: comm.rank)
+    assert isinstance(result, SpmdResult)
+    assert len(result) == 3
+    assert list(result) == [0, 1, 2]
+    assert result[2] == 2
+
+
+def test_report_has_per_rank_entries():
+    result = run_spmd(4, lambda comm: None)
+    report = result.report
+    assert report.size == 4
+    assert len(report.clocks) == 4
+    assert len(report.rank_stats) == 4
+    assert report.runtime >= 0.0
+
+
+def test_many_ranks_complete():
+    # Thread-based runtime must handle a "large" rank count.
+    result = run_spmd(64, lambda comm: comm.allreduce(1))
+    assert result.values == [64] * 64
+
+
+def test_threads_do_not_leak():
+    before = threading.active_count()
+    run_spmd(8, lambda comm: comm.barrier())
+    after = threading.active_count()
+    assert after <= before + 1  # allow for unrelated daemon churn

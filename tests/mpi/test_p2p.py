@@ -1,0 +1,135 @@
+"""Point-to-point send/recv semantics: matching, ordering, wildcards."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, RankError, run_spmd
+
+
+def test_simple_send_recv():
+    def program(comm):
+        if comm.rank == 0:
+            comm.send({"x": 1}, dest=1)
+            return None
+        return comm.recv(source=0)
+
+    assert run_spmd(2, program).values[1] == {"x": 1}
+
+
+def test_numpy_payload_roundtrip():
+    def program(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(100, dtype=np.float32), dest=1, tag=7)
+            return 0.0
+        arr = comm.recv(source=0, tag=7)
+        return float(arr.sum())
+
+    assert run_spmd(2, program).values[1] == float(np.arange(100).sum())
+
+
+def test_tag_matching_out_of_order():
+    """A receive for tag 2 must skip an earlier tag-1 message."""
+
+    def program(comm):
+        if comm.rank == 0:
+            comm.send("first", dest=1, tag=1)
+            comm.send("second", dest=1, tag=2)
+            return None
+        second = comm.recv(source=0, tag=2)
+        first = comm.recv(source=0, tag=1)
+        return (first, second)
+
+    assert run_spmd(2, program).values[1] == ("first", "second")
+
+
+def test_fifo_within_same_tag():
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, dest=1, tag=0)
+            return None
+        return [comm.recv(source=0, tag=0) for _ in range(5)]
+
+    assert run_spmd(2, program).values[1] == [0, 1, 2, 3, 4]
+
+
+def test_any_source_wildcard():
+    def program(comm):
+        if comm.rank == 0:
+            received = sorted(comm.recv(source=ANY_SOURCE) for _ in range(comm.size - 1))
+            return received
+        comm.send(comm.rank, dest=0)
+        return None
+
+    assert run_spmd(4, program).values[0] == [1, 2, 3]
+
+
+def test_any_tag_wildcard():
+    def program(comm):
+        if comm.rank == 0:
+            comm.send("x", dest=1, tag=99)
+            return None
+        return comm.recv(source=0, tag=ANY_TAG)
+
+    assert run_spmd(2, program).values[1] == "x"
+
+
+def test_source_matching_with_multiple_senders():
+    def program(comm):
+        if comm.rank == 0:
+            a = comm.recv(source=2)
+            b = comm.recv(source=1)
+            return (a, b)
+        comm.send(f"from-{comm.rank}", dest=0)
+        return None
+
+    assert run_spmd(3, program).values[0] == ("from-2", "from-1")
+
+
+def test_sendrecv_exchange():
+    def program(comm):
+        partner = 1 - comm.rank
+        return comm.sendrecv(comm.rank * 10, dest=partner, source=partner)
+
+    assert run_spmd(2, program).values == [10, 0]
+
+
+def test_ring_pipeline():
+    """Pass a token around a ring, accumulating ranks."""
+
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        if comm.rank == 0:
+            comm.send([0], dest=right)
+            token = comm.recv(source=left)
+            return token
+        token = comm.recv(source=left)
+        comm.send(token + [comm.rank], dest=right)
+        return None
+
+    result = run_spmd(5, program)
+    assert result.values[0] == [0, 1, 2, 3, 4]
+
+
+def test_send_to_invalid_dest_raises():
+    def program(comm):
+        comm.send(1, dest=99)
+
+    with pytest.raises(RankError):
+        run_spmd(2, program)
+
+
+def test_send_advances_virtual_time():
+    def program(comm):
+        if comm.rank == 0:
+            t0 = comm.time
+            comm.send(np.zeros(1 << 20), dest=1)  # 8 MiB
+            assert comm.time > t0  # latency charged on sender
+            return comm.time
+        msg = comm.recv(source=0)
+        return comm.time
+
+    values = run_spmd(2, program).values
+    # Receiver waits for the full wire time, which exceeds sender overhead.
+    assert values[1] > values[0]

@@ -1,0 +1,65 @@
+"""Tests for 2-D/3-D grid block distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.partition import grid_block, inner_chunk_owner_row, layer_slices, summa_b_chunks
+from repro.sparse import block_ranges
+from ..conftest import csr_from_dense, random_dense
+
+
+class TestGridBlock:
+    def test_blocks_tile_matrix(self, rng):
+        dense = random_dense(rng, 10, 12, 0.4)
+        mat = csr_from_dense(dense)
+        pr, pc = 2, 3
+        reassembled = np.zeros_like(dense)
+        for i in range(pr):
+            for j in range(pc):
+                r0, r1 = block_ranges(10, pr)[i]
+                c0, c1 = block_ranges(12, pc)[j]
+                reassembled[r0:r1, c0:c1] = grid_block(mat, pr, pc, i, j).to_dense()
+        np.testing.assert_allclose(reassembled, dense)
+
+    def test_single_block_is_whole(self, rng):
+        dense = random_dense(rng, 5, 5, 0.5)
+        mat = csr_from_dense(dense)
+        np.testing.assert_allclose(grid_block(mat, 1, 1, 0, 0).to_dense(), dense)
+
+
+class TestSummaBChunks:
+    def test_round_robin_assignment(self):
+        assert inner_chunk_owner_row(0, 2) == 0
+        assert inner_chunk_owner_row(1, 2) == 1
+        assert inner_chunk_owner_row(2, 2) == 0
+        assert inner_chunk_owner_row(5, 3) == 2
+
+    def test_chunks_cover_b_exactly(self, rng):
+        dense = random_dense(rng, 12, 6, 0.4)
+        mat = csr_from_dense(dense)
+        pr, pc = 2, 3
+        seen = np.zeros_like(dense)
+        for gr in range(pr):
+            for gc in range(pc):
+                chunks = summa_b_chunks(mat, pr, pc, gr, gc)
+                for k, chunk in chunks.items():
+                    r0, r1 = block_ranges(12, pc)[k]
+                    c0, c1 = block_ranges(6, pc)[gc]
+                    seen[r0:r1, c0:c1] += chunk.to_dense()
+        np.testing.assert_allclose(seen, dense)
+
+    def test_each_chunk_owned_once_per_column(self, rng):
+        mat = csr_from_dense(random_dense(rng, 9, 3, 0.4))
+        pr, pc = 2, 4
+        for gc in range(pc):
+            owned = []
+            for gr in range(pr):
+                owned.extend(summa_b_chunks(mat, pr, pc, gr, gc).keys())
+            assert sorted(owned) == list(range(pc))
+
+
+class TestLayerSlices:
+    def test_layers_cover_inner_dim(self):
+        slices = layer_slices(10, 3)
+        assert slices[0][0] == 0 and slices[-1][1] == 10
+        assert len(slices) == 3

@@ -1,0 +1,164 @@
+"""Tests for the validated CSR container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import CsrMatrix
+
+
+def make_simple():
+    # [[1, 0, 2],
+    #  [0, 0, 0],
+    #  [3, 4, 0]]
+    return CsrMatrix(
+        (3, 3),
+        indptr=[0, 2, 2, 4],
+        indices=[0, 2, 0, 1],
+        data=[1.0, 2.0, 3.0, 4.0],
+    )
+
+
+class TestConstructionAndValidation:
+    def test_basic_properties(self):
+        m = make_simple()
+        assert m.shape == (3, 3)
+        assert m.nnz == 4
+        assert m.nrows == 3 and m.ncols == 3
+        assert list(m.row_nnz()) == [2, 0, 2]
+
+    def test_indptr_length_validated(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CsrMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CsrMatrix((1, 2), [1, 1], [], [])
+
+    def test_indptr_nnz_consistency(self):
+        with pytest.raises(ValueError, match="nnz"):
+            CsrMatrix((1, 2), [0, 3], [0, 1], [1.0, 2.0])
+
+    def test_indptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CsrMatrix((3, 3), [0, 2, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_column_bounds_checked(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            CsrMatrix((1, 2), [0, 1], [5], [1.0])
+        with pytest.raises(ValueError, match="out of bounds"):
+            CsrMatrix((1, 2), [0, 1], [-1], [1.0])
+
+    def test_unsorted_row_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CsrMatrix((1, 3), [0, 2], [2, 0], [1.0, 2.0])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CsrMatrix((1, 3), [0, 2], [1, 1], [1.0, 2.0])
+
+    def test_sorted_across_row_boundary_ok(self):
+        # last index of row 0 > first index of row 1 is fine
+        m = CsrMatrix((2, 3), [0, 2, 3], [1, 2, 0], [1, 2, 3])
+        assert m.nnz == 3
+
+    def test_data_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            CsrMatrix((1, 3), [0, 2], [0, 1], [1.0])
+
+
+class TestConvertersAndAccessors:
+    def test_dense_roundtrip(self):
+        dense = np.array([[0, 1, 0], [2, 0, 3], [0, 0, 0]], dtype=float)
+        m = CsrMatrix.from_dense(dense)
+        assert m.nnz == 3
+        np.testing.assert_array_equal(m.to_dense(), dense)
+
+    def test_scipy_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((6, 8)) < 0.3) * rng.random((6, 8))
+        m = CsrMatrix.from_scipy(sp.csr_matrix(dense))
+        np.testing.assert_allclose(m.to_scipy().toarray(), dense)
+
+    def test_from_scipy_dedupes_and_sorts(self):
+        coo = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(1, 3))
+        m = CsrMatrix.from_scipy(coo)
+        assert m.nnz == 1
+        assert m.data[0] == 3.0
+
+    def test_bool_data_to_scipy_upcasts(self):
+        m = CsrMatrix((1, 2), [0, 1], [0], np.array([True]))
+        assert m.to_scipy().dtype == np.float64
+
+    def test_empty_and_identity(self):
+        e = CsrMatrix.empty((3, 4))
+        assert e.nnz == 0 and e.shape == (3, 4)
+        i = CsrMatrix.identity(3)
+        np.testing.assert_array_equal(i.to_dense(), np.eye(3))
+
+    def test_row_accessor(self):
+        m = make_simple()
+        cols, vals = m.row(0)
+        np.testing.assert_array_equal(cols, [0, 2])
+        np.testing.assert_array_equal(vals, [1.0, 2.0])
+        cols, vals = m.row(1)
+        assert len(cols) == 0
+
+    def test_row_ids(self):
+        m = make_simple()
+        np.testing.assert_array_equal(m.row_ids(), [0, 0, 2, 2])
+
+    def test_nonzero_columns(self):
+        m = make_simple()
+        np.testing.assert_array_equal(m.nonzero_columns(), [0, 1, 2])
+        e = CsrMatrix.empty((2, 5))
+        assert len(e.nonzero_columns()) == 0
+
+    def test_astype_and_copy_independent(self):
+        m = make_simple()
+        b = m.astype(np.bool_)
+        assert b.data.dtype == np.bool_
+        c = m.copy()
+        c.data[0] = 99
+        assert m.data[0] == 1.0
+
+    def test_prune_zeros(self):
+        m = CsrMatrix((2, 3), [0, 2, 3], [0, 1, 2], [0.0, 5.0, 0.0])
+        pruned = m.prune_zeros()
+        assert pruned.nnz == 1
+        assert pruned.data[0] == 5.0
+        assert list(pruned.row_nnz()) == [1, 0]
+
+    def test_prune_zeros_noop_returns_self(self):
+        m = make_simple()
+        assert m.prune_zeros() is m
+
+    def test_nbytes_estimate_counts_all_arrays(self):
+        m = make_simple()
+        expected = m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        assert m.nbytes_estimate() == expected
+
+
+class TestEquality:
+    def test_equal_true(self):
+        assert make_simple().equal(make_simple())
+
+    def test_equal_different_shape(self):
+        a = CsrMatrix.empty((2, 2))
+        b = CsrMatrix.empty((2, 3))
+        assert not a.equal(b)
+
+    def test_equal_different_pattern(self):
+        a = CsrMatrix((1, 3), [0, 1], [0], [1.0])
+        b = CsrMatrix((1, 3), [0, 1], [1], [1.0])
+        assert not a.equal(b)
+
+    def test_equal_close_values(self):
+        a = CsrMatrix((1, 2), [0, 1], [0], [1.0])
+        b = CsrMatrix((1, 2), [0, 1], [0], [1.0 + 1e-14])
+        assert a.equal(b)
+
+    def test_equal_bool(self):
+        a = CsrMatrix((1, 2), [0, 1], [0], np.array([True]))
+        b = CsrMatrix((1, 2), [0, 1], [0], np.array([True]))
+        assert a.equal(b)

@@ -1,0 +1,164 @@
+"""Tests for COO builders and partial-result merging."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    BOOL_AND_OR,
+    PLUS_TIMES,
+    SEL2ND_MIN,
+    CsrMatrix,
+    coo_to_csr,
+    from_edges,
+    merge_bytes,
+    merge_csrs,
+    random_csr,
+)
+from ..conftest import csr_from_dense, random_dense
+
+
+class TestCooToCsr:
+    def test_basic(self):
+        m = coo_to_csr([0, 1, 0], [1, 0, 0], [1.0, 2.0, 3.0], (2, 2))
+        np.testing.assert_allclose(m.to_dense(), [[3, 1], [2, 0]])
+
+    def test_duplicates_sum(self):
+        m = coo_to_csr([0, 0, 0], [1, 1, 1], [1.0, 2.0, 3.0], (1, 2))
+        assert m.nnz == 1
+        assert m.data[0] == 6.0
+
+    def test_duplicates_or(self):
+        m = coo_to_csr([0, 0], [0, 0], [True, False], (1, 1), BOOL_AND_OR)
+        assert bool(m.data[0]) is True
+
+    def test_duplicates_min(self):
+        m = coo_to_csr([0, 0], [0, 0], [5.0, 2.0], (1, 1), SEL2ND_MIN)
+        assert m.data[0] == 2.0
+
+    def test_unsorted_input(self, rng):
+        n = 20
+        rows = rng.integers(0, n, 100)
+        cols = rng.integers(0, n, 100)
+        vals = rng.random(100)
+        m = coo_to_csr(rows, cols, vals, (n, n))
+        dense = np.zeros((n, n))
+        np.add.at(dense, (rows, cols), vals)
+        np.testing.assert_allclose(m.to_dense(), dense)
+
+    def test_assume_sorted_fast_path(self):
+        rows = np.array([0, 0, 1])
+        cols = np.array([0, 2, 1])
+        m = coo_to_csr(rows, cols, [1.0, 2.0, 3.0], (2, 3), assume_sorted=True)
+        np.testing.assert_allclose(m.to_dense(), [[1, 0, 2], [0, 3, 0]])
+
+    def test_empty(self):
+        m = coo_to_csr([], [], [], (3, 4))
+        assert m.nnz == 0 and m.shape == (3, 4)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError, match="row index"):
+            coo_to_csr([5], [0], [1.0], (2, 2))
+        with pytest.raises(ValueError, match="column index"):
+            coo_to_csr([0], [5], [1.0], (2, 2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            coo_to_csr([0, 1], [0], [1.0], (2, 2))
+
+    def test_validates_against_reference(self, rng):
+        m = coo_to_csr(
+            rng.integers(0, 5, 30), rng.integers(0, 7, 30), rng.random(30), (5, 7)
+        )
+        CsrMatrix(m.shape, m.indptr, m.indices, m.data, check=True)
+
+
+class TestFromEdges:
+    def test_directed(self):
+        m = from_edges([0, 1], [1, 2], 3)
+        np.testing.assert_allclose(
+            m.to_dense(), [[0, 1, 0], [0, 0, 1], [0, 0, 0]]
+        )
+
+    def test_symmetric_mirrors(self):
+        m = from_edges([0], [1], 2, symmetric=True)
+        np.testing.assert_allclose(m.to_dense(), [[0, 1], [1, 0]])
+
+    def test_duplicate_edges_collapse(self):
+        m = from_edges([0, 0], [1, 1], 2)
+        assert m.nnz == 1
+        assert m.data[0] == 1.0
+
+
+class TestRandomCsr:
+    def test_shape_and_density(self, rng):
+        m = random_csr(200, 50, nnz_per_row=10, rng=rng)
+        assert m.shape == (200, 50)
+        avg = m.nnz / 200
+        assert 8 < avg < 12  # binomial concentration
+
+    def test_bool_dtype(self, rng):
+        m = random_csr(10, 10, nnz_per_row=3, rng=rng, dtype=np.bool_)
+        assert m.dtype == np.bool_
+
+    def test_validates(self, rng):
+        m = random_csr(50, 30, nnz_per_row=5, rng=rng)
+        CsrMatrix(m.shape, m.indptr, m.indices, m.data, check=True)
+
+    def test_density_clamped(self, rng):
+        m = random_csr(10, 4, nnz_per_row=100, rng=rng)  # over-dense request
+        assert m.nnz == 40  # fully dense
+
+
+class TestMerge:
+    def test_two_way_overlap(self):
+        a = csr_from_dense([[1, 0], [2, 0]])
+        b = csr_from_dense([[5, 1], [0, 0]])
+        merged = merge_csrs([a, b], PLUS_TIMES)
+        np.testing.assert_allclose(merged.to_dense(), [[6, 1], [2, 0]])
+
+    def test_k_way_matches_dense_sum(self, rng):
+        parts = [csr_from_dense(random_dense(rng, 6, 4, 0.3)) for _ in range(5)]
+        merged = merge_csrs(parts, PLUS_TIMES)
+        expected = sum(p.to_dense() for p in parts)
+        np.testing.assert_allclose(merged.to_dense(), expected)
+
+    def test_bool_union(self):
+        a = csr_from_dense(np.array([[1, 0]], dtype=bool))
+        b = csr_from_dense(np.array([[1, 1]], dtype=bool))
+        merged = merge_csrs([a, b], BOOL_AND_OR)
+        assert merged.nnz == 2
+
+    def test_single_part_coerced(self):
+        a = csr_from_dense([[1.5]])
+        merged = merge_csrs([a], PLUS_TIMES)
+        assert merged.equal(a)
+
+    def test_none_parts_skipped(self):
+        a = csr_from_dense([[1.0]])
+        merged = merge_csrs([None, a, None], PLUS_TIMES)
+        assert merged.equal(a)
+
+    def test_no_parts_raises(self):
+        with pytest.raises(ValueError):
+            merge_csrs([], PLUS_TIMES)
+        with pytest.raises(ValueError):
+            merge_csrs([None], PLUS_TIMES)
+
+    def test_all_empty_parts(self):
+        parts = [CsrMatrix.empty((2, 2)) for _ in range(3)]
+        merged = merge_csrs(parts, PLUS_TIMES)
+        assert merged.nnz == 0 and merged.shape == (2, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            merge_csrs([CsrMatrix.empty((1, 2)), CsrMatrix.empty((2, 2))])
+
+    def test_merge_bytes(self):
+        a = csr_from_dense([[1.0, 2.0]])
+        assert merge_bytes([a, None, a]) == 2 * a.nbytes_estimate()
+
+    def test_merge_associativity(self, rng):
+        parts = [csr_from_dense(random_dense(rng, 5, 5, 0.4)) for _ in range(4)]
+        left = merge_csrs([merge_csrs(parts[:2]), merge_csrs(parts[2:])])
+        flat = merge_csrs(parts)
+        assert left.equal(flat)

@@ -1,0 +1,202 @@
+"""Tests for structural/elementwise CSR operations."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    BOOL_AND_OR,
+    PLUS_TIMES,
+    CsrMatrix,
+    ewise_add,
+    extract_col_range,
+    extract_row_range,
+    extract_rows,
+    nnz_of_rows,
+    pattern_difference,
+    row_topk,
+    spmm_dense,
+    transpose,
+)
+from ..conftest import csr_from_dense, random_dense
+
+
+class TestTranspose:
+    def test_known(self):
+        m = csr_from_dense([[1, 2, 0], [0, 0, 3]])
+        t = transpose(m)
+        np.testing.assert_allclose(t.to_dense(), [[1, 0], [2, 0], [0, 3]])
+
+    def test_random_matches_numpy(self, rng):
+        dense = random_dense(rng, 9, 6, 0.3)
+        t = transpose(csr_from_dense(dense))
+        np.testing.assert_allclose(t.to_dense(), dense.T)
+
+    def test_involution(self, rng):
+        dense = random_dense(rng, 5, 8, 0.4)
+        m = csr_from_dense(dense)
+        assert transpose(transpose(m)).equal(m)
+
+    def test_empty(self):
+        t = transpose(CsrMatrix.empty((3, 5)))
+        assert t.shape == (5, 3) and t.nnz == 0
+
+    def test_result_validates(self, rng):
+        dense = random_dense(rng, 7, 7, 0.5)
+        t = transpose(csr_from_dense(dense))
+        # re-validate invariants explicitly
+        CsrMatrix(t.shape, t.indptr, t.indices, t.data, check=True)
+
+
+class TestExtractRows:
+    def test_selection_and_order(self, rng):
+        dense = random_dense(rng, 6, 5, 0.4)
+        m = csr_from_dense(dense)
+        sel = extract_rows(m, np.array([4, 0, 2]))
+        np.testing.assert_allclose(sel.to_dense(), dense[[4, 0, 2]])
+
+    def test_repeated_rows_allowed(self):
+        m = csr_from_dense([[1, 0], [0, 2]])
+        sel = extract_rows(m, np.array([1, 1]))
+        np.testing.assert_allclose(sel.to_dense(), [[0, 2], [0, 2]])
+
+    def test_empty_selection(self):
+        m = csr_from_dense([[1, 0], [0, 2]])
+        sel = extract_rows(m, np.array([], dtype=np.int64))
+        assert sel.shape == (0, 2) and sel.nnz == 0
+
+    def test_out_of_range(self):
+        m = CsrMatrix.empty((2, 2))
+        with pytest.raises(IndexError):
+            extract_rows(m, np.array([2]))
+
+    def test_nnz_of_rows(self, rng):
+        dense = random_dense(rng, 6, 5, 0.4)
+        m = csr_from_dense(dense)
+        ids = np.array([0, 3])
+        assert nnz_of_rows(m, ids) == (dense[ids] != 0).sum()
+
+
+class TestExtractRanges:
+    def test_col_range_reindexed(self, rng):
+        dense = random_dense(rng, 5, 10, 0.4)
+        m = csr_from_dense(dense)
+        sub = extract_col_range(m, 3, 7)
+        assert sub.shape == (5, 4)
+        np.testing.assert_allclose(sub.to_dense(), dense[:, 3:7])
+
+    def test_col_range_keep_space(self, rng):
+        dense = random_dense(rng, 4, 8, 0.5)
+        m = csr_from_dense(dense)
+        sub = extract_col_range(m, 2, 5, reindex=False)
+        assert sub.shape == m.shape
+        expected = np.zeros_like(dense)
+        expected[:, 2:5] = dense[:, 2:5]
+        np.testing.assert_allclose(sub.to_dense(), expected)
+
+    def test_col_range_bounds(self):
+        m = CsrMatrix.empty((2, 4))
+        with pytest.raises(IndexError):
+            extract_col_range(m, 2, 6)
+        with pytest.raises(IndexError):
+            extract_col_range(m, -1, 2)
+
+    def test_empty_col_range(self, rng):
+        m = csr_from_dense(random_dense(rng, 3, 6, 0.5))
+        sub = extract_col_range(m, 4, 4)
+        assert sub.shape == (3, 0) and sub.nnz == 0
+
+    def test_row_range_views(self, rng):
+        dense = random_dense(rng, 8, 5, 0.4)
+        m = csr_from_dense(dense)
+        sub = extract_row_range(m, 2, 6)
+        np.testing.assert_allclose(sub.to_dense(), dense[2:6])
+        # zero-copy: data shares memory with parent
+        assert np.shares_memory(sub.data, m.data)
+
+    def test_row_range_bounds(self):
+        with pytest.raises(IndexError):
+            extract_row_range(CsrMatrix.empty((3, 3)), 1, 5)
+
+
+class TestPatternOps:
+    def test_difference_removes_visited(self):
+        n = csr_from_dense(np.array([[1, 1, 0], [0, 1, 1]], dtype=bool))
+        s = csr_from_dense(np.array([[1, 0, 0], [0, 0, 1]], dtype=bool))
+        f = pattern_difference(n, s)
+        np.testing.assert_array_equal(
+            f.to_dense(zero=False), [[False, True, False], [False, True, False]]
+        )
+
+    def test_difference_disjoint_keeps_all(self):
+        a = csr_from_dense([[1, 0], [0, 2]])
+        b = csr_from_dense([[0, 3], [4, 0]])
+        assert pattern_difference(a, b).equal(a)
+
+    def test_difference_identical_empties(self):
+        a = csr_from_dense([[1, 2], [3, 0]])
+        assert pattern_difference(a, a).nnz == 0
+
+    def test_difference_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pattern_difference(CsrMatrix.empty((1, 2)), CsrMatrix.empty((2, 2)))
+
+    def test_ewise_add_sums_overlap(self):
+        a = csr_from_dense([[1, 0], [2, 0]])
+        b = csr_from_dense([[3, 4], [0, 0]])
+        c = ewise_add(a, b, PLUS_TIMES)
+        np.testing.assert_allclose(c.to_dense(), [[4, 4], [2, 0]])
+
+    def test_ewise_add_bool_union(self):
+        a = csr_from_dense(np.array([[1, 0]], dtype=bool))
+        b = csr_from_dense(np.array([[0, 1]], dtype=bool))
+        c = ewise_add(a, b, BOOL_AND_OR)
+        np.testing.assert_array_equal(c.to_dense(zero=False), [[True, True]])
+
+    def test_ewise_add_empty_operand(self):
+        a = csr_from_dense([[1.0, 2.0]])
+        c = ewise_add(a, CsrMatrix.empty((1, 2)), PLUS_TIMES)
+        assert c.equal(a)
+
+
+class TestRowTopk:
+    def test_keeps_largest_magnitude(self):
+        m = csr_from_dense([[5, -7, 1, 3]])
+        out = row_topk(m, 2)
+        np.testing.assert_allclose(out.to_dense(), [[5, -7, 0, 0]])
+
+    def test_rows_shorter_than_k_untouched(self):
+        m = csr_from_dense([[1, 0, 0], [2, 3, 4]])
+        out = row_topk(m, 2)
+        # row 0 has 1 entry (< k) kept; row 1 keeps the two largest (3, 4)
+        np.testing.assert_allclose(out.to_dense(), [[1, 0, 0], [0, 3, 4]])
+
+    def test_k_zero_empties(self):
+        m = csr_from_dense([[1, 2]])
+        assert row_topk(m, 0).nnz == 0
+
+    def test_k_larger_returns_self(self):
+        m = csr_from_dense([[1, 2]])
+        assert row_topk(m, 5) is m
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            row_topk(CsrMatrix.empty((1, 1)), -1)
+
+    def test_column_order_preserved(self, rng):
+        dense = random_dense(rng, 10, 12, 0.6)
+        out = row_topk(csr_from_dense(dense), 3)
+        CsrMatrix(out.shape, out.indptr, out.indices, out.data, check=True)
+        assert (out.row_nnz() <= 3).all()
+
+
+class TestSpmmDense:
+    def test_matches_numpy(self, rng):
+        dense_a = random_dense(rng, 6, 8, 0.3)
+        dense_b = rng.random((8, 4))
+        out, flops = spmm_dense(csr_from_dense(dense_a), dense_b)
+        np.testing.assert_allclose(out, dense_a @ dense_b)
+        assert flops == (dense_a != 0).sum() * 4
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            spmm_dense(CsrMatrix.empty((2, 3)), np.zeros((4, 2)))

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for the sparse substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    BOOL_AND_OR,
+    PLUS_TIMES,
+    CsrMatrix,
+    TileGrid,
+    block_owner,
+    block_ranges,
+    coo_to_csr,
+    ewise_add,
+    extract_col_range,
+    extract_rows,
+    merge_csrs,
+    pattern_difference,
+    row_topk,
+    spgemm,
+    transpose,
+)
+
+
+@st.composite
+def dense_matrices(draw, max_dim=12, dtype="float"):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    if dtype == "bool":
+        elems = st.booleans()
+    else:
+        elems = st.sampled_from([0, 0, 0, 1, 2, -3, 5])  # integers avoid fp noise
+    flat = draw(
+        st.lists(elems, min_size=nrows * ncols, max_size=nrows * ncols)
+    )
+    arr = np.array(flat).reshape(nrows, ncols)
+    return arr.astype(bool) if dtype == "bool" else arr.astype(np.float64)
+
+
+@st.composite
+def matmul_pairs(draw, max_dim=10):
+    n = draw(st.integers(1, max_dim))
+    k = draw(st.integers(1, max_dim))
+    d = draw(st.integers(1, 6))
+    elems = st.sampled_from([0, 0, 0, 1, 2, -1])
+    a = np.array(
+        draw(st.lists(elems, min_size=n * k, max_size=n * k))
+    ).reshape(n, k).astype(np.float64)
+    b = np.array(
+        draw(st.lists(elems, min_size=k * d, max_size=k * d))
+    ).reshape(k, d).astype(np.float64)
+    return a, b
+
+
+class TestCsrInvariants:
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_roundtrip_exact(self, dense):
+        mat = CsrMatrix.from_dense(dense)
+        CsrMatrix(mat.shape, mat.indptr, mat.indices, mat.data, check=True)
+        np.testing.assert_array_equal(mat.to_dense(), dense)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, dense):
+        mat = CsrMatrix.from_dense(dense)
+        assert transpose(transpose(mat)).equal(mat)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_nnz_conserved_by_transpose(self, dense):
+        mat = CsrMatrix.from_dense(dense)
+        assert transpose(mat).nnz == mat.nnz
+
+
+class TestSpgemmEquivalence:
+    @given(matmul_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_esc_matches_numpy_product(self, pair):
+        a, b = pair
+        c, _ = spgemm(
+            CsrMatrix.from_dense(a), CsrMatrix.from_dense(b), PLUS_TIMES, method="esc"
+        )
+        np.testing.assert_allclose(c.to_dense(), a @ b)
+
+    @given(matmul_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_spa_hash_esc_agree(self, pair):
+        a, b = pair
+        ca = CsrMatrix.from_dense(a)
+        cb = CsrMatrix.from_dense(b)
+        results = [
+            spgemm(ca, cb, PLUS_TIMES, method=m)[0] for m in ("esc", "spa", "hash")
+        ]
+        assert results[0].equal(results[1])
+        assert results[0].equal(results[2])
+
+    @given(matmul_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_flops_identical_across_methods(self, pair):
+        a, b = pair
+        ca = CsrMatrix.from_dense(a)
+        cb = CsrMatrix.from_dense(b)
+        flops = {spgemm(ca, cb, PLUS_TIMES, method=m)[1] for m in ("esc", "spa", "hash")}
+        assert len(flops) == 1
+
+    @given(dense_matrices(max_dim=8, dtype="bool"), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_bool_product_matches_reachability(self, adj, d):
+        # (A F) over (∧,∨) equals boolean matmul
+        rng = np.random.default_rng(0)
+        f = rng.random((adj.shape[1], d)) < 0.4
+        c, _ = spgemm(
+            CsrMatrix.from_dense(adj), CsrMatrix.from_dense(f), BOOL_AND_OR
+        )
+        expected = (adj.astype(int) @ f.astype(int)) > 0
+        got = np.zeros(c.shape, dtype=bool)
+        got[c.row_ids(), c.indices] = c.data
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestSetOpsProperties:
+    @given(dense_matrices(dtype="bool"), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_difference_then_union_restores_superset(self, dense, rnd):
+        full = CsrMatrix.from_dense(dense)
+        # random sub-pattern of `full`
+        mask = np.array([rnd.random() < 0.5 for _ in range(full.nnz)], dtype=bool)
+        csum = np.concatenate([[0], np.cumsum(mask)])
+        sub = CsrMatrix(
+            full.shape,
+            csum[full.indptr],
+            full.indices[mask],
+            full.data[mask],
+            check=False,
+        )
+        diff = pattern_difference(full, sub)
+        assert diff.nnz == full.nnz - sub.nnz
+        union = ewise_add(diff, sub, BOOL_AND_OR)
+        assert union.nnz == full.nnz
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_difference_with_self_is_empty(self, dense):
+        mat = CsrMatrix.from_dense(dense)
+        assert pattern_difference(mat, mat).nnz == 0
+
+    @given(dense_matrices(), st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_row_topk_bounds_and_subset(self, dense, k):
+        mat = CsrMatrix.from_dense(dense)
+        out = row_topk(mat, k)
+        assert (out.row_nnz() <= k).all()
+        # output pattern is a subset of input pattern
+        assert pattern_difference(out, mat).nnz == 0
+
+
+class TestMergeProperties:
+    @given(st.lists(dense_matrices(max_dim=6), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equals_dense_sum(self, denses):
+        shape = (6, 6)
+        padded = []
+        for d in denses:
+            out = np.zeros(shape)
+            out[: d.shape[0], : d.shape[1]] = d
+            padded.append(out)
+        parts = [CsrMatrix.from_dense(p) for p in padded]
+        merged = merge_csrs(parts, PLUS_TIMES)
+        np.testing.assert_allclose(merged.to_dense(), sum(padded))
+
+    @given(st.lists(dense_matrices(max_dim=5), min_size=2, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_order_invariant(self, denses):
+        shape = (5, 5)
+        parts = []
+        for d in denses:
+            out = np.zeros(shape)
+            out[: d.shape[0], : d.shape[1]] = d
+            parts.append(CsrMatrix.from_dense(out))
+        assert merge_csrs(parts).equal(merge_csrs(list(reversed(parts))))
+
+
+class TestPartitionProperties:
+    @given(st.integers(1, 500), st.integers(1, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_block_ranges_partition(self, n, p):
+        ranges = block_ranges(n, p)
+        assert len(ranges) == p
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+        for (_, a1), (b0, _) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    @given(st.integers(1, 300), st.integers(1, 32), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_block_owner_within_range(self, n, p, data):
+        i = data.draw(st.integers(0, n - 1))
+        owner = block_owner(i, n, p)
+        lo, hi = block_ranges(n, p)[owner]
+        assert lo <= i < hi
+
+
+class TestTilingProperties:
+    @given(dense_matrices(max_dim=15), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_tiles_cover_all_nnz(self, dense, h, w):
+        mat = CsrMatrix.from_dense(dense)
+        grid = TileGrid(mat, h, w)
+        assert grid.tile_nnz().sum() == mat.nnz
+
+    @given(dense_matrices(max_dim=12), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_col_strips_nnz_preserved(self, dense, p):
+        mat = CsrMatrix.from_dense(dense)
+        ranges = block_ranges(mat.ncols, p)
+        total = sum(
+            extract_col_range(mat, c0, c1).nnz for c0, c1 in ranges
+        )
+        assert total == mat.nnz
+
+    @given(dense_matrices(max_dim=10), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_extract_rows_preserves_rows(self, dense, data):
+        mat = CsrMatrix.from_dense(dense)
+        ids = data.draw(
+            st.lists(st.integers(0, mat.nrows - 1), min_size=0, max_size=8)
+        )
+        sel = extract_rows(mat, np.array(ids, dtype=np.int64))
+        np.testing.assert_array_equal(sel.to_dense(), dense[ids])

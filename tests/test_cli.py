@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sparse import CsrMatrix, write_matrix_market
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_multiply_defaults(self):
+        args = build_parser().parse_args(["multiply"])
+        assert args.dataset == "uk"
+        assert args.ranks == 16
+        assert args.d == 128
+
+    def test_model_ps_parsing(self):
+        args = build_parser().parse_args(["model", "--ps", "4,8"])
+        assert args.ps == "4,8"
+
+
+class TestCommands:
+    def test_multiply_runs(self, capsys):
+        rc = main(
+            [
+                "multiply", "--dataset", "cora", "--scale", "0.3",
+                "-p", "2", "--d", "8", "--sparsity", "0.5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "multiply time" in out
+        assert "bytes on wire" in out
+
+    def test_multiply_with_baseline(self, capsys):
+        rc = main(
+            [
+                "multiply", "--dataset", "cora", "--scale", "0.3",
+                "-p", "4", "--d", "8", "--algorithm", "SUMMA-2D",
+            ]
+        )
+        assert rc == 0
+        assert "SUMMA-2D" in capsys.readouterr().out
+
+    def test_multiply_unknown_algorithm(self, capsys):
+        rc = main(
+            ["multiply", "--dataset", "cora", "--scale", "0.3", "--algorithm", "X"]
+        )
+        assert rc == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_bfs_runs(self, capsys):
+        rc = main(
+            ["bfs", "--dataset", "cora", "--scale", "0.3", "--sources", "4", "-p", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MSBFS" in out
+        assert "mean vertices reached" in out
+
+    def test_embed_runs(self, capsys):
+        rc = main(
+            [
+                "embed", "--dataset", "cora", "--scale", "0.2",
+                "-p", "2", "--d", "8", "--epochs", "2",
+            ]
+        )
+        assert rc == 0
+        assert "link-prediction accuracy" in capsys.readouterr().out
+
+    def test_influence_runs(self, capsys):
+        rc = main(
+            [
+                "influence", "--dataset", "cora", "--scale", "0.3",
+                "-p", "2", "--k", "2", "--samples", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "influence maximization" in out
+        assert "seed vertex" in out
+
+    def test_model_runs(self, capsys):
+        rc = main(["model", "--ps", "8,64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TS-SpGEMM" in out and "SUMMA-2D" in out
+
+    def test_matrix_market_input(self, capsys, tmp_path):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((20, 20)) < 0.2) * 1.0
+        np.fill_diagonal(dense, 0)
+        mat = CsrMatrix.from_dense(dense)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(mat, path)
+        rc = main(["multiply", "--dataset", str(path), "-p", "2", "--d", "4"])
+        assert rc == 0
