@@ -1,0 +1,97 @@
+"""Micro-benchmark: the kernel dispatch registry, vectorized vs rowwise.
+
+Runs every registered SpGEMM kernel on the ``bench_micro_accumulators``
+workload (A: 400×400 @ 8 nnz/row, B: 400×64 @ 12 nnz/row — ~38K semiring
+products) and prints wall-clock times plus each kernel's speedup over the
+seed's scalar per-row SPA path.  The tentpole target — the vectorized
+default ≥5× faster than the seed path — is asserted here from *measured*
+numbers, and ``tests/sparse/test_kernel_perf.py`` re-checks it on every
+test run.  ``docs/kernels.md`` quotes the table this bench writes to
+``benchmarks/results/micro_kernels.txt``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import fmt_seconds, print_table
+from repro.sparse import (
+    MIN_PLUS,
+    PLUS_TIMES,
+    available_kernels,
+    dispatch_spgemm,
+    get_kernel,
+    random_csr,
+)
+
+RNG = np.random.default_rng(0)
+A = random_csr(400, 400, nnz_per_row=8, rng=RNG)
+B = random_csr(400, 64, nnz_per_row=12, rng=RNG)
+
+SEED_PATH = "spa-rowwise"  # the seed's production kernel
+MIN_SPEEDUP = 5.0
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _check_agreement():
+    reference, _ = dispatch_spgemm(A, B, PLUS_TIMES, "esc-vectorized")
+    for kernel in available_kernels():
+        got, _ = dispatch_spgemm(A, B, PLUS_TIMES, kernel)
+        if kernel == "scipy":
+            assert got.prune_zeros().equal(reference.prune_zeros())
+        else:
+            assert got.equal(reference)
+
+
+def bench_micro_kernel_table(benchmark, sink):
+    """One table over all kernels, plus the measured tentpole assertion."""
+    _check_agreement()
+    times = {
+        kernel: _best_of(
+            lambda kernel=kernel: dispatch_spgemm(A, B, PLUS_TIMES, kernel),
+            repeats=2 if kernel.endswith("rowwise") else 5,
+        )
+        for kernel in available_kernels()
+    }
+    baseline = times[SEED_PATH]
+    rows = [
+        [
+            kernel,
+            "yes" if get_kernel(kernel).vectorized else "no",
+            fmt_seconds(t),
+            f"{baseline / t:.1f}x",
+        ]
+        for kernel, t in sorted(times.items(), key=lambda kv: kv[1])
+    ]
+    print_table(
+        "SpGEMM kernel registry on the micro workload "
+        "(400x400 @8/row times 400x64 @12/row, plus_times)",
+        ["kernel", "vectorized", "best wall-clock", f"speedup vs {SEED_PATH}"],
+        rows,
+        file=sink,
+    )
+    speedup = baseline / times["esc-vectorized"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"esc-vectorized only {speedup:.1f}x faster than {SEED_PATH}"
+    )
+    benchmark(lambda: dispatch_spgemm(A, B, PLUS_TIMES, "esc-vectorized"))
+
+
+@pytest.mark.parametrize("kernel", ["esc-vectorized", "spa", "hash", "scipy"])
+def bench_micro_kernel_registry(benchmark, kernel):
+    """Per-kernel pytest-benchmark entries (vectorized production set)."""
+    benchmark(lambda: dispatch_spgemm(A, B, PLUS_TIMES, kernel))
+
+
+def bench_micro_kernel_semiring_sweep(benchmark):
+    """The default kernel on a non-arithmetic semiring (no scipy escape)."""
+    benchmark(lambda: dispatch_spgemm(A, B, MIN_PLUS, "esc-vectorized"))

@@ -1,11 +1,41 @@
-"""Legacy setuptools shim.
+"""Setuptools metadata for the TS-SpGEMM reproduction.
 
-The execution environment is offline and lacks the ``wheel`` package, so
-PEP 660 editable installs cannot build; this shim lets ``pip install -e .``
-fall back to the classic ``setup.py develop`` path.  All metadata lives in
-``pyproject.toml``.
+Classic ``setup.py`` rather than ``pyproject.toml`` because the execution
+environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs cannot build there.  ``pip install -e .`` works
+wherever ``wheel`` is available (CI installs it first); offline, use
+``python setup.py develop``.  The src-layout mapping below is what makes
+either install work at all — without it the ``repro`` package is only
+importable via a manual ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__.
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-ts-spgemm",
+    version=VERSION,
+    description=(
+        "Reproduction of tiled distributed tall-and-skinny SpGEMM "
+        "(conf_sc_RanawakaHBGTA24) on a simulated MPI machine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark", "hypothesis"],
+    },
+)

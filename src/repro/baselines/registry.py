@@ -30,15 +30,19 @@ def _naive(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=DEFAULT_C
 
 
 def _summa2d(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=None):
-    return summa2d(A, B, p, semiring=semiring, machine=machine)
+    kernel = (config or DEFAULT_CONFIG).kernel
+    return summa2d(A, B, p, semiring=semiring, machine=machine, kernel=kernel)
 
 
 def _summa3d(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=None):
-    return summa3d(A, B, p, semiring=semiring, machine=machine)
+    kernel = (config or DEFAULT_CONFIG).kernel
+    return summa3d(A, B, p, semiring=semiring, machine=machine, kernel=kernel)
 
 
 def _petsc(A, B, p, *, semiring=PLUS_TIMES, machine=PERLMUTTER, config=None):
-    return petsc1d(A, B, p, semiring=semiring, machine=machine)
+    return petsc1d(
+        A, B, p, semiring=semiring, machine=machine, config=config or DEFAULT_CONFIG
+    )
 
 
 #: name → driver; the names match the legends of Figs 8-11.

@@ -26,7 +26,8 @@ from ..mpi.costmodel import PERLMUTTER, MachineProfile
 from ..mpi.executor import run_spmd
 from ..partition.block1d import Block1D
 from ..sparse.csr import CsrMatrix
-from ..sparse.ops import extract_col_range, extract_row_range, spmm_dense
+from ..sparse.kernels import dispatch_spmm
+from ..sparse.ops import extract_col_range, extract_row_range
 from ..sparse.tile import block_ranges
 from .result import BaselineResult
 
@@ -57,7 +58,7 @@ def shift15d_rank(
         strip = strips[owner]
         with comm.phase("local-compute"):
             if strip.nnz and block.size:
-                partial, flops = spmm_dense(strip, block)
+                partial, flops = dispatch_spmm(strip, block)
                 comm.charge_spmm(flops)
                 c_local += partial
         if s + 1 < p:

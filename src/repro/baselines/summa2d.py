@@ -26,8 +26,8 @@ from ..mpi.executor import run_spmd
 from ..partition.grid_dist import grid_block, inner_chunk_owner_row, summa_b_chunks
 from ..sparse.csr import CsrMatrix
 from ..sparse.merge import merge_bytes, merge_csrs
+from ..sparse.kernels import dispatch_spgemm
 from ..sparse.semiring import PLUS_TIMES, Semiring
-from ..sparse.spgemm import spgemm
 from ..sparse.tile import block_ranges
 from .result import BaselineResult, assemble_2d_blocks
 
@@ -38,6 +38,7 @@ def summa2d_rank(
     B: CsrMatrix,
     semiring: Semiring,
     accumulator: str,
+    kernel: str = "auto",
 ) -> Tuple[Tuple[int, int], CsrMatrix]:
     """One rank of 2-D sparse SUMMA; returns ``((i, j), C block)``."""
     grid = make_grid2d(comm)
@@ -65,7 +66,7 @@ def summa2d_rank(
             )
         with comm.phase("local-compute"):
             if a_ik.nnz and b_kj.nnz:
-                c_part, flops = spgemm(a_ik, b_kj, semiring)
+                c_part, flops = dispatch_spgemm(a_ik, b_kj, semiring, kernel)
                 comm.charge_spgemm(flops, d=d, accumulator=accumulator)
                 if c_part.nnz:
                     partials.append(c_part)
@@ -87,12 +88,15 @@ def summa2d(
     semiring: Semiring = PLUS_TIMES,
     machine: MachineProfile = PERLMUTTER,
     spa_threshold: int = 1024,
+    kernel: str = "auto",
 ) -> BaselineResult:
     """Run 2-D sparse SUMMA on ``p`` ranks; returns the assembled product."""
     if A.ncols != B.nrows:
         raise ValueError(f"dimension mismatch: {A.shape} x {B.shape}")
     accumulator = "spa" if B.ncols <= spa_threshold else "hash"
-    result = run_spmd(p, summa2d_rank, A, B, semiring, accumulator, machine=machine)
+    result = run_spmd(
+        p, summa2d_rank, A, B, semiring, accumulator, kernel, machine=machine
+    )
     from ..mpi.cartesian import square_grid_dims
 
     pr, pc = square_grid_dims(p)

@@ -30,8 +30,8 @@ from ..partition.grid_dist import (
 from ..sparse.csr import CsrMatrix
 from ..sparse.merge import merge_bytes, merge_csrs
 from ..sparse.ops import extract_col_range, extract_row_range
+from ..sparse.kernels import dispatch_spgemm
 from ..sparse.semiring import PLUS_TIMES, Semiring
-from ..sparse.spgemm import spgemm
 from ..sparse.tile import block_ranges
 from .result import BaselineResult, assemble_2d_blocks
 
@@ -43,6 +43,7 @@ def summa3d_rank(
     semiring: Semiring,
     layers: int,
     accumulator: str,
+    kernel: str = "auto",
 ) -> Optional[Tuple[Tuple[int, int], CsrMatrix]]:
     """One rank of 3-D sparse SUMMA; layer-0 ranks return their C block."""
     grid = make_grid3d(comm, layers)
@@ -73,7 +74,7 @@ def summa3d_rank(
             )
         with comm.phase("local-compute"):
             if a_ik.nnz and b_kj.nnz:
-                c_part, flops = spgemm(a_ik, b_kj, semiring)
+                c_part, flops = dispatch_spgemm(a_ik, b_kj, semiring, kernel)
                 comm.charge_spgemm(flops, d=d, accumulator=accumulator)
                 if c_part.nnz:
                     partials.append(c_part)
@@ -108,13 +109,14 @@ def summa3d(
     semiring: Semiring = PLUS_TIMES,
     machine: MachineProfile = PERLMUTTER,
     spa_threshold: int = 1024,
+    kernel: str = "auto",
 ) -> BaselineResult:
     """Run 3-D sparse SUMMA on ``p`` ranks with (up to) ``layers`` layers."""
     if A.ncols != B.nrows:
         raise ValueError(f"dimension mismatch: {A.shape} x {B.shape}")
     accumulator = "spa" if B.ncols <= spa_threshold else "hash"
     result = run_spmd(
-        p, summa3d_rank, A, B, semiring, layers, accumulator, machine=machine
+        p, summa3d_rank, A, B, semiring, layers, accumulator, kernel, machine=machine
     )
     pr, pc, l = layered_grid_dims(p, layers)
     blocks = [v for v in result.values if v is not None]

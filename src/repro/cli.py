@@ -36,7 +36,7 @@ from .core import TsConfig
 from .data import DATASETS, load, random_sources, tall_skinny
 from .model import COST_MODELS, Workload
 from .mpi import PROFILES, SCALED_PERLMUTTER, get_profile
-from .sparse import read_matrix_market
+from .sparse import DEFAULT_KERNEL, available_kernels, read_matrix_market
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -67,7 +67,7 @@ def _cmd_multiply(args) -> int:
     A = _load_matrix(args)
     B = tall_skinny(A.nrows, args.d, args.sparsity, seed=args.seed + 1)
     machine = get_profile(args.machine)
-    config = TsConfig(tile_width_factor=args.tile_width)
+    config = TsConfig(tile_width_factor=args.tile_width, kernel=args.kernel)
     try:
         algorithm = ALGORITHMS[args.algorithm]
     except KeyError:
@@ -77,6 +77,7 @@ def _cmd_multiply(args) -> int:
     result = algorithm(A, B, args.ranks, machine=machine, config=config)
     rows = [
         ["algorithm", args.algorithm],
+        ["kernel", args.kernel],
         ["A", f"{A.shape}, nnz={A.nnz:,}"],
         ["B", f"{B.shape}, nnz={B.nnz:,} ({args.sparsity:.0%} sparse)"],
         ["C", f"{result.C.shape}, nnz={result.C.nnz:,}"],
@@ -196,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_mult.add_argument("--d", type=int, default=128)
     p_mult.add_argument("--sparsity", type=float, default=0.8)
     p_mult.add_argument("--tile-width", type=int, default=16)
+    p_mult.add_argument(
+        "--kernel",
+        default="auto",
+        choices=sorted(available_kernels() + ("auto",)),
+        help="local SpGEMM kernel from the dispatch registry "
+        f"(auto = scipy for arithmetic float data, else {DEFAULT_KERNEL})",
+    )
     p_mult.set_defaults(func=_cmd_multiply)
 
     p_bfs = sub.add_parser("bfs", help="multi-source BFS")

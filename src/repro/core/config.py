@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..sparse.kernels import available_kernels
+
 #: Tile-mode policies: the paper's algorithm ("hybrid") picks local or
 #: remote per tile; "local"/"remote" force one mode everywhere (Fig 6's
 #: ablation compares hybrid against local-only).
@@ -44,6 +46,13 @@ class TsConfig:
         it to the mini-batch size (§IV-B).
     mode_policy:
         ``"hybrid"`` (paper's algorithm), ``"local"`` or ``"remote"``.
+    kernel:
+        Local SpGEMM kernel every distributed code path dispatches to —
+        a name registered in :mod:`repro.sparse.kernels`
+        (``esc-vectorized``, ``spa``, ``hash``, ``scipy``, the scalar
+        ``*-rowwise`` references) or ``"auto"`` (the default): scipy's C
+        fast path for arithmetic float data, the vectorized ESC kernel
+        for every other semiring.
     spa_threshold:
         Largest ``d`` for which the SPA accumulator is cost-modelled; hash
         accumulation is charged beyond it (§III-C: "For d > 1024, we opt
@@ -57,6 +66,7 @@ class TsConfig:
     tile_width_factor: int = 16
     tile_height: Optional[int] = None
     mode_policy: str = "hybrid"
+    kernel: str = "auto"
     spa_threshold: int = 1024
     default_d: int = 128
     default_b_sparsity: float = 0.80
@@ -71,6 +81,11 @@ class TsConfig:
         if self.mode_policy not in MODE_POLICIES:
             raise ValueError(
                 f"mode_policy must be one of {MODE_POLICIES}, got {self.mode_policy!r}"
+            )
+        valid_kernels = available_kernels() + ("auto",)
+        if self.kernel not in valid_kernels:
+            raise ValueError(
+                f"kernel must be one of {sorted(valid_kernels)}, got {self.kernel!r}"
             )
         if self.spa_threshold < 1:
             raise ValueError("spa_threshold must be >= 1")

@@ -24,8 +24,8 @@ import numpy as np
 
 from ..partition.distmat import DistSparseMatrix
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
+from ..sparse.kernels import dispatch_spgemm
 from ..sparse.semiring import PLUS_TIMES, Semiring
-from ..sparse.spgemm import spgemm
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_rows, place_rows
 
@@ -92,7 +92,7 @@ def naive_multiply(
         else:
             payload = None
         b_needed = place_rows(rows.n, payload, d, semiring.dtype)
-        c_local, flops = spgemm(A.local, b_needed, semiring)
+        c_local, flops = dispatch_spgemm(A.local, b_needed, semiring, config.kernel)
         comm.charge_spgemm(flops, d=d, accumulator=config.accumulator_for(d))
 
     diagnostics = {

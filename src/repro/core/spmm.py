@@ -18,7 +18,8 @@ import numpy as np
 
 from ..partition.distmat import DistDenseMatrix, DistSparseMatrix
 from ..sparse.csr import CsrMatrix
-from ..sparse.ops import extract_row_range, spmm_dense
+from ..sparse.kernels import dispatch_spmm
+from ..sparse.ops import extract_row_range
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_dense_rows, place_dense_rows
 from .symbolic import row_tile_ranges
@@ -96,7 +97,7 @@ def spmm_multiply(
         for rt, (r0, r1), mode, sub, _ in produced[comm.rank]:
             if mode != "diagonal":
                 continue
-            part, flops = spmm_dense(sub, B.local)
+            part, flops = dispatch_spmm(sub, B.local)
             comm.charge_spmm(flops)
             diag.flops += flops
             diag.diagonal_tiles += 1
@@ -134,7 +135,7 @@ def spmm_multiply(
             for (_, (r0, r1), m, sub, _) in infos:
                 if m != "remote":
                     continue
-                part, flops = spmm_dense(sub, B.local)
+                part, flops = dispatch_spmm(sub, B.local)
                 comm.charge_spmm(flops)
                 diag.flops += flops
                 affected = np.unique(sub.row_ids())
@@ -171,7 +172,7 @@ def spmm_multiply(
                         block_b = place_dense_rows(
                             j_hi - j_lo, (gids - j_lo, vals), d
                         )
-                        part, flops = spmm_dense(sub, block_b)
+                        part, flops = dispatch_spmm(sub, block_b)
                         comm.charge_spmm(flops)
                         diag.flops += flops
                         c_local[r0:r1] += part

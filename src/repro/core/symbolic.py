@@ -28,7 +28,7 @@ from ..partition.distmat import DistSparseMatrix
 from ..sparse.csr import CsrMatrix
 from ..sparse.ops import extract_row_range
 from ..sparse.semiring import BOOL_AND_OR, Semiring
-from ..sparse.spgemm import spgemm, spgemm_flops
+from ..sparse.kernels import dispatch_spgemm
 from .config import TsConfig
 
 #: Subtile modes.  EMPTY subtiles (no stored entries) are skipped outright.
@@ -95,6 +95,7 @@ def build_symbolic_plan(
         raise RuntimeError("symbolic step requires A.build_column_copy() first")
     d = B.ncols
     b_row_nnz = B.local.row_nnz()
+    b_bool = B.local.astype(np.bool_)  # one conversion, reused per subtile
     plan = SymbolicPlan()
 
     with comm.phase("symbolic"):
@@ -120,8 +121,16 @@ def build_symbolic_plan(
                 nzc = sub.nonzero_columns()  # my local B rows this tile needs
                 needed_nnz = int(b_row_nnz[nzc].sum())
                 # Exact symbolic product: pattern-only multiply against my B.
-                pattern, sym_flops = spgemm(
-                    sub.astype(np.bool_), B.local.astype(np.bool_), BOOL_AND_OR
+                # Non-strict dispatch: a forced plus_times-only kernel
+                # (e.g. --kernel scipy) degrades to the vectorized default
+                # for this boolean pattern product instead of erroring.
+                # This is the only lenient call site; numeric paths raise.
+                pattern, sym_flops = dispatch_spgemm(
+                    sub.astype(np.bool_),
+                    b_bool,
+                    BOOL_AND_OR,
+                    config.kernel,
+                    strict=False,
                 )
                 comm.charge_symbolic(sym_flops)
                 out_nnz = pattern.nnz

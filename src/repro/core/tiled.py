@@ -37,10 +37,10 @@ import numpy as np
 
 from ..partition.distmat import DistSparseMatrix
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
+from ..sparse.kernels import dispatch_spgemm
 from ..sparse.merge import merge_bytes, merge_csrs
 from ..sparse.ops import extract_row_range
 from ..sparse.semiring import PLUS_TIMES, Semiring
-from ..sparse.spgemm import spgemm
 from ..sparse.tile import ColumnStrips
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_rows, place_rows
@@ -119,7 +119,9 @@ def tiled_multiply(
         for info in diag_infos:
             if info.mode != DIAGONAL:
                 continue
-            c_part, flops = spgemm(info.block, B.local, semiring)
+            c_part, flops = dispatch_spgemm(
+                info.block, B.local, semiring, config.kernel
+            )
             comm.charge_spgemm(flops, d=d, accumulator=acc)
             diag.flops += flops
             diag.diagonal_tiles += 1
@@ -166,7 +168,7 @@ def tiled_multiply(
             if tile_payloads:
                 send_b[peer] = tile_payloads
             remote_part = _compute_remote_partial(
-                comm, infos, B.local, semiring, d, acc, diag
+                comm, infos, B.local, semiring, d, acc, config.kernel, diag
             )
             if remote_part is not None:
                 send_c[peer] = remote_part
@@ -239,6 +241,7 @@ def _compute_remote_partial(
     semiring: Semiring,
     d: int,
     acc: str,
+    kernel: str,
     diag: TileDiagnostics,
 ) -> Optional[Tuple[np.ndarray, CsrMatrix]]:
     """Multiply the peer's remote-mode subtiles here.
@@ -254,7 +257,7 @@ def _compute_remote_partial(
     peer_rows = max(s.row_range[1] for s in infos)
     rows_acc, cols_acc, vals_acc = [], [], []
     for info in remote_infos:
-        c_part, flops = spgemm(info.block, b_local, semiring)
+        c_part, flops = dispatch_spgemm(info.block, b_local, semiring, kernel)
         comm.charge_spgemm(flops, d=d, accumulator=acc)
         diag.flops += flops
         if c_part.nnz:
@@ -311,7 +314,7 @@ def _consume_local(
         block_b = place_rows(
             j_hi - j_lo, (global_ids - j_lo, rows), d, semiring.dtype
         )
-        c_part, flops = spgemm(sub, block_b, semiring)
+        c_part, flops = dispatch_spgemm(sub, block_b, semiring, config.kernel)
         comm.charge_spgemm(flops, d=d, accumulator=acc)
         diag.flops += flops
         if c_part.nnz:

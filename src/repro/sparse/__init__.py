@@ -12,6 +12,16 @@ from .accumulators import HashAccumulator, SpaAccumulator
 from .build import coo_to_csr, from_edges, random_csr
 from .csr import INDEX_DTYPE, CsrMatrix
 from .io import read_matrix_market, write_matrix_market
+from .kernels import (
+    DEFAULT_KERNEL,
+    KernelSpec,
+    available_kernels,
+    dispatch_spgemm,
+    dispatch_spmm,
+    get_kernel,
+    register_kernel,
+    resolve_spgemm,
+)
 from .merge import merge_bytes, merge_csrs
 from .sddmm import fused_sddmm_spmm, sddmm
 from .ops import (
@@ -49,8 +59,10 @@ __all__ = [
     "BOOL_AND_OR",
     "ColumnStrips",
     "CsrMatrix",
+    "DEFAULT_KERNEL",
     "HashAccumulator",
     "INDEX_DTYPE",
+    "KernelSpec",
     "MAX_TIMES",
     "MIN_PLUS",
     "PLUS_TIMES",
@@ -60,16 +72,20 @@ __all__ = [
     "SpaAccumulator",
     "Tile",
     "TileGrid",
+    "available_kernels",
     "block_owner",
     "block_owners",
     "block_ranges",
     "coo_to_csr",
+    "dispatch_spgemm",
+    "dispatch_spmm",
     "ewise_add",
     "extract_col_range",
     "extract_row_range",
     "extract_rows",
     "from_edges",
     "fused_sddmm_spmm",
+    "get_kernel",
     "get_semiring",
     "merge_bytes",
     "merge_csrs",
@@ -77,6 +93,8 @@ __all__ = [
     "pattern_difference",
     "random_csr",
     "read_matrix_market",
+    "register_kernel",
+    "resolve_spgemm",
     "row_topk",
     "sddmm",
     "spgemm",

@@ -5,8 +5,11 @@ and a hash-based accumulator [20] for local SpGEMM and merging (§III-C):
 SPA wins while the length-``d`` dense vector fits in cache, hash wins for
 ``d > 1024``.  These classes are the *reference* scalar implementations —
 exact but loop-based — used for small inputs, for differential testing of
-the vectorized expand-sort-compress kernel, and to document the algorithm.
-The production path in :mod:`repro.sparse.spgemm` is vectorized.
+the vectorized batched kernels, and to document the algorithm.  They back
+the ``spa-rowwise`` / ``hash-rowwise`` entries of the kernel dispatch
+registry (:mod:`repro.sparse.kernels`); the production ``spa``, ``hash``
+and ``esc-vectorized`` kernels there process whole row blocks with numpy
+and are what every distributed code path dispatches to.
 """
 
 from __future__ import annotations

@@ -1,23 +1,27 @@
-"""Local (single-process) SpGEMM kernels over arbitrary semirings.
+"""Local (single-process) SpGEMM over arbitrary semirings (facade).
 
 Gustavson's row algorithm [18] computes ``C(r,:) = ⊕_{c: A(r,c)≠0}
-A(r,c) ⊗ B(c,:)``.  Three interchangeable kernels implement it:
+A(r,c) ⊗ B(c,:)``.  The kernels themselves live in the dispatch registry
+of :mod:`repro.sparse.kernels`; this module keeps the historical
+call-level API — ``spgemm(a, b, semiring, method=...)`` and the named
+``spgemm_*`` helpers — and maps the short method names onto registry
+kernels:
 
-``esc``
-    Fully vectorized expand-sort-compress: expand every ``A`` nonzero into
-    its scaled ``B`` row (pure numpy gathers), lexsort the products by
-    (row, col), and compress duplicates with a semiring ``reduceat``.
-    This is the production path for every semiring.
-``spa`` / ``hash``
-    Reference row-by-row kernels built on the accumulators of
-    :mod:`repro.sparse.accumulators`; exact but loop-based.  Used for
-    differential testing and small problems.
-``scipy``
-    The ``(+,×)`` fast path via ``scipy.sparse`` matrix multiplication.
+==========  ====================  =========================================
+method      registry kernel       notes
+==========  ====================  =========================================
+``esc``     ``esc-vectorized``    batched expand-sort-compress (default)
+``spa``     ``spa``               batched blocked dense sparse-accumulator
+``hash``    ``hash``              batched fused-key grouping
+``scipy``   ``scipy``             ``(+,×)`` fast path only
+``auto``    —                     scipy for arithmetic float data, else ESC
+==========  ====================  =========================================
 
-Every kernel returns ``(C, flops)`` where ``flops`` is the number of
-semiring multiplications — the paper's *flops* measure, which also drives
-the virtual compute clock.
+Full registry names (including the scalar ``spa-rowwise`` /
+``hash-rowwise`` reference kernels the seed shipped as its production
+path) are accepted too.  Every kernel returns ``(C, flops)`` where
+``flops`` is the number of semiring multiplications — the paper's *flops*
+measure, which also drives the virtual compute clock.
 
 The kernel/accumulator *cost policy* (SPA below d ≤ 1024, hash above,
 §III-C) lives with the caller in :mod:`repro.core.config`; this module
@@ -28,132 +32,63 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
-
-from .accumulators import HashAccumulator, SpaAccumulator
-from .csr import INDEX_DTYPE, CsrMatrix
+from .csr import CsrMatrix
+from .kernels import (
+    available_kernels,
+    dispatch_spgemm,
+    get_kernel,
+    spgemm_flops,
+    spgemm_scipy_kernel,
+)
 from .semiring import PLUS_TIMES, Semiring
 
+__all__ = [
+    "spgemm",
+    "spgemm_esc",
+    "spgemm_flops",
+    "spgemm_hash",
+    "spgemm_scipy",
+    "spgemm_spa",
+]
 
-def spgemm_flops(a: CsrMatrix, b: CsrMatrix) -> int:
-    """Number of semiring multiplications in ``a @ b`` (no compute)."""
-    if a.ncols != b.nrows:
-        raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
-    if a.nnz == 0:
-        return 0
-    return int(b.row_nnz()[a.indices].sum())
+#: Historical short names → registry kernel names.
+METHOD_ALIASES = {
+    "esc": "esc-vectorized",
+    "spa": "spa",
+    "hash": "hash",
+    "scipy": "scipy",
+}
 
 
 def spgemm_esc(
     a: CsrMatrix, b: CsrMatrix, semiring: Semiring = PLUS_TIMES
 ) -> Tuple[CsrMatrix, int]:
     """Expand-sort-compress SpGEMM (vectorized, any semiring)."""
-    if a.ncols != b.nrows:
-        raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
-    out_shape = (a.nrows, b.ncols)
-    if a.nnz == 0 or b.nnz == 0:
-        return CsrMatrix.empty(out_shape, dtype=semiring.dtype), 0
-
-    b_row_nnz = b.row_nnz()
-    counts = b_row_nnz[a.indices]  # products generated per A nonzero
-    total = int(counts.sum())
-    if total == 0:
-        return CsrMatrix.empty(out_shape, dtype=semiring.dtype), 0
-
-    # --- expand ------------------------------------------------------
-    a_rows = a.row_ids()
-    out_rows = np.repeat(a_rows, counts)
-    # Position of each product inside its B-row segment:
-    seg_offsets = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(
-        np.concatenate([[0], np.cumsum(counts[:-1])]).astype(INDEX_DTYPE), counts
-    )
-    src = np.repeat(b.indptr[a.indices], counts) + seg_offsets
-    out_cols = b.indices[src]
-    out_vals = semiring.multiply(np.repeat(a.data, counts), b.data[src])
-
-    # --- sort + compress ----------------------------------------------
-    order = np.lexsort((out_cols, out_rows))
-    out_rows = out_rows[order]
-    out_cols = out_cols[order]
-    out_vals = out_vals[order]
-    key_change = np.empty(total, dtype=bool)
-    key_change[0] = True
-    np.logical_or(
-        out_rows[1:] != out_rows[:-1], out_cols[1:] != out_cols[:-1], out=key_change[1:]
-    )
-    starts = np.flatnonzero(key_change)
-    final_rows = out_rows[starts]
-    final_cols = out_cols[starts]
-    final_vals = semiring.reduce_segments(out_vals, starts)
-
-    row_counts = np.bincount(final_rows, minlength=a.nrows)
-    indptr = np.concatenate([[0], np.cumsum(row_counts)]).astype(INDEX_DTYPE)
-    return CsrMatrix(out_shape, indptr, final_cols, final_vals, check=False), total
-
-
-def spgemm_scipy(a: CsrMatrix, b: CsrMatrix) -> Tuple[CsrMatrix, int]:
-    """scipy fast path — valid only for the arithmetic semiring."""
-    flops = spgemm_flops(a, b)
-    product = a.to_scipy() @ b.to_scipy()
-    product.sum_duplicates()
-    product.sort_indices()
-    return CsrMatrix.from_scipy(product), flops
-
-
-def _spgemm_rowwise(
-    a: CsrMatrix, b: CsrMatrix, semiring: Semiring, accumulator
-) -> Tuple[CsrMatrix, int]:
-    """Shared driver for the SPA / hash reference kernels."""
-    if a.ncols != b.nrows:
-        raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
-    indptr = np.zeros(a.nrows + 1, dtype=INDEX_DTYPE)
-    all_cols, all_vals = [], []
-    flops = 0
-    for r in range(a.nrows):
-        accumulator.reset()
-        cols_r, vals_r = a.row(r)
-        for c, v in zip(cols_r, vals_r):
-            b_cols, b_vals = b.row(int(c))
-            flops += len(b_cols)
-            if len(b_cols):
-                accumulator.accumulate(v, b_cols, b_vals)
-        out_cols, out_vals = accumulator.extract()
-        indptr[r + 1] = indptr[r] + len(out_cols)
-        all_cols.append(out_cols)
-        all_vals.append(out_vals)
-    indices = (
-        np.concatenate(all_cols) if all_cols else np.zeros(0, dtype=INDEX_DTYPE)
-    )
-    data = (
-        np.concatenate(all_vals)
-        if all_vals
-        else np.zeros(0, dtype=semiring.dtype)
-    )
-    return (
-        CsrMatrix((a.nrows, b.ncols), indptr, indices, data, check=False),
-        flops,
-    )
+    return dispatch_spgemm(a, b, semiring, "esc-vectorized", strict=True)
 
 
 def spgemm_spa(
     a: CsrMatrix, b: CsrMatrix, semiring: Semiring = PLUS_TIMES
 ) -> Tuple[CsrMatrix, int]:
-    """Row-by-row SpGEMM with a dense SPA of length ``d = b.ncols``."""
-    return _spgemm_rowwise(a, b, semiring, SpaAccumulator(b.ncols, semiring))
+    """SPA SpGEMM: batched for identity-safe semirings, scalar otherwise.
+
+    Matches the seed's behavior on every semiring: where the batched
+    kernel's identity-initialized scratch would be wrong (``max_times``
+    with negative products), the exact scalar rowwise kernel runs instead.
+    """
+    return spgemm(a, b, semiring, method="spa")
 
 
 def spgemm_hash(
     a: CsrMatrix, b: CsrMatrix, semiring: Semiring = PLUS_TIMES
 ) -> Tuple[CsrMatrix, int]:
-    """Row-by-row SpGEMM with a hash-table accumulator."""
-    return _spgemm_rowwise(a, b, semiring, HashAccumulator(semiring))
+    """Hash SpGEMM (vectorized fused-key; rowwise fallback like ``spa``)."""
+    return spgemm(a, b, semiring, method="hash")
 
 
-_METHODS = {
-    "esc": spgemm_esc,
-    "spa": spgemm_spa,
-    "hash": spgemm_hash,
-}
+def spgemm_scipy(a: CsrMatrix, b: CsrMatrix) -> Tuple[CsrMatrix, int]:
+    """scipy fast path — valid only for the arithmetic semiring."""
+    return spgemm_scipy_kernel(a, b, PLUS_TIMES)
 
 
 def spgemm(
@@ -166,23 +101,26 @@ def spgemm(
     """Multiply two CSR matrices over ``semiring``; returns ``(C, flops)``.
 
     ``method='auto'`` picks the scipy fast path for the arithmetic
-    semiring and the vectorized ESC kernel otherwise; explicit ``'spa'``,
-    ``'hash'`` or ``'esc'`` force a specific kernel (tests use this for
-    differential checking).
+    semiring and the vectorized ESC kernel otherwise; explicit names force
+    a specific registry kernel (tests use this for differential checking)
+    and raise if the kernel cannot handle ``semiring``.
     """
-    if method == "auto":
-        if semiring.name == "plus_times" and a.dtype != np.bool_:
-            return spgemm_scipy(a, b)
-        return spgemm_esc(a, b, semiring)
-    if method == "scipy":
-        if semiring.name != "plus_times":
-            raise ValueError("scipy method supports only the plus_times semiring")
-        return spgemm_scipy(a, b)
-    try:
-        kernel = _METHODS[method]
-    except KeyError:
-        raise ValueError(
-            f"unknown spgemm method {method!r}; choose from "
-            f"{sorted(_METHODS) + ['scipy', 'auto']}"
-        ) from None
-    return kernel(a, b, semiring)
+    if method != "auto":
+        kernel = METHOD_ALIASES.get(method, method)
+        try:
+            spec = get_kernel(kernel)
+        except ValueError:
+            raise ValueError(
+                f"unknown spgemm method {method!r}; choose from "
+                f"{sorted(set(METHOD_ALIASES) | set(available_kernels())) + ['auto']}"
+            ) from None
+        # Seed compatibility: the short names predate the batched kernels'
+        # semiring restrictions, so method='spa'/'hash' must keep working
+        # on every semiring — fall back to the exact scalar rowwise
+        # namesake where the batched kernel refuses (e.g. spa + max_times).
+        # Full registry names stay strict.
+        if method in ("spa", "hash") and not spec.supports(semiring):
+            kernel = f"{method}-rowwise"
+    else:
+        kernel = "auto"
+    return dispatch_spgemm(a, b, semiring, kernel, strict=True)

@@ -1,0 +1,211 @@
+"""Kernel dispatch registry tests: cross-kernel output equivalence.
+
+Every kernel registered in :mod:`repro.sparse.kernels` must produce
+*identical* ``(indptr, indices, data)`` output — same pattern, including
+explicit zeros, bit-equal values — on every input and semiring it
+supports.  Values are integer-valued so floating-point addition is exact
+regardless of the accumulation order a kernel uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TsConfig
+from repro.sparse import (
+    BOOL_AND_OR,
+    DEFAULT_KERNEL,
+    MIN_PLUS,
+    PLUS_TIMES,
+    CsrMatrix,
+    available_kernels,
+    dispatch_spgemm,
+    dispatch_spmm,
+    get_kernel,
+    random_csr,
+    register_kernel,
+    resolve_spgemm,
+)
+from ..conftest import csr_from_dense, random_dense
+
+CSR_KERNELS = available_kernels()
+SEMIRINGS = [PLUS_TIMES, MIN_PLUS, BOOL_AND_OR]
+
+
+def _integerize(mat: CsrMatrix, rng) -> CsrMatrix:
+    """Replace values with small integers so float addition is exact and
+    bit-equality holds regardless of a kernel's accumulation order."""
+    mat.data[:] = rng.integers(1, 10, size=mat.nnz)
+    return mat
+
+
+def _case_random(rng):
+    """Seeded random operands in the paper's tall-skinny regime."""
+    a = _integerize(random_csr(60, 60, nnz_per_row=5, rng=rng), rng)
+    b = _integerize(random_csr(60, 24, nnz_per_row=6, rng=rng), rng)
+    return a, b
+
+
+def _case_empty_rows(rng):
+    """Operands with interleaved all-zero rows (and an empty B row)."""
+    a_dense = random_dense(rng, 24, 18, 0.3)
+    a_dense[::3] = 0  # every third A row empty
+    b_dense = random_dense(rng, 18, 7, 0.4)
+    b_dense[1::2] = 0  # every second B row empty
+    return csr_from_dense(a_dense), csr_from_dense(b_dense)
+
+
+def _case_duplicate_heavy(rng):
+    """Dense-ish operands: every output entry folds many duplicates."""
+    a_dense = random_dense(rng, 30, 6, 0.9)
+    b_dense = random_dense(rng, 6, 5, 0.9)
+    return csr_from_dense(a_dense), csr_from_dense(b_dense)
+
+
+CASES = {
+    "random": _case_random,
+    "empty-rows": _case_empty_rows,
+    "duplicate-heavy": _case_duplicate_heavy,
+}
+
+
+def _coerce(mat: CsrMatrix, semiring) -> CsrMatrix:
+    return mat.astype(semiring.dtype)
+
+
+class TestCrossKernelEquivalence:
+    @pytest.mark.parametrize("kernel", CSR_KERNELS)
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+    def test_identical_output(self, rng, kernel, case, semiring):
+        spec = get_kernel(kernel)
+        if not spec.supports(semiring):
+            pytest.skip(f"{kernel} does not support {semiring.name}")
+        a, b = CASES[case](rng)
+        a, b = _coerce(a, semiring), _coerce(b, semiring)
+        reference, ref_flops = dispatch_spgemm(a, b, semiring, DEFAULT_KERNEL)
+        got, flops = dispatch_spgemm(a, b, semiring, kernel)
+        assert got.shape == reference.shape
+        np.testing.assert_array_equal(got.indptr, reference.indptr)
+        np.testing.assert_array_equal(got.indices, reference.indices)
+        np.testing.assert_array_equal(got.data, reference.data)
+        assert flops == ref_flops
+
+    @pytest.mark.parametrize("kernel", [k for k in CSR_KERNELS if k != "scipy"])
+    def test_explicit_zero_from_cancellation_kept(self, kernel):
+        # (+1)*1 + (-1)*1 = 0 stays a stored entry in every kernel; scipy
+        # is exempt — its matmul canonicalizes away cancelled entries.
+        a = csr_from_dense([[1, -1]])
+        b = csr_from_dense([[1, 0], [1, 0]])
+        c, _ = dispatch_spgemm(a, b, PLUS_TIMES, kernel)
+        assert c.nnz == 1
+        assert c.data[0] == 0.0
+
+    @pytest.mark.parametrize("kernel", CSR_KERNELS)
+    def test_empty_operands(self, kernel):
+        a = CsrMatrix.empty((3, 4))
+        b = CsrMatrix.empty((4, 2))
+        c, flops = dispatch_spgemm(a, b, PLUS_TIMES, kernel)
+        assert c.shape == (3, 2) and c.nnz == 0 and flops == 0
+
+    @pytest.mark.parametrize("kernel", CSR_KERNELS)
+    def test_dimension_mismatch(self, kernel):
+        a = CsrMatrix.empty((3, 4))
+        b = CsrMatrix.empty((5, 2))
+        with pytest.raises(ValueError, match="mismatch"):
+            dispatch_spgemm(a, b, PLUS_TIMES, kernel)
+
+
+class TestRegistry:
+    def test_issue_kernels_registered(self):
+        for name in ("esc-vectorized", "spa", "hash", "scipy"):
+            assert name in CSR_KERNELS
+        assert "dense" in available_kernels("dense")
+
+    def test_default_is_vectorized_esc(self):
+        assert DEFAULT_KERNEL == "esc-vectorized"
+        assert get_kernel(DEFAULT_KERNEL).vectorized
+        # Config defaults to "auto": scipy's C fast path for arithmetic
+        # float data, the vectorized ESC default for every other semiring.
+        assert TsConfig().kernel == "auto"
+        assert resolve_spgemm("auto", MIN_PLUS).name == DEFAULT_KERNEL
+
+    def test_spa_restricted_to_identity_safe_semirings(self):
+        # max_times' zero (0.0) is not an identity for negative products;
+        # the scatter-fold SPA kernel must refuse rather than be wrong.
+        from repro.sparse import MAX_TIMES
+
+        assert not get_kernel("spa").supports(MAX_TIMES)
+        a = csr_from_dense([[-1.0]])
+        b = csr_from_dense([[2.0]])
+        expected, _ = dispatch_spgemm(a, b, MAX_TIMES, DEFAULT_KERNEL)
+        assert expected.data[0] == -2.0
+        with pytest.raises(ValueError, match="spa"):
+            dispatch_spgemm(a, b, MAX_TIMES, "spa")
+        # Seed-compatible facade: method='spa' falls back to the exact
+        # scalar rowwise kernel instead of raising or being wrong.
+        from repro.sparse import spgemm, spgemm_spa
+
+        for result in (spgemm(a, b, MAX_TIMES, method="spa")[0],
+                       spgemm_spa(a, b, MAX_TIMES)[0]):
+            assert result.data[0] == -2.0
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("btree")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel("spa", vectorized=True)(lambda a, b, s: None)
+
+    def test_config_validates_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            TsConfig(kernel="btree")
+        assert TsConfig(kernel="auto").kernel == "auto"
+
+    def test_auto_resolution(self):
+        a = csr_from_dense([[1.0]])
+        assert resolve_spgemm("auto", PLUS_TIMES, a).name == "scipy"
+        assert resolve_spgemm("auto", BOOL_AND_OR).name == DEFAULT_KERNEL
+        bool_a = a.astype(np.bool_)
+        assert resolve_spgemm("auto", PLUS_TIMES, bool_a).name == DEFAULT_KERNEL
+
+    def test_strict_default_rejects_unsupported_semiring(self):
+        # Numeric paths never silently substitute a forced kernel.
+        with pytest.raises(ValueError, match="plus_times"):
+            resolve_spgemm("scipy", BOOL_AND_OR)
+
+    def test_lenient_degrades_to_default(self):
+        # The tiled algorithm's boolean symbolic phase (the one lenient
+        # call site) relies on this.
+        assert resolve_spgemm("scipy", BOOL_AND_OR, strict=False).name == DEFAULT_KERNEL
+
+    def test_spgemm_kernel_rejected_as_dense(self):
+        a = csr_from_dense([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="dense"):
+            dispatch_spmm(a, np.eye(2), kernel="spa")
+
+    def test_dense_kernel_rejected_as_spgemm(self):
+        a = csr_from_dense([[1.0]])
+        with pytest.raises(ValueError, match="not an SpGEMM kernel"):
+            dispatch_spgemm(a, a, PLUS_TIMES, "dense")
+
+    def test_dispatch_spmm_matches_dense_product(self, rng):
+        a = csr_from_dense(random_dense(rng, 9, 6, 0.4))
+        dense_b = rng.random((6, 3))
+        product, flops = dispatch_spmm(a, dense_b)
+        np.testing.assert_allclose(product, a.to_dense() @ dense_b)
+        assert flops == a.nnz * 3
+
+
+class TestForcedKernelEndToEnd:
+    """A forced kernel flows from TsConfig through the tiled algorithm."""
+
+    @pytest.mark.parametrize("kernel", ["spa", "hash", "scipy", "spa-rowwise"])
+    def test_tiled_multiply_all_kernels_agree(self, rng, kernel):
+        from repro.core import ts_spgemm
+
+        a = random_csr(48, 48, nnz_per_row=4, rng=rng)
+        b = random_csr(48, 8, nnz_per_row=3, rng=rng)
+        reference = ts_spgemm(a, b, 4, config=TsConfig()).C
+        got = ts_spgemm(a, b, 4, config=TsConfig(kernel=kernel)).C
+        assert got.equal(reference)

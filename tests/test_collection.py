@@ -1,0 +1,49 @@
+"""Collection guard: the whole suite must collect with zero errors.
+
+The seed shipped without ``__init__.py`` in ``tests/``, so every module
+doing ``from ..conftest import ...`` failed collection with "attempted
+relative import with no known parent package" — 15 collection errors
+hiding 711 passing tests.  This test runs ``pytest --collect-only`` in a
+subprocess so that regression (e.g. a new test subpackage added without
+an ``__init__.py``) can never silently return.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_suite_collects_with_zero_errors():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q", "tests"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    output = proc.stdout + proc.stderr
+    # pytest exits 2 on any collection error; the summary line would also
+    # read "N tests collected, M errors" instead of plain "N tests collected".
+    assert proc.returncode == 0, f"collection failed:\n{output}"
+    match = re.search(r"(\d+) tests? collected", output)
+    assert match, f"no collection summary found:\n{output}"
+    summary = output[match.start() :].splitlines()[0]
+    assert "error" not in summary.lower(), f"collection errors:\n{output}"
+    assert int(match.group(1)) >= 711, output
+
+
+def test_every_test_dir_is_a_package():
+    """Each directory holding test modules needs an ``__init__.py``."""
+    for test_file in (REPO_ROOT / "tests").rglob("test_*.py"):
+        marker = test_file.parent / "__init__.py"
+        assert marker.exists(), f"missing {marker.relative_to(REPO_ROOT)}"
