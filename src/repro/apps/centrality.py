@@ -55,6 +55,11 @@ def closeness_centrality(
     One MSBFS supplies, per level ``ℓ``, the set of vertices first reached
     at depth ``ℓ`` for every source column; summing ``ℓ · |level set|``
     gives the distance sums without storing distances explicitly.
+
+    The traversal inherits :func:`~repro.apps.msbfs.msbfs`'s resident
+    session: with ``config.reuse_plan`` the graph is scattered and its
+    multiply plan prepared once for the whole run, every level replanning
+    only against the thinning frontier.
     """
     if A.nrows != A.ncols:
         raise ValueError("adjacency matrix must be square")

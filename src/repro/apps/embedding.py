@@ -22,13 +22,13 @@ with the SpGEMM's row fetches, so the charged traffic matches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, TsConfig
-from ..core.driver import ts_spgemm
+from ..core.driver import TsSession, ts_spgemm
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
 from ..sparse.build import coo_to_csr
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
@@ -100,17 +100,30 @@ def train_sparse_embedding(
     seed: int = 0,
     holdout_fraction: float = 0.1,
     learning_rate: Optional[float] = None,
+    negative_refresh: int = 1,
 ) -> EmbeddingResult:
     """Train a sparse Force2Vec embedding of the graph ``adj``.
 
     ``sparsity`` is the target fraction of zero entries per embedding row
     (Fig 13 sweeps it); ``d`` the embedding dimension.  Link-prediction
     accuracy is evaluated on held-out edges vs. random non-edges.
+
+    ``negative_refresh`` controls how many epochs each negative-sample
+    draw is kept for (default 1 = redraw every epoch, the historical
+    behaviour).  With a value > 1 the coefficient matrix ``W`` keeps a
+    *fixed pattern* between redraws — only its values move with ``Z`` —
+    so the resident :class:`~repro.core.driver.TsSession` holds one
+    prepared plan across those epochs and refreshes just the numeric
+    state (``update_operand``); each multiply then replans only against
+    the re-sparsified ``Z``.  Requires ``config.reuse_plan``; with it off
+    every epoch runs the fresh-plan driver, whatever the refresh period.
     """
     if adj.nrows != adj.ncols:
         raise ValueError("adjacency matrix must be square")
     if not (0.0 <= sparsity < 1.0):
         raise ValueError("sparsity must be in [0, 1)")
+    if negative_refresh < 1:
+        raise ValueError("negative_refresh must be >= 1")
     n = adj.nrows
     rng = np.random.default_rng(seed)
     keep_per_row = max(int(round(d * (1.0 - sparsity))), 1)
@@ -132,39 +145,40 @@ def train_sparse_embedding(
     z_sparse = row_topk(CsrMatrix.from_dense(z_dense), keep_per_row)
     lr = config.learning_rate if learning_rate is None else learning_rate
     batch = min(config.batch_size, max(n // max(p, 1), 1))
-    train_config = TsConfig(
-        tile_width_factor=config.tile_width_factor,
-        tile_height=batch,
-        mode_policy=config.mode_policy,
-        spa_threshold=config.spa_threshold,
-        batch_size=config.batch_size,
-        learning_rate=config.learning_rate,
-    )
+    # Tile height = mini-batch size (§IV-B); everything else — kernel,
+    # mode policy, plan reuse — is inherited from the caller's config.
+    train_config = replace(config, tile_height=batch)
+    use_session = config.reuse_plan and negative_refresh > 1
+    session: Optional[TsSession] = None
 
     result = EmbeddingResult(Z=z_sparse)
+    pattern = None
     for epoch in range(epochs):
         z_dense = z_sparse.to_dense()
-        # negative samples: n_negative random non-self targets per vertex
-        neg_u = np.repeat(np.arange(n, dtype=INDEX_DTYPE), n_negative)
-        neg_v = rng.integers(0, n, n * n_negative, dtype=INDEX_DTYPE)
-        keep = neg_u != neg_v
-        neg_u, neg_v = neg_u[keep], neg_v[keep]
+        if pattern is None or epoch % negative_refresh == 0:
+            # negative samples: n_negative random non-self targets per
+            # vertex, kept for `negative_refresh` epochs
+            neg_u = np.repeat(np.arange(n, dtype=INDEX_DTYPE), n_negative)
+            neg_v = rng.integers(0, n, n * n_negative, dtype=INDEX_DTYPE)
+            keep = neg_u != neg_v
+            neg_u, neg_v = neg_u[keep], neg_v[keep]
 
-        # Coefficient matrix W via an SDDMM over the (edges + negatives)
-        # pattern (driver-side; see module docstring): the pattern carries
-        # +1 on attractive edges and -1 on repulsive samples (Fig 4b), the
-        # SDDMM computes the dot products, and the Force2Vec per-edge map
-        # turns them into gradient coefficients.
-        labels = np.concatenate(
-            [np.ones(len(train_u)), -np.ones(len(neg_u))]
-        )
-        pattern = coo_to_csr(
-            np.concatenate([train_u, neg_u]),
-            np.concatenate([train_v, neg_v]),
-            labels,
-            (n, n),
-            _LABEL_SEMIRING,
-        )
+            # Coefficient pattern over (edges + negatives): +1 on
+            # attractive edges, -1 on repulsive samples (Fig 4b).  The
+            # pattern is fixed until the next refresh; only values move.
+            labels = np.concatenate(
+                [np.ones(len(train_u)), -np.ones(len(neg_u))]
+            )
+            pattern = coo_to_csr(
+                np.concatenate([train_u, neg_u]),
+                np.concatenate([train_v, neg_v]),
+                labels,
+                (n, n),
+                _LABEL_SEMIRING,
+            )
+        # SDDMM over the pattern (driver-side; see module docstring)
+        # computes the dot products; the Force2Vec per-edge map turns
+        # them into gradient coefficients.
         scores = sddmm(pattern, z_dense, z_dense)
         # attractive (label > 0): sigma(s) - 1 ; repulsive: sigma(s)
         coeff_vals = _sigmoid(scores.data) - (pattern.data > 0).astype(np.float64)
@@ -173,9 +187,18 @@ def train_sparse_embedding(
         )
 
         # the distributed multiply: gradient = W · Z (sparse × sparse TS)
-        mult = ts_spgemm(
-            W, z_sparse, p, config=train_config, machine=machine
-        )
+        if use_session:
+            if session is None:
+                session = TsSession(
+                    W, p, semiring=PLUS_TIMES, config=train_config, machine=machine
+                )
+            else:
+                # values-only refresh between redraws; a redrawn pattern
+                # is detected inside and triggers a full re-setup
+                session.update_operand(W)
+            mult = session.multiply(z_sparse)
+        else:
+            mult = ts_spgemm(W, z_sparse, p, config=train_config, machine=machine)
         grad = mult.C.to_dense()
 
         # synchronous SGD step + re-sparsification (keep top-k per row)

@@ -95,6 +95,12 @@ def influence_maximization(
     n_candidates:
         Seed candidates = this many highest-degree vertices (default
         ``max(4k, 16)``, capped at n).
+
+    Each live-edge sample is a fresh graph, so each sample's MSBFS builds
+    one resident multiply session (``config.reuse_plan``): the sampled
+    graph is scattered and plan-prepared once and every BFS level only
+    replans against the frontier — the plan cannot outlive the sample,
+    but it is amortized over all of its levels.
     """
     if A.nrows != A.ncols:
         raise ValueError("adjacency matrix must be square")

@@ -21,7 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..baselines.registry import get_algorithm
+from ..baselines.registry import get_algorithm, make_session
 from ..core.config import DEFAULT_CONFIG, TsConfig
 from ..data.generators import bfs_frontier
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
@@ -81,12 +81,26 @@ def msbfs(
     ``u → v`` (for the symmetric graphs of the evaluation this is just the
     adjacency matrix).  ``algorithm`` is any registry name — the paper's
     Fig 12(d) runs the same loop over 2-D SUMMA for comparison.
+
+    With ``config.reuse_plan`` (the default) and an algorithm that offers
+    a resident session (``TS-SpGEMM``, ``TS-SpGEMM-Naive``), ``A`` is
+    scattered, column-copied and plan-prepared **once** and every level
+    only replans against the new frontier; baselines without a session —
+    and ``--reuse-plan off`` ablation runs — launch one full simulated
+    job per level, as before.
     """
     if A.nrows != A.ncols:
         raise ValueError("adjacency matrix must be square")
     sources = np.asarray(sources, dtype=np.int64)
     multiply = get_algorithm(algorithm)
     a_bool = A if A.dtype == np.bool_ else A.astype(np.bool_)
+    session = (
+        make_session(
+            algorithm, a_bool, p, semiring=BOOL_AND_OR, machine=machine, config=config
+        )
+        if config.reuse_plan
+        else None
+    )
 
     frontier = bfs_frontier(A.nrows, sources)
     visited = frontier
@@ -96,9 +110,13 @@ def msbfs(
         if max_levels is not None and level >= max_levels:
             break
         entering_nnz = frontier.nnz
-        mult = multiply(
-            a_bool, frontier, p, semiring=BOOL_AND_OR, machine=machine
-        )
+        if session is not None:
+            mult = session.multiply(frontier)
+        else:
+            mult = multiply(
+                a_bool, frontier, p, semiring=BOOL_AND_OR, machine=machine,
+                config=config,
+            )
         reached = mult.C
         frontier = pattern_difference(reached, visited)  # F <- N \ S
         visited = ewise_add(visited, reached, BOOL_AND_OR)  # S <- S v N
@@ -135,11 +153,20 @@ def msbfs_spmd(
 
     Unlike :func:`msbfs` (which launches one simulated job per level so it
     can swap in baseline multiplies), this variant keeps everything
-    distributed for the whole traversal: the ``Ac`` column copy is built
-    **once** and amortized over every level — the reason the paper's data
-    structure pays off in iterative applications — and the frontier
-    update ``F ← N \\ S``, visited update and the global termination test
-    (an allreduce of ``nnz(F)``) all run rank-locally between multiplies.
+    distributed for the whole traversal: the ``Ac`` column copy *and* the
+    B-independent multiply plan (:class:`~repro.core.plan.PreparedA`) are
+    built **once** and amortized over every level — the reason the
+    paper's data structure pays off in iterative applications — and the
+    frontier update ``F ← N \\ S``, visited update and the global
+    termination test (an allreduce of ``nnz(F)``) all run rank-locally
+    between multiplies.  ``config.reuse_plan=False`` keeps ``Ac``
+    resident but re-plans every level (the ``--reuse-plan off``
+    ablation).
+
+    Per-level ``comm_bytes``/``comm_time`` are measured as deltas of each
+    rank's communication counters around the level's multiply, so the
+    :class:`BfsIteration` trace decomposes the same way as the
+    registry-path trace (bytes summed over ranks, times max over ranks).
     """
     if A.nrows != A.ncols:
         raise ValueError("adjacency matrix must be square")
@@ -147,6 +174,7 @@ def msbfs_spmd(
     a_bool = A if A.dtype == np.bool_ else A.astype(np.bool_)
     f_global = bfs_frontier(A.nrows, sources)
 
+    from ..core.plan import prepare_multiply
     from ..core.tiled import tiled_multiply
     from ..mpi.executor import run_spmd
     from ..partition.distmat import DistSparseMatrix
@@ -154,6 +182,7 @@ def msbfs_spmd(
     def program(comm):
         dist_a = DistSparseMatrix.scatter_rows(comm, a_bool)
         dist_a.build_column_copy()
+        prepared = prepare_multiply(dist_a, config) if config.reuse_plan else None
         dist_f = DistSparseMatrix.scatter_rows(comm, f_global)
         visited = dist_f.local
         frontier = dist_f.local
@@ -166,12 +195,17 @@ def msbfs_spmd(
             if max_levels is not None and level >= max_levels:
                 break
             t0 = comm.time
+            totals0 = comm.stats.totals()
+            bytes0, comm_t0 = totals0.bytes_sent, totals0.comm_time
             dist_f = DistSparseMatrix(comm, dist_a.rows, frontier, f_global.ncols)
-            dist_n, diag = tiled_multiply(dist_a, dist_f, BOOL_AND_OR, config)
+            dist_n, diag = tiled_multiply(
+                dist_a, dist_f, BOOL_AND_OR, config, prepared=prepared
+            )
             with comm.phase("frontier-update"):
                 frontier = pattern_difference(dist_n.local, visited)
                 visited = ewise_add(visited, dist_n.local, BOOL_AND_OR)
                 comm.charge_touch(dist_n.local.nbytes_estimate())
+            totals1 = comm.stats.totals()
             trace.append(
                 (
                     level,
@@ -179,6 +213,8 @@ def msbfs_spmd(
                     frontier.nnz,
                     diag.sent_b_nnz + diag.sent_c_nnz,
                     comm.time - t0,
+                    totals1.bytes_sent - bytes0,
+                    totals1.comm_time - comm_t0,
                 )
             )
             level += 1
@@ -198,10 +234,10 @@ def msbfs_spmd(
                 iteration=lvl,
                 frontier_nnz=entries[0][1],
                 discovered_nnz=sum(e[2] for e in entries),
-                comm_bytes=0,  # per-level bytes not separated in this mode
+                comm_bytes=sum(e[5] for e in entries),
                 comm_nnz=sum(e[3] for e in entries),
                 runtime=max(e[4] for e in entries),
-                comm_time=0.0,
+                comm_time=max(e[6] for e in entries),
             )
         )
     return out

@@ -1,7 +1,7 @@
 """Distributed SpGEMM baselines: 2-D/3-D sparse SUMMA and PETSc-style 1-D."""
 
 from .petsc1d import petsc1d
-from .registry import ALGORITHMS, get_algorithm
+from .registry import ALGORITHMS, SESSIONS, get_algorithm, make_session
 from .result import BaselineResult, assemble_2d_blocks
 from .shift15d import shift15d_spmm
 from .summa2d import summa2d
@@ -10,8 +10,10 @@ from .summa3d import summa3d
 __all__ = [
     "ALGORITHMS",
     "BaselineResult",
+    "SESSIONS",
     "assemble_2d_blocks",
     "get_algorithm",
+    "make_session",
     "petsc1d",
     "shift15d_spmm",
     "summa2d",

@@ -4,14 +4,22 @@ Every entry is a callable ``fn(A, B, p, semiring=..., machine=...)``
 returning an object with ``.C``, ``.runtime``, ``.multiply_time``,
 ``.comm_time``, ``.comm_bytes()`` and ``.report`` — so the benchmark
 harness can sweep algorithms exactly the way Figs 8-11 do.
+
+Algorithms whose setup is amortizable also register a *resident session*
+variant (``SESSIONS`` / :func:`make_session`): a session object created
+once per ``A`` whose ``.multiply(B)`` returns the same result type, but
+pays scatter / ``Ac`` / plan preparation a single time.  Iterative
+drivers (:func:`repro.apps.msbfs.msbfs`) use a session when the selected
+algorithm offers one, so MS-BFS stops re-scattering ``A`` every level;
+baselines without one keep the per-call path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from ..core.config import DEFAULT_CONFIG, TsConfig
-from ..core.driver import ts_spgemm
+from ..core.driver import TsSession, ts_spgemm
 from ..mpi.costmodel import PERLMUTTER
 from ..sparse.semiring import PLUS_TIMES
 from .petsc1d import petsc1d
@@ -62,3 +70,42 @@ def get_algorithm(name: str) -> Callable:
         raise KeyError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
         ) from None
+
+
+def _ts_session(A, p, *, semiring, machine, config):
+    return TsSession(
+        A, p, semiring=semiring, machine=machine, config=config, algorithm="tiled"
+    )
+
+
+def _naive_session(A, p, *, semiring, machine, config):
+    return TsSession(
+        A, p, semiring=semiring, machine=machine, config=config, algorithm="naive"
+    )
+
+
+#: name → resident-session factory (algorithms with amortizable setup).
+SESSIONS: Dict[str, Callable] = {
+    "TS-SpGEMM": _ts_session,
+    "TS-SpGEMM-Naive": _naive_session,
+}
+
+
+def make_session(
+    name: str,
+    A,
+    p: int,
+    *,
+    semiring=PLUS_TIMES,
+    machine=PERLMUTTER,
+    config: TsConfig = DEFAULT_CONFIG,
+) -> Optional[TsSession]:
+    """A resident session for ``name``, or ``None`` if it has no variant.
+
+    ``None`` is a contract, not an error: callers fall back to the
+    per-call registry entry, which every algorithm has.
+    """
+    factory = SESSIONS.get(name)
+    if factory is None:
+        return None
+    return factory(A, p, semiring=semiring, machine=machine, config=config)

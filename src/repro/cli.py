@@ -55,6 +55,32 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="machine cost profile",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--reuse-plan",
+        default="on",
+        choices=("on", "off"),
+        help="amortize the B-independent symbolic+tiling plan across "
+        "iterative multiplies (off = re-plan every multiply, for ablation)",
+    )
+
+
+def _add_kernel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=sorted(available_kernels() + ("auto",)),
+        help="local SpGEMM kernel from the dispatch registry "
+        "(auto = scipy for arithmetic float data, batched spa for "
+        f"small-d identity-safe semirings, else {DEFAULT_KERNEL})",
+    )
+
+
+def _config(args, **overrides) -> TsConfig:
+    return TsConfig(
+        kernel=getattr(args, "kernel", "auto"),
+        reuse_plan=args.reuse_plan == "on",
+        **overrides,
+    )
 
 
 def _load_matrix(args):
@@ -67,7 +93,7 @@ def _cmd_multiply(args) -> int:
     A = _load_matrix(args)
     B = tall_skinny(A.nrows, args.d, args.sparsity, seed=args.seed + 1)
     machine = get_profile(args.machine)
-    config = TsConfig(tile_width_factor=args.tile_width, kernel=args.kernel)
+    config = _config(args, tile_width_factor=args.tile_width)
     try:
         algorithm = ALGORITHMS[args.algorithm]
     except KeyError:
@@ -97,7 +123,14 @@ def _cmd_bfs(args) -> int:
     A = _load_matrix(args)
     sources = random_sources(A.nrows, args.sources, seed=args.seed)
     machine = get_profile(args.machine)
-    result = msbfs(A, sources, args.ranks, algorithm=args.algorithm, machine=machine)
+    result = msbfs(
+        A,
+        sources,
+        args.ranks,
+        algorithm=args.algorithm,
+        config=_config(args),
+        machine=machine,
+    )
     rows = [
         [it.iteration, it.frontier_nnz, it.comm_nnz, fmt_seconds(it.runtime)]
         for it in result.iterations
@@ -124,6 +157,8 @@ def _cmd_embed(args) -> int:
         epochs=args.epochs,
         seed=args.seed,
         learning_rate=args.lr,
+        config=_config(args),
+        negative_refresh=args.negative_refresh,
         machine=machine,
     )
     rows = [
@@ -150,6 +185,7 @@ def _cmd_influence(args) -> int:
         probability=args.probability,
         samples=args.samples,
         seed=args.seed,
+        config=_config(args),
         machine=machine,
     )
     rows = [
@@ -197,27 +233,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_mult.add_argument("--d", type=int, default=128)
     p_mult.add_argument("--sparsity", type=float, default=0.8)
     p_mult.add_argument("--tile-width", type=int, default=16)
-    p_mult.add_argument(
-        "--kernel",
-        default="auto",
-        choices=sorted(available_kernels() + ("auto",)),
-        help="local SpGEMM kernel from the dispatch registry "
-        f"(auto = scipy for arithmetic float data, else {DEFAULT_KERNEL})",
-    )
+    _add_kernel(p_mult)
     p_mult.set_defaults(func=_cmd_multiply)
 
     p_bfs = sub.add_parser("bfs", help="multi-source BFS")
     _add_common(p_bfs)
+    _add_kernel(p_bfs)
     p_bfs.add_argument("--sources", type=int, default=64)
     p_bfs.add_argument("--algorithm", default="TS-SpGEMM")
     p_bfs.set_defaults(func=_cmd_bfs)
 
     p_emb = sub.add_parser("embed", help="sparse embedding training")
     _add_common(p_emb)
+    _add_kernel(p_emb)
     p_emb.add_argument("--d", type=int, default=16)
     p_emb.add_argument("--sparsity", type=float, default=0.8)
     p_emb.add_argument("--epochs", type=int, default=10)
     p_emb.add_argument("--lr", type=float, default=0.05)
+    p_emb.add_argument(
+        "--negative-refresh",
+        type=int,
+        default=1,
+        help="epochs each negative-sample draw is kept; >1 freezes the "
+        "coefficient pattern between draws so the resident session "
+        "reuses its prepared plan (values still update every epoch)",
+    )
     p_emb.set_defaults(func=_cmd_embed)
 
     p_inf = sub.add_parser("influence", help="IC influence maximization")

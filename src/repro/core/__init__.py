@@ -1,8 +1,9 @@
 """The paper's contribution: distributed TS-SpGEMM (naive, tiled) and SpMM."""
 
 from .config import DEFAULT_CONFIG, MODE_POLICIES, TsConfig
-from .driver import MultiplyResult, SETUP_PHASES, ts_spgemm, ts_spmm
+from .driver import MultiplyResult, SETUP_PHASES, TsSession, ts_spgemm, ts_spmm
 from .naive import naive_multiply
+from .plan import PreparedA, PreparedSubtile, prepare_multiply, replan
 from .spmm import SpmmDiagnostics, spmm_multiply
 from .symbolic import (
     DIAGONAL,
@@ -23,6 +24,8 @@ __all__ = [
     "LOCAL",
     "MODE_POLICIES",
     "MultiplyResult",
+    "PreparedA",
+    "PreparedSubtile",
     "REMOTE",
     "SETUP_PHASES",
     "SpmmDiagnostics",
@@ -30,8 +33,11 @@ __all__ = [
     "SymbolicPlan",
     "TileDiagnostics",
     "TsConfig",
+    "TsSession",
     "build_symbolic_plan",
     "naive_multiply",
+    "prepare_multiply",
+    "replan",
     "row_tile_ranges",
     "spmm_multiply",
     "tiled_multiply",

@@ -53,6 +53,13 @@ class TsConfig:
         ``*-rowwise`` references) or ``"auto"`` (the default): scipy's C
         fast path for arithmetic float data, the vectorized ESC kernel
         for every other semiring.
+    reuse_plan:
+        When ``True`` (default), iterative drivers (the resident MSBFS,
+        :class:`~repro.core.driver.TsSession`, embedding training) build
+        one :class:`~repro.core.plan.PreparedA` per distributed ``A`` and
+        amortize the B-independent symbolic + tiling work across
+        multiplies.  ``False`` re-plans every multiply from scratch — the
+        ablation behind the CLI's ``--reuse-plan on|off``.
     spa_threshold:
         Largest ``d`` for which the SPA accumulator is cost-modelled; hash
         accumulation is charged beyond it (§III-C: "For d > 1024, we opt
@@ -67,6 +74,7 @@ class TsConfig:
     tile_height: Optional[int] = None
     mode_policy: str = "hybrid"
     kernel: str = "auto"
+    reuse_plan: bool = True
     spa_threshold: int = 1024
     default_d: int = 128
     default_b_sparsity: float = 0.80

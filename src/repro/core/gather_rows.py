@@ -63,13 +63,24 @@ def pack_dense_rows(
 
 
 def place_dense_rows(
-    nrows: int, payload: Optional[Tuple[np.ndarray, np.ndarray]], ncols: int
+    nrows: int,
+    payload: Optional[Tuple[np.ndarray, np.ndarray]],
+    ncols: int,
+    dtype=None,
 ) -> np.ndarray:
-    """Scatter shipped dense rows into a zero block of height ``nrows``."""
-    out = np.zeros((nrows, ncols))
+    """Scatter shipped dense rows into a zero block of height ``nrows``.
+
+    The block keeps the payload's dtype (a float32 ``B`` must not be
+    silently upcast on placement, nor an integer one truncated); an empty
+    payload defaults to ``dtype`` (float64 when unspecified).
+    """
+    if payload is not None:
+        row_ids, rows = payload
+        rows = np.asarray(rows)
+        dtype = rows.dtype
+    out = np.zeros((nrows, ncols), dtype=np.float64 if dtype is None else dtype)
     if payload is None:
         return out
-    row_ids, rows = payload
     if len(row_ids) and (row_ids.min() < 0 or row_ids.max() >= nrows):
         raise ValueError("placed row id out of range")
     out[row_ids] = rows

@@ -18,7 +18,7 @@ subset can approach the whole matrix (bounded by tiling).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from ..sparse.kernels import dispatch_spgemm
 from ..sparse.semiring import PLUS_TIMES, Semiring
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_rows, place_rows
+from .plan import PreparedA
 
 
 def naive_multiply(
@@ -35,6 +36,7 @@ def naive_multiply(
     B: DistSparseMatrix,
     semiring: Semiring = PLUS_TIMES,
     config: TsConfig = DEFAULT_CONFIG,
+    prepared: Optional[PreparedA] = None,
 ) -> Tuple[DistSparseMatrix, dict]:
     """One TS-SpGEMM-Naive multiply; returns ``(C, diagnostics)``.
 
@@ -42,6 +44,13 @@ def naive_multiply(
     tall-and-skinny one on the same communicator and row partition.
     Diagnostics report the request/fetch volumes that the tiled algorithm
     eliminates or bounds.
+
+    ``prepared`` amortizes the request round across iterative multiplies
+    with a static ``A``: the nonzero-column scan, the per-owner request
+    split *and the request all-to-all itself* are B-independent, so after
+    the first multiply the whole ``request-indices`` phase is served from
+    the cache — the resident-session analogue of what the ``Ac`` copy
+    does for the tiled algorithm.
     """
     comm = A.comm
     if B.comm is not comm:
@@ -50,15 +59,29 @@ def naive_multiply(
     rows = B.rows
 
     # Line 2-3: nonzero columns of Ai, requested from their owners.
-    with comm.phase("request-indices"):
-        nzc = A.local.nonzero_columns()
-        owners = rows.owners(nzc) if len(nzc) else np.zeros(0, dtype=INDEX_DTYPE)
-        requests = []
-        for j in range(comm.size):
-            requests.append(nzc[owners == j] if len(nzc) else None)
-        incoming = comm.alltoall(
-            [r if r is not None and len(r) else None for r in requests]
-        )
+    if prepared is not None:
+        prepared.check_compatible(A, config)
+    cached = prepared.naive_cache if prepared is not None else None
+    if cached is None:
+        with comm.phase("request-indices"):
+            nzc = A.local.nonzero_columns()
+            owners = rows.owners(nzc) if len(nzc) else np.zeros(0, dtype=INDEX_DTYPE)
+            requests = []
+            for j in range(comm.size):
+                requests.append(nzc[owners == j] if len(nzc) else None)
+            incoming = comm.alltoall(
+                [r if r is not None and len(r) else None for r in requests]
+            )
+            incoming_local_ids = [
+                rows.to_local(comm.rank, req)
+                if req is not None and len(req)
+                else None
+                for req in incoming
+            ]
+        if prepared is not None:
+            prepared.naive_cache = (incoming, incoming_local_ids)
+    else:
+        incoming, incoming_local_ids = cached
 
     # Line 4: answer requests with packed B rows (global ids travel along).
     with comm.phase("fetch-B"):
@@ -68,7 +91,7 @@ def naive_multiply(
             if req is None or len(req) == 0:
                 replies.append(None)
                 continue
-            local_ids = rows.to_local(comm.rank, req)
+            local_ids = incoming_local_ids[i]
             packed = pack_rows(B.local, local_ids)
             if packed is None:
                 replies.append(None)

@@ -22,6 +22,7 @@ from ..sparse.kernels import dispatch_spmm
 from ..sparse.ops import extract_row_range
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_dense_rows, place_dense_rows
+from .plan import PreparedA
 from .symbolic import row_tile_ranges
 
 
@@ -44,11 +45,18 @@ def spmm_multiply(
     A: DistSparseMatrix,
     B: DistDenseMatrix,
     config: TsConfig = DEFAULT_CONFIG,
+    prepared: Optional[PreparedA] = None,
 ) -> Tuple[DistDenseMatrix, SpmmDiagnostics]:
     """One distributed SpMM; returns ``(C_dense, diagnostics)``.
 
     Requires ``A.build_column_copy()``.  Output ``C = A · B`` is dense,
     1-D row partitioned like ``A``.
+
+    Unlike the SpGEMM symbolic step, the SpMM mode decision compares
+    *dense* payload sizes — needed B rows vs affected output rows — which
+    depend only on ``A``.  A ``prepared`` plan therefore caches the whole
+    mode table (including its all-to-all) after the first multiply, and
+    every later multiply skips the symbolic phase outright.
     """
     comm = A.comm
     if B.comm is not comm:
@@ -63,34 +71,44 @@ def spmm_multiply(
     c_local = np.zeros((my_nrows, d))
 
     # ---- symbolic step: per (peer, row tile) mode off Ac ---------------
-    produced = {}
-    with comm.phase("symbolic"):
-        for peer in range(p):
-            tile_block = A.col_copy_rows_of(peer)
-            h = config.effective_tile_height(tile_block.nrows)
-            infos = []
-            for rt, (r0, r1) in enumerate(row_tile_ranges(tile_block.nrows, h)):
-                sub = extract_row_range(tile_block, r0, r1)
-                if sub.nnz == 0:
-                    infos.append((rt, (r0, r1), "empty", None, None))
-                    continue
-                if peer == comm.rank:
-                    infos.append((rt, (r0, r1), "diagonal", sub, None))
-                    continue
-                nzc = sub.nonzero_columns()
-                affected = np.unique(sub.row_ids())
-                comm.charge_symbolic(sub.nnz)
-                # dense payloads: d values per needed B row vs per output row
-                if config.mode_policy == "hybrid":
-                    mode = "remote" if len(affected) < len(nzc) else "local"
-                elif config.mode_policy == "local":
-                    mode = "local"
-                else:
-                    mode = "remote"
-                infos.append((rt, (r0, r1), mode, sub, nzc))
-            produced[peer] = infos
-        outgoing = [[info[2] for info in produced[peer]] for peer in range(p)]
-        consumed_modes = comm.alltoall(outgoing)
+    # Everything here is B-independent; served from the prepared cache
+    # when one is supplied.
+    if prepared is not None:
+        prepared.check_compatible(A, config)
+    cached = prepared.spmm_cache if prepared is not None else None
+    if cached is None:
+        produced = {}
+        with comm.phase("symbolic"):
+            for peer in range(p):
+                tile_block = A.col_copy_rows_of(peer)
+                h = config.effective_tile_height(tile_block.nrows)
+                infos = []
+                for rt, (r0, r1) in enumerate(row_tile_ranges(tile_block.nrows, h)):
+                    sub = extract_row_range(tile_block, r0, r1)
+                    if sub.nnz == 0:
+                        infos.append((rt, (r0, r1), "empty", None, None))
+                        continue
+                    if peer == comm.rank:
+                        infos.append((rt, (r0, r1), "diagonal", sub, None))
+                        continue
+                    nzc = sub.nonzero_columns()
+                    affected = np.unique(sub.row_ids())
+                    comm.charge_symbolic(sub.nnz)
+                    # dense payloads: d values per needed B row vs per output row
+                    if config.mode_policy == "hybrid":
+                        mode = "remote" if len(affected) < len(nzc) else "local"
+                    elif config.mode_policy == "local":
+                        mode = "local"
+                    else:
+                        mode = "remote"
+                    infos.append((rt, (r0, r1), mode, sub, nzc))
+                produced[peer] = infos
+            outgoing = [[info[2] for info in produced[peer]] for peer in range(p)]
+            consumed_modes = comm.alltoall(outgoing)
+        if prepared is not None:
+            prepared.spmm_cache = (produced, consumed_modes)
+    else:
+        produced, consumed_modes = cached
 
     # ---- diagonal ------------------------------------------------------
     with comm.phase("diagonal"):
@@ -107,7 +125,7 @@ def spmm_multiply(
     width = config.tile_width_factor
     n_rounds = -(-p // width)
     diag.rounds = n_rounds
-    strips = _consumer_strips(A)
+    strips = prepared.ensure_strips(A) if prepared is not None else _consumer_strips(A)
     my_group = comm.rank // width
     for rnd in range(n_rounds):
         # Rotated tile schedule; see repro.core.tiled's module docstring.
@@ -186,11 +204,11 @@ def spmm_multiply(
 
 
 def _consumer_strips(A: DistSparseMatrix):
-    from ..sparse.tile import ColumnStrips
+    from ..sparse.tile import ColumnStrips, strips_build_bytes
 
     with A.comm.phase("tiling"):
         strips = ColumnStrips(A.local, A.rows.ranges)
-        A.comm.charge_touch(A.local.nbytes_estimate())
+        A.comm.charge_touch(strips_build_bytes(A.local, A.comm.size))
     return strips
 
 

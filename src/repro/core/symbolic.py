@@ -26,9 +26,7 @@ import numpy as np
 
 from ..partition.distmat import DistSparseMatrix
 from ..sparse.csr import CsrMatrix
-from ..sparse.ops import extract_row_range
-from ..sparse.semiring import BOOL_AND_OR, Semiring
-from ..sparse.kernels import dispatch_spgemm
+from ..sparse.semiring import Semiring
 from .config import TsConfig
 
 #: Subtile modes.  EMPTY subtiles (no stored entries) are skipped outright.
@@ -58,11 +56,15 @@ class SymbolicPlan:
     ``consumed_modes``: modes of *my* tiles across producer column blocks,
     keyed by producer rank — which row tiles of my strip I multiply
     locally after B rows arrive.
+    ``pattern_products``: boolean pattern multiplies this plan actually
+    ran — the B-dependent symbolic work a prepared plan cannot skip
+    (zero under forced mode policies).
     """
 
     produced: Dict[int, List[SubtileInfo]] = field(default_factory=dict)
     consumed_modes: Dict[int, List[str]] = field(default_factory=dict)
     row_tile_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    pattern_products: int = 0
 
     def count(self, mode: str) -> int:
         return sum(
@@ -89,75 +91,15 @@ def build_symbolic_plan(
     multiplications are charged to the virtual compute clock (the real
     implementation pays them too); the mode exchange is one all-to-all of
     a few bytes per tile.
+
+    This is the fresh-plan path: it builds a throwaway
+    :class:`~repro.core.plan.PreparedA` and immediately runs the
+    B-dependent :func:`~repro.core.plan.replan` on it.  Iterative callers
+    keep the prepared object instead (``tiled_multiply(...,
+    prepared=...)``) and pay the prepare half only once.
     """
-    comm = A.comm
     if A.col_copy is None:
         raise RuntimeError("symbolic step requires A.build_column_copy() first")
-    d = B.ncols
-    b_row_nnz = B.local.row_nnz()
-    b_bool = B.local.astype(np.bool_)  # one conversion, reused per subtile
-    plan = SymbolicPlan()
+    from .plan import prepare_multiply, replan
 
-    with comm.phase("symbolic"):
-        for peer in range(comm.size):
-            tile_block = A.col_copy_rows_of(peer)
-            h = config.effective_tile_height(tile_block.nrows)
-            ranges = row_tile_ranges(tile_block.nrows, h)
-            if peer == comm.rank:
-                plan.row_tile_ranges = ranges
-            infos: List[SubtileInfo] = []
-            for rt, (r0, r1) in enumerate(ranges):
-                sub = extract_row_range(tile_block, r0, r1)
-                if sub.nnz == 0:
-                    infos.append(
-                        SubtileInfo(peer, rt, (r0, r1), EMPTY, None, None, 0, 0)
-                    )
-                    continue
-                if peer == comm.rank:
-                    infos.append(
-                        SubtileInfo(peer, rt, (r0, r1), DIAGONAL, sub, None, 0, 0)
-                    )
-                    continue
-                nzc = sub.nonzero_columns()  # my local B rows this tile needs
-                needed_nnz = int(b_row_nnz[nzc].sum())
-                # Exact symbolic product: pattern-only multiply against my B.
-                # Non-strict dispatch: a forced plus_times-only kernel
-                # (e.g. --kernel scipy) degrades to the vectorized default
-                # for this boolean pattern product instead of erroring.
-                # This is the only lenient call site; numeric paths raise.
-                pattern, sym_flops = dispatch_spgemm(
-                    sub.astype(np.bool_),
-                    b_bool,
-                    BOOL_AND_OR,
-                    config.kernel,
-                    strict=False,
-                )
-                comm.charge_symbolic(sym_flops)
-                out_nnz = pattern.nnz
-                if config.mode_policy == "hybrid":
-                    # Compare exact wire bytes of the two options: both
-                    # payloads are (row ids, packed rows), i.e. 16 B per
-                    # nonzero plus 16 B per shipped row (id + row pointer).
-                    out_rows = int(np.count_nonzero(pattern.row_nnz()))
-                    local_bytes = 16 * needed_nnz + 16 * len(nzc)
-                    remote_bytes = 16 * out_nnz + 16 * out_rows
-                    mode = REMOTE if remote_bytes < local_bytes else LOCAL
-                elif config.mode_policy == "local":
-                    mode = LOCAL
-                else:
-                    mode = REMOTE
-                infos.append(
-                    SubtileInfo(
-                        peer, rt, (r0, r1), mode, sub, nzc, needed_nnz, out_nnz
-                    )
-                )
-            plan.produced[peer] = infos
-
-        # Share modes with tile owners: consumer i learns, for each
-        # producer j, the mode of every one of its row tiles.
-        outgoing = [
-            [s.mode for s in plan.produced[peer]] for peer in range(comm.size)
-        ]
-        incoming = comm.alltoall(outgoing)
-        plan.consumed_modes = {j: modes for j, modes in enumerate(incoming)}
-    return plan
+    return replan(prepare_multiply(A, config), A, B)

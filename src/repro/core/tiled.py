@@ -41,9 +41,10 @@ from ..sparse.kernels import dispatch_spgemm
 from ..sparse.merge import merge_bytes, merge_csrs
 from ..sparse.ops import extract_row_range
 from ..sparse.semiring import PLUS_TIMES, Semiring
-from ..sparse.tile import ColumnStrips
+from ..sparse.tile import ColumnStrips, strips_build_bytes
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_rows, place_rows
+from .plan import PreparedA, replan
 from .symbolic import (
     DIAGONAL,
     EMPTY,
@@ -69,6 +70,8 @@ class TileDiagnostics:
     peak_recv_b_bytes: int = 0
     sent_b_nnz: int = 0
     sent_c_nnz: int = 0
+    symbolic_products: int = 0  # B-dependent pattern multiplies this call
+    plan_reused: int = 0  # 1 when a PreparedA served this multiply
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -80,13 +83,17 @@ def tiled_multiply(
     semiring: Semiring = PLUS_TIMES,
     config: TsConfig = DEFAULT_CONFIG,
     plan: Optional[SymbolicPlan] = None,
+    prepared: Optional[PreparedA] = None,
 ) -> Tuple[DistSparseMatrix, TileDiagnostics]:
     """One DIST-TS-SPGEMM multiply; returns ``(C, diagnostics)``.
 
-    Requires ``A.build_column_copy()`` to have been called.  ``plan`` may
-    be supplied to reuse a symbolic plan across multiplies with the same
-    ``A``/``B`` pattern (the embedding application re-plans every epoch
-    because ``B`` changes).
+    Requires ``A.build_column_copy()`` to have been called.  ``prepared``
+    is a :class:`~repro.core.plan.PreparedA` built once for this ``A``
+    (see :func:`~repro.core.plan.prepare_multiply`): the B-independent
+    symbolic state and the consumer-side strips are reused, and only the
+    incremental ``replan`` runs here.  ``plan`` may alternatively supply
+    a complete symbolic plan to reuse verbatim (same ``A`` *and* ``B``
+    pattern).  Without either, a fresh plan is built from scratch.
     """
     comm = A.comm
     if B.comm is not comm:
@@ -98,14 +105,25 @@ def tiled_multiply(
     acc = config.accumulator_for(d)
     diag = TileDiagnostics()
 
+    if prepared is not None:
+        prepared.check_compatible(A, config)
+        diag.plan_reused = 1
     if plan is None:
-        plan = build_symbolic_plan(A, B, semiring, config)
+        if prepared is not None:
+            plan = replan(prepared, A, B)
+        else:
+            plan = build_symbolic_plan(A, B, semiring, config)
+    diag.symbolic_products = plan.pattern_products
 
     # Consumer-side strips of my local A block, one per producer column
-    # block, with column ids local to that block.
-    with comm.phase("tiling"):
-        strips = ColumnStrips(A.local, A.rows.ranges)
-        comm.charge_touch(A.local.nbytes_estimate())
+    # block, with column ids local to that block.  A prepared plan owns
+    # them (built and charged once); the fresh path rebuilds per call.
+    if prepared is not None:
+        strips = prepared.ensure_strips(A)
+    else:
+        with comm.phase("tiling"):
+            strips = ColumnStrips(A.local, A.rows.ranges)
+            comm.charge_touch(strips_build_bytes(A.local, p))
 
     my_nrows = A.local.nrows
     my_lo, _ = A.rows.range_of(comm.rank)

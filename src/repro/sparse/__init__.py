@@ -15,6 +15,7 @@ from .io import read_matrix_market, write_matrix_market
 from .kernels import (
     DEFAULT_KERNEL,
     KernelSpec,
+    SPA_AUTO_MAX_D,
     available_kernels,
     dispatch_spgemm,
     dispatch_spmm,
@@ -68,6 +69,7 @@ __all__ = [
     "PLUS_TIMES",
     "SEL2ND_MIN",
     "SEMIRINGS",
+    "SPA_AUTO_MAX_D",
     "Semiring",
     "SpaAccumulator",
     "Tile",

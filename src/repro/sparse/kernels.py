@@ -144,24 +144,52 @@ def available_kernels(b_format: str = "csr") -> Tuple[str, ...]:
     return tuple(n for n, s in _REGISTRY.items() if s.b_format == b_format)
 
 
+#: Largest output width ``d`` for which ``auto`` prefers the batched SPA
+#: kernel on non-arithmetic (identity-safe) semirings.  Mirrors the
+#: paper's d=1024 SPA/hash crossover (§III-C): up to here the dense
+#: ``rows × d`` scratch is cache-resident and the SPA wins the microbench
+#: decisively (~83× vs ~19× for ESC over the seed path, docs/kernels.md).
+SPA_AUTO_MAX_D = 1024
+
+
+def _auto_spec(semiring: Semiring, a: Optional[CsrMatrix], d: Optional[int]) -> KernelSpec:
+    """The ``auto`` policy: scipy for arithmetic float data, batched SPA
+    for small-``d`` identity-safe semirings, vectorized ESC otherwise."""
+    if semiring.name == "plus_times" and (a is None or a.dtype != np.bool_):
+        return _REGISTRY["scipy"]
+    if (
+        d is not None
+        and d <= SPA_AUTO_MAX_D
+        and semiring.name in _IDENTITY_SAFE_SEMIRINGS
+    ):
+        return _REGISTRY["spa"]
+    return _REGISTRY[DEFAULT_KERNEL]
+
+
 def resolve_spgemm(
-    kernel: str, semiring: Semiring, a: Optional[CsrMatrix] = None, *, strict: bool = True
+    kernel: str,
+    semiring: Semiring,
+    a: Optional[CsrMatrix] = None,
+    *,
+    d: Optional[int] = None,
+    strict: bool = True,
 ) -> KernelSpec:
     """Resolve a kernel name (or ``"auto"``) to a runnable SpGEMM spec.
 
-    ``"auto"`` picks the scipy fast path for arithmetic float data and the
-    vectorized ESC kernel otherwise.  A named kernel that does not support
-    ``semiring`` raises by default; ``strict=False`` silently degrades to
-    the default vectorized kernel instead.  Only the symbolic planner uses
-    the lenient mode — its boolean pattern products are an internal detail
-    the user's kernel choice was never about, so a forced ``--kernel
-    scipy`` run can still plan the tiled algorithm.  Numeric paths stay
-    strict so a forced kernel is never silently substituted.
+    ``"auto"`` picks the scipy fast path for arithmetic float data;
+    otherwise, when the output width ``d`` is known, small-``d``
+    identity-safe semirings (boolean BFS frontiers, min-plus paths) get
+    the batched SPA — the microbench winner in that regime — and
+    everything else the vectorized ESC kernel.  A named kernel that does
+    not support ``semiring`` raises by default; ``strict=False`` silently
+    degrades to the auto choice instead.  Only the symbolic planner uses
+    the lenient mode — its boolean pattern products are an internal
+    detail the user's kernel choice was never about, so a forced
+    ``--kernel scipy`` run can still plan the tiled algorithm.  Numeric
+    paths stay strict so a forced kernel is never silently substituted.
     """
     if kernel == "auto":
-        if semiring.name == "plus_times" and (a is None or a.dtype != np.bool_):
-            return _REGISTRY["scipy"]
-        return _REGISTRY[DEFAULT_KERNEL]
+        return _auto_spec(semiring, a, d)
     spec = get_kernel(kernel)
     if spec.b_format != "csr":
         raise ValueError(f"kernel {kernel!r} is not an SpGEMM kernel")
@@ -171,7 +199,7 @@ def resolve_spgemm(
                 f"kernel {kernel!r} supports only "
                 f"{sorted(spec.semirings)} semirings, not {semiring.name!r}"
             )
-        return _REGISTRY[DEFAULT_KERNEL]
+        return _auto_spec(semiring, a, d)
     return spec
 
 
@@ -184,7 +212,8 @@ def dispatch_spgemm(
     strict: bool = True,
 ) -> Tuple[CsrMatrix, int]:
     """Multiply two CSR matrices with the named kernel; ``(C, flops)``."""
-    return resolve_spgemm(kernel, semiring, a, strict=strict).fn(a, b, semiring)
+    spec = resolve_spgemm(kernel, semiring, a, d=b.ncols, strict=strict)
+    return spec.fn(a, b, semiring)
 
 
 def dispatch_spmm(

@@ -19,7 +19,7 @@ Two helpers matter for the distributed algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,6 +71,18 @@ def block_owners(indices: np.ndarray, n: int, p: int) -> np.ndarray:
     return out
 
 
+def strips_build_bytes(mat: CsrMatrix, n_strips: int) -> int:
+    """Bytes streamed through memory when splitting ``mat`` into strips.
+
+    Each strip extraction scans the full column-index array once
+    (:func:`extract_col_range` masks all ``nnz`` entries per call), then
+    gathers its own indices+values; the total is ``n_strips`` index scans
+    plus one copy of the block.  This is what the cost model charges for
+    the "tiling" phase — and what a prepared plan amortizes.
+    """
+    return int(n_strips * mat.indices.nbytes + mat.nbytes_estimate())
+
+
 class ColumnStrips:
     """A local block split by the global column partition, in one pass.
 
@@ -85,6 +97,7 @@ class ColumnStrips:
         self.strips: List[CsrMatrix] = [
             extract_col_range(mat, c0, c1, reindex=True) for c0, c1 in self.col_ranges
         ]
+        self._selections: Optional[List[np.ndarray]] = None
 
     def __len__(self) -> int:
         return len(self.strips)
@@ -94,6 +107,28 @@ class ColumnStrips:
 
     def strip_nnz(self) -> np.ndarray:
         return np.array([s.nnz for s in self.strips], dtype=np.int64)
+
+    def refresh_values(self, mat: CsrMatrix) -> None:
+        """Re-load strip values from ``mat``, which must share the pattern
+        the strips were built from.
+
+        The entry selection of every strip is pattern-determined, so it is
+        computed once (lazily, on the first refresh) and later refreshes
+        are plain gathers — the persistent-plan path for operands whose
+        values change while their pattern stays fixed (sparse embedding's
+        coefficient matrix between negative re-samples).
+        """
+        if self._selections is None:
+            self._selections = [
+                np.flatnonzero((mat.indices >= c0) & (mat.indices < c1))
+                for c0, c1 in self.col_ranges
+            ]
+        for j, (strip, sel) in enumerate(zip(self.strips, self._selections)):
+            if len(sel) != strip.nnz:
+                raise ValueError("refresh_values requires an identical pattern")
+            self.strips[j] = CsrMatrix(
+                strip.shape, strip.indptr, strip.indices, mat.data[sel], check=False
+            )
 
 
 @dataclass(frozen=True)

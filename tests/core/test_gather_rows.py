@@ -74,3 +74,18 @@ class TestDensePackPlace:
         ids, rows = payload
         with pytest.raises(ValueError):
             place_dense_rows(2, (ids + 3, rows), 2)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32])
+    def test_payload_dtype_preserved(self, rng, dtype):
+        """Regression: the output block used to be hardcoded float64,
+        silently up/down-casting shipped rows."""
+        dense = (rng.random((6, 3)) * 10).astype(dtype)
+        payload = pack_dense_rows(dense, np.array([1, 4]))
+        placed = place_dense_rows(6, payload, 3)
+        assert placed.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(placed[[1, 4]], dense[[1, 4]])
+
+    def test_empty_payload_dtype_override(self):
+        placed = place_dense_rows(3, None, 2, dtype=np.float32)
+        assert placed.dtype == np.float32
+        assert place_dense_rows(3, None, 2).dtype == np.float64

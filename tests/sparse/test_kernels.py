@@ -169,6 +169,38 @@ class TestRegistry:
         bool_a = a.astype(np.bool_)
         assert resolve_spgemm("auto", PLUS_TIMES, bool_a).name == DEFAULT_KERNEL
 
+    def test_auto_prefers_spa_for_small_d_non_arithmetic(self):
+        """ROADMAP follow-up: batched SPA wins the microbench (~83x vs
+        ~19x over the seed path) on small-d identity-safe semirings, so
+        auto picks it when the output width is known and cache-resident;
+        scipy keeps arithmetic float data, ESC everything else."""
+        from repro.sparse.kernels import SPA_AUTO_MAX_D
+
+        a = csr_from_dense([[1.0]])
+        # known small d, identity-safe non-arithmetic semiring -> spa
+        assert resolve_spgemm("auto", BOOL_AND_OR, d=64).name == "spa"
+        assert resolve_spgemm("auto", MIN_PLUS, d=SPA_AUTO_MAX_D).name == "spa"
+        assert resolve_spgemm("auto", PLUS_TIMES, a.astype(np.bool_), d=64).name == "spa"
+        # beyond the SPA cache crossover -> the any-semiring default
+        assert (
+            resolve_spgemm("auto", BOOL_AND_OR, d=SPA_AUTO_MAX_D + 1).name
+            == DEFAULT_KERNEL
+        )
+        # non-identity-safe semirings can never take the SPA scratch
+        from repro.sparse import MAX_TIMES
+
+        assert resolve_spgemm("auto", MAX_TIMES, d=64).name == DEFAULT_KERNEL
+        # arithmetic float data keeps scipy's C path regardless of d
+        assert resolve_spgemm("auto", PLUS_TIMES, a, d=64).name == "scipy"
+
+    def test_dispatch_auto_routes_bool_to_spa(self):
+        rng = np.random.default_rng(0)
+        a = csr_from_dense(random_dense(rng, 20, 20, 0.3, dtype=np.bool_))
+        b = csr_from_dense(random_dense(rng, 20, 8, 0.4, dtype=np.bool_))
+        via_auto, _ = dispatch_spgemm(a, b, BOOL_AND_OR, "auto")
+        via_spa, _ = dispatch_spgemm(a, b, BOOL_AND_OR, "spa")
+        assert via_auto.equal(via_spa)
+
     def test_strict_default_rejects_unsupported_semiring(self):
         # Numeric paths never silently substitute a forced kernel.
         with pytest.raises(ValueError, match="plus_times"):

@@ -84,6 +84,35 @@ class TestCommands:
         assert "influence maximization" in out
         assert "seed vertex" in out
 
+    def test_bfs_kernel_and_reuse_flags(self, capsys):
+        """--kernel is threaded through bfs (not just multiply), and
+        --reuse-plan off selects the fresh-plan ablation path."""
+        rc = main(
+            [
+                "bfs", "--dataset", "cora", "--scale", "0.3", "--sources", "4",
+                "-p", "2", "--kernel", "spa", "--reuse-plan", "off",
+            ]
+        )
+        assert rc == 0
+        assert "MSBFS" in capsys.readouterr().out
+
+    def test_embed_kernel_and_negative_refresh(self, capsys):
+        rc = main(
+            [
+                "embed", "--dataset", "cora", "--scale", "0.2", "-p", "2",
+                "--d", "8", "--epochs", "3", "--kernel", "esc-vectorized",
+                "--negative-refresh", "2",
+            ]
+        )
+        assert rc == 0
+        assert "link-prediction accuracy" in capsys.readouterr().out
+
+    def test_bfs_and_embed_accept_kernel_choices(self):
+        for cmd in ("bfs", "embed"):
+            args = build_parser().parse_args([cmd, "--kernel", "hash"])
+            assert args.kernel == "hash"
+            assert args.reuse_plan == "on"
+
     def test_model_runs(self, capsys):
         rc = main(["model", "--ps", "8,64"])
         assert rc == 0
