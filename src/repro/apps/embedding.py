@@ -117,6 +117,14 @@ def train_sparse_embedding(
     state (``update_operand``); each multiply then replans only against
     the re-sparsified ``Z``.  Requires ``config.reuse_plan``; with it off
     every epoch runs the fresh-plan driver, whatever the refresh period.
+
+    Unlike MS-BFS, the epoch loop cannot chain distributed handles: the
+    SDDMM coefficients and the top-k re-sparsification read the *global*
+    ``Z`` driver-side, so each epoch's ``Z`` scatter and gradient gather
+    is a genuine driver round-trip (kept free on the clocks, like every
+    driver entry point — see ``TsSession.multiply(charge_driver=...)``
+    for the ablation that prices it).  Making this loop fully resident
+    needs a distributed SDDMM; see ROADMAP.
     """
     if adj.nrows != adj.ncols:
         raise ValueError("adjacency matrix must be square")
@@ -153,69 +161,73 @@ def train_sparse_embedding(
 
     result = EmbeddingResult(Z=z_sparse)
     pattern = None
-    for epoch in range(epochs):
-        z_dense = z_sparse.to_dense()
-        if pattern is None or epoch % negative_refresh == 0:
-            # negative samples: n_negative random non-self targets per
-            # vertex, kept for `negative_refresh` epochs
-            neg_u = np.repeat(np.arange(n, dtype=INDEX_DTYPE), n_negative)
-            neg_v = rng.integers(0, n, n * n_negative, dtype=INDEX_DTYPE)
-            keep = neg_u != neg_v
-            neg_u, neg_v = neg_u[keep], neg_v[keep]
+    try:
+        for epoch in range(epochs):
+            z_dense = z_sparse.to_dense()
+            if pattern is None or epoch % negative_refresh == 0:
+                # negative samples: n_negative random non-self targets per
+                # vertex, kept for `negative_refresh` epochs
+                neg_u = np.repeat(np.arange(n, dtype=INDEX_DTYPE), n_negative)
+                neg_v = rng.integers(0, n, n * n_negative, dtype=INDEX_DTYPE)
+                keep = neg_u != neg_v
+                neg_u, neg_v = neg_u[keep], neg_v[keep]
 
-            # Coefficient pattern over (edges + negatives): +1 on
-            # attractive edges, -1 on repulsive samples (Fig 4b).  The
-            # pattern is fixed until the next refresh; only values move.
-            labels = np.concatenate(
-                [np.ones(len(train_u)), -np.ones(len(neg_u))]
-            )
-            pattern = coo_to_csr(
-                np.concatenate([train_u, neg_u]),
-                np.concatenate([train_v, neg_v]),
-                labels,
-                (n, n),
-                _LABEL_SEMIRING,
-            )
-        # SDDMM over the pattern (driver-side; see module docstring)
-        # computes the dot products; the Force2Vec per-edge map turns
-        # them into gradient coefficients.
-        scores = sddmm(pattern, z_dense, z_dense)
-        # attractive (label > 0): sigma(s) - 1 ; repulsive: sigma(s)
-        coeff_vals = _sigmoid(scores.data) - (pattern.data > 0).astype(np.float64)
-        W = CsrMatrix(
-            pattern.shape, pattern.indptr, pattern.indices, coeff_vals, check=False
-        )
-
-        # the distributed multiply: gradient = W · Z (sparse × sparse TS)
-        if use_session:
-            if session is None:
-                session = TsSession(
-                    W, p, semiring=PLUS_TIMES, config=train_config, machine=machine
+                # Coefficient pattern over (edges + negatives): +1 on
+                # attractive edges, -1 on repulsive samples (Fig 4b).  The
+                # pattern is fixed until the next refresh; only values move.
+                labels = np.concatenate(
+                    [np.ones(len(train_u)), -np.ones(len(neg_u))]
                 )
-            else:
-                # values-only refresh between redraws; a redrawn pattern
-                # is detected inside and triggers a full re-setup
-                session.update_operand(W)
-            mult = session.multiply(z_sparse)
-        else:
-            mult = ts_spgemm(W, z_sparse, p, config=train_config, machine=machine)
-        grad = mult.C.to_dense()
-
-        # synchronous SGD step + re-sparsification (keep top-k per row)
-        z_dense = z_dense - lr * grad
-        z_sparse = row_topk(CsrMatrix.from_dense(z_dense), keep_per_row)
-
-        diag = mult.diagnostics
-        result.epochs.append(
-            EmbeddingEpoch(
-                epoch=epoch,
-                runtime=mult.multiply_time,
-                comm_bytes=mult.comm_bytes(),
-                remote_tiles=int(diag.get("remote_tiles", 0)),
-                local_tiles=int(diag.get("local_tiles", 0)),
-                z_nnz=z_sparse.nnz,
+                pattern = coo_to_csr(
+                    np.concatenate([train_u, neg_u]),
+                    np.concatenate([train_v, neg_v]),
+                    labels,
+                    (n, n),
+                    _LABEL_SEMIRING,
+                )
+            # SDDMM over the pattern (driver-side; see module docstring)
+            # computes the dot products; the Force2Vec per-edge map turns
+            # them into gradient coefficients.
+            scores = sddmm(pattern, z_dense, z_dense)
+            # attractive (label > 0): sigma(s) - 1 ; repulsive: sigma(s)
+            coeff_vals = _sigmoid(scores.data) - (pattern.data > 0).astype(np.float64)
+            W = CsrMatrix(
+                pattern.shape, pattern.indptr, pattern.indices, coeff_vals, check=False
             )
-        )
+
+            # the distributed multiply: gradient = W · Z (sparse × sparse TS)
+            if use_session:
+                if session is None:
+                    session = TsSession(
+                        W, p, semiring=PLUS_TIMES, config=train_config, machine=machine
+                    )
+                else:
+                    # values-only refresh between redraws; a redrawn pattern
+                    # is detected inside and triggers a full re-setup
+                    session.update_operand(W)
+                mult = session.multiply(z_sparse)
+            else:
+                mult = ts_spgemm(W, z_sparse, p, config=train_config, machine=machine)
+            grad = mult.C.to_dense()
+
+            # synchronous SGD step + re-sparsification (keep top-k per row)
+            z_dense = z_dense - lr * grad
+            z_sparse = row_topk(CsrMatrix.from_dense(z_dense), keep_per_row)
+
+            diag = mult.diagnostics
+            result.epochs.append(
+                EmbeddingEpoch(
+                    epoch=epoch,
+                    runtime=mult.multiply_time,
+                    comm_bytes=mult.comm_bytes(),
+                    remote_tiles=int(diag.get("remote_tiles", 0)),
+                    local_tiles=int(diag.get("local_tiles", 0)),
+                    z_nnz=z_sparse.nnz,
+                )
+            )
+    finally:
+        if session is not None:
+            session.close()
 
     result.Z = z_sparse
     result.accuracy = link_prediction_accuracy(

@@ -28,10 +28,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, TsConfig
+from ..core.driver import TsSession
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
 from ..sparse.build import coo_to_csr
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
-from ..sparse.semiring import Semiring
+from ..sparse.ops import mask_entries
+from ..sparse.semiring import BOOL_AND_OR, Semiring
 from .msbfs import msbfs
 
 
@@ -50,21 +52,20 @@ class InfluenceResult:
         return self.spread_estimates[-1] if self.spread_estimates else 0.0
 
 
+def sample_keep_mask(
+    A: CsrMatrix, probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw one IC live-edge mask: keep each edge w.p. ``probability``."""
+    if not (0.0 <= probability <= 1.0):
+        raise ValueError("probability must be in [0, 1]")
+    return rng.random(A.nnz) < probability
+
+
 def sample_live_edges(
     A: CsrMatrix, probability: float, rng: np.random.Generator
 ) -> CsrMatrix:
     """One IC live-edge sample: keep each directed edge w.p. ``probability``."""
-    if not (0.0 <= probability <= 1.0):
-        raise ValueError("probability must be in [0, 1]")
-    keep = rng.random(A.nnz) < probability
-    csum = np.concatenate([[0], np.cumsum(keep)])
-    return CsrMatrix(
-        A.shape,
-        csum[A.indptr].astype(INDEX_DTYPE),
-        A.indices[keep],
-        A.data[keep],
-        check=False,
-    )
+    return mask_entries(A, sample_keep_mask(A, probability, rng))
 
 
 def influence_maximization(
@@ -96,11 +97,18 @@ def influence_maximization(
         Seed candidates = this many highest-degree vertices (default
         ``max(4k, 16)``, capped at n).
 
-    Each live-edge sample is a fresh graph, so each sample's MSBFS builds
-    one resident multiply session (``config.reuse_plan``): the sampled
-    graph is scattered and plan-prepared once and every BFS level only
-    replans against the frontier — the plan cannot outlive the sample,
-    but it is amortized over all of its levels.
+    Every live-edge sample is an *edge subset* of the same graph, so with
+    ``config.reuse_plan`` (the default) one resident
+    :class:`~repro.core.driver.TsSession` is prepared for the **full**
+    graph and each sample's session is *derived* from it
+    (:meth:`~repro.core.driver.TsSession.derive_edge_subset`): every rank
+    masks its cached blocks and prepared subtiles down to the sample's
+    kept edges — one streaming pass instead of a full
+    re-scatter/column-copy/re-prepare per sample — and the sample's
+    MS-BFS runs on-rank end-to-end via distributed handles.  The derived
+    state is bit-identical to a fresh prepare on the sampled matrix.
+    Ablate with ``TsConfig(reuse_plan=False)`` / ``--reuse-plan off``:
+    every sample then re-plans every level from scratch, as before.
     """
     if A.nrows != A.ncols:
         raise ValueError("adjacency matrix must be square")
@@ -117,12 +125,35 @@ def influence_maximization(
     # of boolean masks, n bits per (candidate, sample).
     reach = np.zeros((samples, m, n), dtype=bool)
     total_runtime = 0.0
-    for r in range(samples):
-        live = sample_live_edges(A, probability, rng)
-        bfs = msbfs(live, candidates, p, config=config, machine=machine)
-        total_runtime += bfs.total_runtime
-        rows = bfs.visited.row_ids()
-        reach[r, bfs.visited.indices, rows] = True
+    base_session: Optional[TsSession] = None
+    if config.reuse_plan:
+        a_bool = A if A.dtype == np.bool_ else A.astype(np.bool_)
+        base_session = TsSession(
+            a_bool, p, semiring=BOOL_AND_OR, config=config, machine=machine
+        )
+    try:
+        for r in range(samples):
+            keep = sample_keep_mask(A, probability, rng)
+            if base_session is not None:
+                # The sampled matrix is never materialized driver-side:
+                # the derived session holds the masked state rank-side,
+                # and the handle-path msbfs reads only A's dimensions.
+                sample_session = base_session.derive_edge_subset(keep)
+                bfs = msbfs(
+                    A, candidates, p, config=config, machine=machine,
+                    session=sample_session,
+                )
+            else:
+                bfs = msbfs(
+                    mask_entries(A, keep), candidates, p, config=config,
+                    machine=machine,
+                )
+            total_runtime += bfs.total_runtime
+            rows = bfs.visited.row_ids()
+            reach[r, bfs.visited.indices, rows] = True
+    finally:
+        if base_session is not None:
+            base_session.close()
 
     # Greedy: maximize the union of reached sets, averaged over samples.
     covered = np.zeros((samples, n), dtype=bool)

@@ -9,9 +9,15 @@ few levels and then thins out (Fig 12a) — which is why this application is
 "an excellent testing ground" for TS-SpGEMM: the same loop can be driven
 by any registered multiply (Fig 12d compares against 2-D SUMMA).
 
-The per-level frontier update is an O(nnz) local pattern operation; the
-driver performs it between the distributed multiplies, matching the
-paper's accounting where multiply time dominates.
+With a handle-capable resident session (the TS algorithms, default) the
+whole traversal stays **on-rank end-to-end**: the initial frontier is
+scattered once, every level chains the multiply's
+:class:`~repro.partition.distmat.DistHandle` output into the next level's
+operand, and the frontier update runs inside the rank program as local
+pattern ops (it is row-partitioned — zero communication), exactly like
+the paper's Alg 3.  The visited set is gathered once, after the loop.
+``driver_gather=True`` forces the historical driver round-trip per level
+(B scatter + C gather, now honestly charged) for ablation.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from ..baselines.registry import get_algorithm, make_session
 from ..core.config import DEFAULT_CONFIG, TsConfig
+from ..core.driver import TsSession
 from ..data.generators import bfs_frontier
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
 from ..sparse.csr import CsrMatrix
@@ -41,6 +48,10 @@ class BfsIteration:
     comm_nnz: int  # communicated nonzeros (B rows + C partials)
     runtime: float  # modelled seconds of this level's multiply
     comm_time: float
+    #: Driver-side traffic of this level (B scatter / C gather); zero on
+    #: the resident-handle path — the quantity Fig 12's loop never pays.
+    driver_scatter_bytes: int = 0
+    driver_gather_bytes: int = 0
 
 
 @dataclass
@@ -65,6 +76,20 @@ class BfsResult:
         return counts
 
 
+def _frontier_update(comm, reached: CsrMatrix, visited: CsrMatrix):
+    """Rank-local Alg 3 frontier update: ``F ← N \\ S``, ``S ← S ∨ N``.
+
+    Row-partitioned, so it needs zero communication; the streaming cost
+    of touching the newly reached block is charged, matching
+    :func:`msbfs_spmd`'s accounting.
+    """
+    with comm.phase("frontier-update"):
+        frontier = pattern_difference(reached, visited)
+        new_visited = ewise_add(visited, reached, BOOL_AND_OR)
+        comm.charge_touch(reached.nbytes_estimate())
+    return frontier, new_visited
+
+
 def msbfs(
     A: CsrMatrix,
     sources: np.ndarray,
@@ -74,6 +99,8 @@ def msbfs(
     config: TsConfig = DEFAULT_CONFIG,
     machine: MachineProfile = PERLMUTTER,
     max_levels: Optional[int] = None,
+    driver_gather: bool = False,
+    session=None,
 ) -> BfsResult:
     """Run multi-source BFS from ``sources`` on ``p`` simulated ranks.
 
@@ -83,26 +110,74 @@ def msbfs(
     Fig 12(d) runs the same loop over 2-D SUMMA for comparison.
 
     With ``config.reuse_plan`` (the default) and an algorithm that offers
-    a resident session (``TS-SpGEMM``, ``TS-SpGEMM-Naive``), ``A`` is
-    scattered, column-copied and plan-prepared **once** and every level
-    only replans against the new frontier; baselines without a session —
-    and ``--reuse-plan off`` ablation runs — launch one full simulated
-    job per level, as before.
+    a resident session, ``A`` is distributed and plan-prepared **once**.
+    Handle-capable sessions (the TS algorithms) additionally keep the
+    whole iteration on-rank: the frontier is scattered once, every level
+    chains the multiply's :class:`~repro.partition.distmat.DistHandle`
+    into the next level's operand, the frontier update runs rank-locally,
+    and the visited set is gathered once at the end — zero per-level
+    driver traffic.  ``driver_gather=True`` forces the historical
+    round-trip loop (per-level B scatter / C gather, charged) for
+    ablation.  Baselines without a session — and ``--reuse-plan off``
+    runs — launch one full simulated job per level, as before.
+
+    ``session`` injects a pre-built resident session for ``A`` (used by
+    influence maximization's derived per-sample sessions); the caller
+    keeps ownership, otherwise the session created here is closed before
+    returning.
     """
     if A.nrows != A.ncols:
         raise ValueError("adjacency matrix must be square")
     sources = np.asarray(sources, dtype=np.int64)
     multiply = get_algorithm(algorithm)
-    a_bool = A if A.dtype == np.bool_ else A.astype(np.bool_)
-    session = (
-        make_session(
+    owns_session = False
+    if session is None and config.reuse_plan:
+        a_bool = A if A.dtype == np.bool_ else A.astype(np.bool_)
+        session = make_session(
             algorithm, a_bool, p, semiring=BOOL_AND_OR, machine=machine, config=config
         )
-        if config.reuse_plan
-        else None
-    )
+        owns_session = session is not None
+    try:
+        # Dispatch on the registry session contract's capability flag,
+        # not the concrete class, so third-party handle-capable sessions
+        # ride the resident path too.
+        handle_capable = bool(getattr(session, "supports_handles", False))
+        if driver_gather and not handle_capable:
+            raise ValueError(
+                "driver_gather=True ablates a handle-capable resident "
+                "session (the TS algorithms with reuse_plan on); the "
+                "per-call and baseline paths already round-trip through "
+                "the driver, so the ablation would be a silent no-op"
+            )
+        if handle_capable and not driver_gather:
+            return _msbfs_handles(A, sources, session, max_levels)
+        # The per-call fallback is the only path that multiplies against
+        # A directly; sessions already hold their own boolean operand.
+        a_bool = None
+        if session is None:
+            a_bool = A if A.dtype == np.bool_ else A.astype(np.bool_)
+        return _msbfs_driver_loop(
+            A.nrows, a_bool, sources, p, multiply, session, config, machine,
+            max_levels, charge_driver=handle_capable,
+        )
+    finally:
+        if owns_session:
+            session.close()
 
-    frontier = bfs_frontier(A.nrows, sources)
+
+def _msbfs_driver_loop(
+    n, a_bool, sources, p, multiply, session, config, machine, max_levels,
+    charge_driver=False,
+) -> BfsResult:
+    """The historical loop: every level's ``B`` and ``C`` round-trip
+    through the driver, which also performs the frontier update.
+
+    ``charge_driver`` (the TS sessions' ``driver_gather=True`` ablation)
+    puts that round-trip on the virtual clocks so the handle path's
+    saving is measurable; baselines and the per-call fallback keep the
+    free pre-distributed accounting.
+    """
+    frontier = bfs_frontier(n, sources)
     visited = frontier
     result = BfsResult(visited=visited)
     level = 0
@@ -110,7 +185,11 @@ def msbfs(
         if max_levels is not None and level >= max_levels:
             break
         entering_nnz = frontier.nnz
-        if session is not None:
+        if charge_driver:
+            # handle-capable session ablated with driver_gather=True:
+            # price the per-level round-trip it would otherwise avoid
+            mult = session.multiply(frontier, charge_driver=True)
+        elif session is not None:
             mult = session.multiply(frontier)
         else:
             mult = multiply(
@@ -133,10 +212,67 @@ def msbfs(
                 comm_nnz=comm_nnz,
                 runtime=mult.multiply_time,
                 comm_time=mult.comm_time,
+                driver_scatter_bytes=int(
+                    diagnostics.get("driver_scatter_bytes", 0)
+                ),
+                driver_gather_bytes=int(
+                    diagnostics.get("driver_gather_bytes", 0)
+                ),
             )
         )
         level += 1
     result.visited = visited
+    return result
+
+
+def _msbfs_handles(
+    A: CsrMatrix, sources: np.ndarray, session: TsSession,
+    max_levels: Optional[int],
+) -> BfsResult:
+    """The resident-handle loop: scatter once, chain on-rank, gather once.
+
+    Every level's multiply consumes and produces rank-resident
+    :class:`~repro.partition.distmat.DistHandle`\\ s and the frontier
+    update runs inside the rank program — per-level driver traffic is
+    exactly zero, matching the real system's Alg 3 (and
+    :func:`msbfs_spmd`'s per-level trace byte-for-byte).
+    """
+    frontier = session.scatter(bfs_frontier(A.nrows, sources))
+    visited = frontier
+    result = BfsResult(visited=None)
+    level = 0
+    while frontier.nnz > 0:
+        if max_levels is not None and level >= max_levels:
+            break
+        entering_nnz = frontier.nnz
+        # One rank program per level: multiply + fused frontier update,
+        # exactly the loop body of msbfs_spmd (and the paper's Alg 3).
+        mult = session.multiply(
+            frontier,
+            gather=False,
+            epilogue=_frontier_update,
+            epilogue_operands=(visited,),
+        )
+        frontier, visited = mult.extra
+        diagnostics = mult.diagnostics
+        comm_nnz = int(
+            diagnostics.get("sent_b_nnz", 0) + diagnostics.get("sent_c_nnz", 0)
+        )
+        result.iterations.append(
+            BfsIteration(
+                iteration=level,
+                frontier_nnz=entering_nnz,
+                discovered_nnz=frontier.nnz,
+                comm_bytes=mult.comm_bytes(),
+                comm_nnz=comm_nnz,
+                # multiply_time includes the fused rank-local frontier
+                # update, as in msbfs_spmd's per-level windows.
+                runtime=mult.multiply_time,
+                comm_time=mult.comm_time,
+            )
+        )
+        level += 1
+    result.visited = visited.gather()
     return result
 
 
@@ -201,10 +337,7 @@ def msbfs_spmd(
             dist_n, diag = tiled_multiply(
                 dist_a, dist_f, BOOL_AND_OR, config, prepared=prepared
             )
-            with comm.phase("frontier-update"):
-                frontier = pattern_difference(dist_n.local, visited)
-                visited = ewise_add(visited, dist_n.local, BOOL_AND_OR)
-                comm.charge_touch(dist_n.local.nbytes_estimate())
+            frontier, visited = _frontier_update(comm, dist_n.local, visited)
             totals1 = comm.stats.totals()
             trace.append(
                 (

@@ -20,7 +20,7 @@ import numpy as np
 from ..mpi.cartesian import layered_grid_dims, make_grid3d
 from ..mpi.comm import SimComm
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
-from ..mpi.executor import run_spmd
+from ..mpi.executor import ResidentSession, run_spmd
 from ..partition.grid_dist import (
     grid_block,
     inner_chunk_owner_row,
@@ -30,7 +30,7 @@ from ..partition.grid_dist import (
 from ..sparse.csr import CsrMatrix
 from ..sparse.merge import merge_bytes, merge_csrs
 from ..sparse.ops import extract_col_range, extract_row_range
-from ..sparse.kernels import dispatch_spgemm
+from ..sparse.kernels import dispatch_spgemm, resolve_spgemm
 from ..sparse.semiring import PLUS_TIMES, Semiring
 from ..sparse.tile import block_ranges
 from .result import BaselineResult, assemble_2d_blocks
@@ -38,29 +38,41 @@ from .result import BaselineResult, assemble_2d_blocks
 
 def summa3d_rank(
     comm: SimComm,
-    A: CsrMatrix,
+    A: Optional[CsrMatrix],
     B: CsrMatrix,
     semiring: Semiring,
     layers: int,
     accumulator: str,
     kernel: str = "auto",
+    a_block: Optional[CsrMatrix] = None,
+    a_nrows: Optional[int] = None,
+    a_ncols: Optional[int] = None,
 ) -> Optional[Tuple[Tuple[int, int], CsrMatrix]]:
-    """One rank of 3-D sparse SUMMA; layer-0 ranks return their C block."""
+    """One rank of 3-D sparse SUMMA; layer-0 ranks return their C block.
+
+    ``a_block`` (with ``a_nrows``/``a_ncols``) lets a resident
+    :class:`Summa3dSession` supply the rank's already layer-sliced,
+    grid-blocked share of ``A`` — the B-independent per-rank state.
+    """
     grid = make_grid3d(comm, layers)
     pr, pc, l = grid.pr, grid.pc, grid.layers
     i, j, lam = grid.row, grid.col, grid.layer
     d = B.ncols
 
     # This layer's slice of the inner dimension.
-    k0, k1 = layer_slices(A.ncols, l)[lam]
-    a_layer = extract_col_range(A, k0, k1, reindex=True)
+    if a_block is None:
+        a_nrows, a_ncols = A.nrows, A.ncols
+    k0, k1 = layer_slices(a_ncols, l)[lam]
+    if a_block is None:
+        a_layer = extract_col_range(A, k0, k1, reindex=True)
+        a_block = grid_block(a_layer, pr, pc, i, j)
     b_layer = extract_row_range(B, k0, k1)
 
     # 2-D SUMMA on the layer face.
-    a_block = grid_block(a_layer, pr, pc, i, j)
     b_chunks = summa_b_chunks(b_layer, pr, pc, i, j)
+    kname = resolve_spgemm(kernel, semiring, a_block, d=d).name
     partials: List[CsrMatrix] = []
-    c_rows = block_ranges(A.nrows, pr)[i]
+    c_rows = block_ranges(a_nrows, pr)[i]
     c_cols = block_ranges(B.ncols, pc)[j]
     c_shape = (c_rows[1] - c_rows[0], c_cols[1] - c_cols[0])
 
@@ -74,8 +86,8 @@ def summa3d_rank(
             )
         with comm.phase("local-compute"):
             if a_ik.nnz and b_kj.nnz:
-                c_part, flops = dispatch_spgemm(a_ik, b_kj, semiring, kernel)
-                comm.charge_spgemm(flops, d=d, accumulator=accumulator)
+                c_part, flops = dispatch_spgemm(a_ik, b_kj, semiring, kname)
+                comm.charge_spgemm(flops, d=d, accumulator=accumulator, kernel=kname)
                 if c_part.nnz:
                     partials.append(c_part)
 
@@ -122,3 +134,73 @@ def summa3d(
     blocks = [v for v in result.values if v is not None]
     C = assemble_2d_blocks(blocks, A.nrows, B.ncols, pr, pc, semiring)
     return BaselineResult(C=C, report=result.report, diagnostics={"layers": l})
+
+
+class Summa3dSession(ResidentSession):
+    """Resident 3-D SUMMA: layer slicing + grid distribution paid once.
+
+    Counterpart of :class:`~repro.baselines.summa2d.Summa2dSession` for
+    the communication-avoiding baseline: each rank's layer-sliced
+    ``A`` block is extracted once on a resident executor and every
+    :meth:`multiply` only distributes ``B`` and runs the face/fiber loop.
+    """
+
+    def __init__(
+        self,
+        A: CsrMatrix,
+        p: int,
+        *,
+        layers: int = 4,
+        semiring: Semiring = PLUS_TIMES,
+        machine: MachineProfile = PERLMUTTER,
+        spa_threshold: int = 1024,
+        kernel: str = "auto",
+    ):
+        if A.nrows != A.ncols:
+            raise ValueError(f"need a square A, got {A.shape}")
+        super().__init__(p, machine)
+        self.layers = layers
+        self.semiring = semiring
+        self.spa_threshold = spa_threshold
+        self.kernel = kernel
+        self.nrows = A.nrows
+        self.ncols = A.ncols
+        self.pr, self.pc, self.l = layered_grid_dims(p, layers)
+
+        def setup(comm):
+            grid = make_grid3d(comm, layers)
+            k0, k1 = layer_slices(A.ncols, grid.layers)[grid.layer]
+            a_layer = extract_col_range(A, k0, k1, reindex=True)
+            return grid_block(a_layer, grid.pr, grid.pc, grid.row, grid.col)
+
+        self._a_blocks = self._run_setup(setup)
+
+    def multiply(self, B: CsrMatrix) -> BaselineResult:
+        if B.nrows != self.ncols:
+            raise ValueError(
+                f"B must have {self.ncols} rows to match A, got {B.shape}"
+            )
+        accumulator = "spa" if B.ncols <= self.spa_threshold else "hash"
+
+        def program(comm):
+            return summa3d_rank(
+                comm,
+                None,
+                B,
+                self.semiring,
+                self.layers,
+                accumulator,
+                self.kernel,
+                a_block=self._a_blocks[comm.rank],
+                a_nrows=self.nrows,
+                a_ncols=self.ncols,
+            )
+
+        result = self._exec.run(program)
+        blocks = [v for v in result.values if v is not None]
+        C = assemble_2d_blocks(
+            blocks, self.nrows, B.ncols, self.pr, self.pc, self.semiring
+        )
+        return BaselineResult(
+            C=C, report=result.report, diagnostics={"layers": self.l}
+        )

@@ -123,22 +123,33 @@ def _cmd_bfs(args) -> int:
     A = _load_matrix(args)
     sources = random_sources(A.nrows, args.sources, seed=args.seed)
     machine = get_profile(args.machine)
-    result = msbfs(
-        A,
-        sources,
-        args.ranks,
-        algorithm=args.algorithm,
-        config=_config(args),
-        machine=machine,
-    )
+    try:
+        result = msbfs(
+            A,
+            sources,
+            args.ranks,
+            algorithm=args.algorithm,
+            config=_config(args),
+            machine=machine,
+            driver_gather=args.driver_gather == "on",
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     rows = [
-        [it.iteration, it.frontier_nnz, it.comm_nnz, fmt_seconds(it.runtime)]
+        [
+            it.iteration,
+            it.frontier_nnz,
+            it.comm_nnz,
+            fmt_bytes(it.driver_scatter_bytes + it.driver_gather_bytes),
+            fmt_seconds(it.runtime),
+        ]
         for it in result.iterations
     ]
     print_table(
         f"MSBFS: {args.sources} sources on {args.dataset} (p={args.ranks}, "
         f"{result.levels} levels, total {fmt_seconds(result.total_runtime)})",
-        ["level", "frontier nnz", "comm nnz", "runtime"],
+        ["level", "frontier nnz", "comm nnz", "driver bytes", "runtime"],
         rows,
     )
     counts = result.reachable_counts()
@@ -241,6 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel(p_bfs)
     p_bfs.add_argument("--sources", type=int, default=64)
     p_bfs.add_argument("--algorithm", default="TS-SpGEMM")
+    p_bfs.add_argument(
+        "--driver-gather",
+        default="off",
+        choices=("on", "off"),
+        help="round-trip every level's frontier/result through the driver "
+        "(charged B scatter + C gather) instead of chaining rank-resident "
+        "handles; ablation of the zero-driver-traffic default",
+    )
     p_bfs.set_defaults(func=_cmd_bfs)
 
     p_emb = sub.add_parser("embed", help="sparse embedding training")

@@ -17,20 +17,34 @@ paper's timers do; ``result.multiply_time`` excludes setup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
-from ..mpi.executor import run_spmd
+from ..mpi.executor import ResidentSession, run_spmd
 from ..mpi.stats import SpmdReport
-from ..partition.distmat import DistDenseMatrix, DistSparseMatrix
+from ..partition.block1d import Block1D
+from ..partition.distmat import (
+    DistDenseMatrix,
+    DistHandle,
+    DistSparseMatrix,
+    _vstack_blocks,
+    _vstack_tagged,
+)
 from ..sparse.csr import CsrMatrix
+from ..sparse.ops import (
+    extract_col_range,
+    extract_row_range,
+    mask_entries,
+    mask_pattern,
+)
 from ..sparse.semiring import PLUS_TIMES, Semiring
 from .config import DEFAULT_CONFIG, TsConfig
 from .naive import naive_multiply
-from .plan import PreparedA, prepare_multiply
+from .plan import PreparedA, PreparedSubtile, _static_mode, prepare_multiply
 from .spmm import spmm_multiply
+from .symbolic import LOCAL, REMOTE
 from .tiled import tiled_multiply
 
 #: Phases counted as one-time setup rather than multiply time.  "prepare"
@@ -43,14 +57,19 @@ SETUP_PHASES = frozenset({"build-Ac", "tiling", "scatter-input", "prepare"})
 class MultiplyResult:
     """Outcome of one distributed multiply.
 
-    ``C`` is the gathered global product; ``report`` carries the modelled
-    clocks and per-phase traffic; ``diagnostics`` merges the per-rank
-    algorithm counters (tile modes, flops, peak received-B bytes).
+    ``C`` is the global product (a :class:`CsrMatrix`) or, for
+    ``gather=False`` session multiplies, the rank-resident
+    :class:`~repro.partition.distmat.DistHandle`; ``report`` carries the
+    modelled clocks and per-phase traffic; ``diagnostics`` merges the
+    per-rank algorithm counters (tile modes, flops, peak received-B
+    bytes).  ``extra`` holds the handles produced by a session
+    multiply's rank-local ``epilogue``, if one ran.
     """
 
     C: Any
     report: SpmdReport
     diagnostics: Dict[str, Any] = field(default_factory=dict)
+    extra: Any = None
 
     @property
     def runtime(self) -> float:
@@ -138,8 +157,6 @@ def ts_spgemm(
     result = run_spmd(p, program, machine=machine)
     blocks = [v[0] for v in result.values]
     diagnostics = _merge_diag(v[1] for v in result.values)
-    from ..partition.distmat import _vstack_blocks
-
     return MultiplyResult(
         C=_vstack_blocks(blocks, B.ncols),
         report=result.report,
@@ -147,7 +164,7 @@ def ts_spgemm(
     )
 
 
-class TsSession:
+class TsSession(ResidentSession):
     """A resident distributed-multiply session: setup paid once, reused.
 
     ``ts_spgemm`` launches one simulated SPMD job per multiply — every
@@ -159,18 +176,43 @@ class TsSession:
     >>> c1 = session.multiply(B1).C
     >>> c2 = session.multiply(B2).C   # replan only; no re-scatter/re-prepare
 
-    The constructor runs one SPMD job that distributes ``A``, builds
-    ``Ac`` and (with ``config.reuse_plan``) the per-rank
-    :class:`~repro.core.plan.PreparedA`; its modelled cost is recorded in
-    ``setup_report``.  Each :meth:`multiply` then runs a fresh SPMD job
-    that re-binds the cached per-rank state to new communicators, so its
-    :class:`MultiplyResult` reports only that multiply's incremental cost
-    — the accounting the per-iteration traces of Fig 12/13 need.
+    The session owns a resident :class:`~repro.mpi.executor.SpmdSession`
+    — ``p`` worker threads started once and fed one task per multiply,
+    instead of spawning ``p`` fresh threads per level.  Each task gets
+    fresh clocks and statistics, so every :class:`MultiplyResult` reports
+    only that multiply's incremental cost — the accounting the
+    per-iteration traces of Fig 12/13 need.  The constructor's task
+    distributes ``A``, builds ``Ac`` and (with ``config.reuse_plan``) the
+    per-rank :class:`~repro.core.plan.PreparedA`; its modelled cost is
+    recorded in ``setup_report``.
+
+    **Distributed handles.**  ``multiply`` accepts *and* produces
+    rank-resident operands (:class:`~repro.partition.distmat.DistHandle`):
+
+    >>> h = session.scatter(B0)                    # scatter once
+    >>> h = session.multiply(h, gather=False).C    # stays on-rank
+    >>> h = session.multiply(h, gather=False).C    # chains, zero driver I/O
+    >>> C = h.gather()                             # explicit exit point
+
+    With ``multiply(..., charge_driver=True)`` — the accounting behind
+    MS-BFS's ``driver_gather=True`` ablation — a driver-resident ``B``
+    is charged as a root scatter (phase ``scatter-B``) and
+    ``gather=True`` charges the root gather of ``C`` (``gather-C``):
+    the real per-multiply driver round-trip the handle path eliminates,
+    surfaced as ``diagnostics['driver_scatter_bytes']`` /
+    ``['driver_gather_bytes']`` (both zero on a pure handle chain).  By
+    default the distribution stays free, matching :func:`ts_spgemm`'s
+    pre-distributed-input convention.
 
     :meth:`update_operand` supports operands whose *values* drift while
-    the pattern is stable (the embedding's coefficient matrix): it
-    re-ships the column copy and refreshes the numeric prepared state,
-    falling back to a full re-setup when the pattern actually changed.
+    the pattern is stable (the embedding's coefficient matrix);
+    :meth:`derive_edge_subset` mints a child session for an edge
+    subsample of the resident graph (influence maximization's live-edge
+    samples) without re-scattering or re-preparing from scratch.
+
+    Sessions hold OS threads: :meth:`close` them when done (``with``
+    blocks work too); a failed task kills the session, which then refuses
+    further multiplies — like a communicator after ``MPI_Abort``.
     """
 
     def __init__(
@@ -187,16 +229,23 @@ class TsSession:
             raise ValueError(f"unknown algorithm {algorithm!r}")
         if A.nrows != A.ncols:
             raise ValueError(f"need a square A, got {A.shape}")
-        self.p = p
+        super().__init__(p, machine)
         self.semiring = semiring
         self.config = config
-        self.machine = machine
         self.algorithm = algorithm
         self.multiplies = 0
         self._state: Optional[list] = None
         self._pattern: Optional[tuple] = None
+        self._edge_ids: Optional[list] = None
         self.ncols = A.ncols
+        self._rows = Block1D(A.nrows, p)
         self.setup_report: SpmdReport = self._setup(A)
+
+    #: Registry session-contract capability: this session accepts and
+    #: mints rank-resident DistHandles (scatter / gather=False /
+    #: epilogue / charge_driver) — iterative drivers dispatch on this,
+    #: not on the concrete class.
+    supports_handles = True
 
     # ------------------------------------------------------------------
     def _setup(self, A: CsrMatrix) -> SpmdReport:
@@ -216,23 +265,104 @@ class TsSession:
                 )
             return dist_a.rows, dist_a.local, dist_a.col_copy, prepared
 
-        result = run_spmd(self.p, program, machine=self.machine)
+        result = self._exec.run(program)
         self._state = list(result.values)
         self._pattern = (A.indptr, A.indices)
+        self._edge_ids = None
         return result.report
 
     # ------------------------------------------------------------------
-    def multiply(self, B: CsrMatrix) -> MultiplyResult:
-        """One distributed ``C = A · B`` against the resident ``A``."""
+    def scatter(self, B: CsrMatrix) -> DistHandle:
+        """Slice a driver-resident matrix into a rank-resident handle.
+
+        The *entry point* of the handle lifecycle.  Like
+        ``DistSparseMatrix.scatter_rows``, the initial distribution is
+        free on the virtual clocks (pre-distributed input, the paper's
+        timing scope); it is the *per-multiply* re-scatter that
+        ``multiply`` charges and the handle chain avoids.
+        """
         if B.nrows != self.ncols:
+            raise ValueError(
+                f"matrix must have {self.ncols} rows to match A, got {B.shape}"
+            )
+        blocks = [extract_row_range(B, lo, hi) for lo, hi in self._rows.ranges]
+        return DistHandle(owner=self, rows=self._rows, ncols=B.ncols, blocks=blocks)
+
+    def _check_handle(self, h: DistHandle) -> None:
+        if h.owner is not self:
+            raise ValueError(
+                "DistHandle belongs to a different session; handles follow "
+                "their session's row partition and cannot be mixed"
+            )
+
+    # ------------------------------------------------------------------
+    def multiply(
+        self,
+        B: Union[CsrMatrix, DistHandle],
+        *,
+        gather: bool = True,
+        charge_driver: bool = False,
+        epilogue: Optional[Callable] = None,
+        epilogue_operands: Tuple[DistHandle, ...] = (),
+    ) -> MultiplyResult:
+        """One distributed ``C = A · B`` against the resident ``A``.
+
+        ``B`` may be a driver-resident :class:`CsrMatrix` or a
+        rank-resident :class:`~repro.partition.distmat.DistHandle`
+        minted by this session (zero driver traffic).  With
+        ``gather=True`` (default) ``result.C`` is the global
+        :class:`CsrMatrix`; with ``gather=False`` it is a
+        :class:`DistHandle` that chains into the next multiply.
+
+        ``charge_driver=True`` charges the per-multiply driver
+        round-trip on the virtual clocks — the B root scatter
+        (``scatter-B`` phase) and, with ``gather=True``, the C root
+        gather (``gather-C``) — and surfaces the moved bytes as
+        ``diagnostics['driver_scatter_bytes'] / ['driver_gather_bytes']``.
+        This is the explicit ablation knob behind MS-BFS's
+        ``driver_gather=True``: it models the O(n·d) per-iteration
+        traffic a loop pays when it round-trips operands through the
+        driver instead of chaining handles.  The default ``False`` keeps
+        the paper's pre-distributed-input convention, the same (free)
+        accounting as the per-call :func:`ts_spgemm` path, so
+        plan-reuse ablations compare like with like.
+
+        ``epilogue`` fuses a rank-local post-processing step into the
+        same rank program — ``epilogue(comm, c_local, *operand_blocks)``
+        runs right after each rank's multiply (MS-BFS's frontier update
+        lives here, as in the paper's Alg 3) and returns a
+        :class:`CsrMatrix` or tuple of them, surfaced as matching
+        handles in ``result.extra``.  Its charges land in this
+        multiply's report.
+        """
+        b_handle = B if isinstance(B, DistHandle) else None
+        if b_handle is not None:
+            self._check_handle(b_handle)
+        elif B.nrows != self.ncols:
             raise ValueError(
                 f"B must have {self.ncols} rows to match A, got {B.shape}"
             )
+        for h in epilogue_operands:
+            self._check_handle(h)
+        b_ncols = B.ncols
 
         def program(comm):
             rows, local, col_copy, prepared = self._state[comm.rank]
             dist_a = DistSparseMatrix(comm, rows, local, self.ncols, col_copy)
-            dist_b = DistSparseMatrix.scatter_rows(comm, B)
+            if b_handle is not None:
+                dist_b = DistSparseMatrix(
+                    comm, rows, b_handle.blocks[comm.rank], b_ncols
+                )
+            else:
+                # B lives on the driver.  Under the ablation accounting
+                # the root slices and scatters it and the α–β cost lands
+                # on the clocks — the per-level traffic the paper's
+                # resident loop (Alg 3) never pays; by default the
+                # distribution is free, like every other driver entry
+                # point (pre-distributed input convention).
+                dist_b = DistSparseMatrix.scatter_rows(
+                    comm, B, charge_comm=charge_driver, phase="scatter-B"
+                )
             if self.algorithm == "tiled":
                 dist_c, diag = tiled_multiply(
                     dist_a, dist_b, self.semiring, self.config, prepared=prepared
@@ -242,17 +372,82 @@ class TsSession:
                 dist_c, diag_dict = naive_multiply(
                     dist_a, dist_b, self.semiring, self.config, prepared=prepared
                 )
-            return dist_c.local, diag_dict
+            extra = None
+            if epilogue is not None:
+                extra = epilogue(
+                    comm,
+                    dist_c.local,
+                    *[h.blocks[comm.rank] for h in epilogue_operands],
+                )
+            if gather and charge_driver:
+                with comm.phase("gather-C"):
+                    comm.gather(dist_c.local, root=0)
+            return dist_c.local, diag_dict, extra
 
-        result = run_spmd(self.p, program, machine=self.machine)
+        result = self._exec.run(program)
         self.multiplies += 1
-        from ..partition.distmat import _vstack_blocks
-
+        diagnostics = _merge_diag(v[1] for v in result.values)
+        per_phase = result.report.phase_bytes()
+        diagnostics["driver_scatter_bytes"] = per_phase.get("scatter-B", 0)
+        diagnostics["driver_gather_bytes"] = per_phase.get("gather-C", 0)
+        blocks = [v[0] for v in result.values]
+        if gather:
+            c_out: Any = _vstack_blocks(blocks, b_ncols)
+        else:
+            c_out = DistHandle(
+                owner=self, rows=self._rows, ncols=b_ncols, blocks=blocks
+            )
+        extra_out = None
+        if epilogue is not None:
+            extra_out = self._wrap_local_outputs([v[2] for v in result.values])
         return MultiplyResult(
-            C=_vstack_blocks([v[0] for v in result.values], B.ncols),
+            C=c_out,
             report=result.report,
-            diagnostics=_merge_diag(v[1] for v in result.values),
+            diagnostics=diagnostics,
+            extra=extra_out,
         )
+
+    def _wrap_local_outputs(self, per_rank: List[Any]) -> Any:
+        """Wrap per-rank blocks (or tuples of them) into DistHandles."""
+        first = per_rank[0]
+
+        def _handle(i: Optional[int]) -> DistHandle:
+            blocks = [v if i is None else v[i] for v in per_rank]
+            return DistHandle(
+                owner=self,
+                rows=self._rows,
+                ncols=blocks[0].ncols,
+                blocks=blocks,
+            )
+
+        if isinstance(first, tuple):
+            return tuple(_handle(i) for i in range(len(first)))
+        return _handle(None)
+
+    # ------------------------------------------------------------------
+    def apply_local(
+        self, fn: Callable, *operands: DistHandle
+    ) -> Tuple[Any, SpmdReport]:
+        """Run a rank-local operation over resident handles.
+
+        ``fn(comm, *local_blocks)`` executes on every rank with that
+        rank's blocks of ``operands`` and returns one
+        :class:`CsrMatrix` (or a tuple of them) per rank; the results
+        come back as matching :class:`DistHandle`\\ s plus the task's
+        report.  This is how iterative drivers keep their elementwise
+        updates on-rank: MS-BFS's frontier update ``F ← N \\ S``,
+        ``S ← S ∨ N`` is row-partitioned, so it runs here with **zero**
+        communication.  ``fn`` is responsible for its own phase labels
+        and ``charge_touch`` calls.
+        """
+        for h in operands:
+            self._check_handle(h)
+
+        def program(comm):
+            return fn(comm, *[h.blocks[comm.rank] for h in operands])
+
+        result = self._exec.run(program)
+        return self._wrap_local_outputs(list(result.values)), result.report
 
     # ------------------------------------------------------------------
     def update_operand(self, A: CsrMatrix) -> SpmdReport:
@@ -281,9 +476,215 @@ class TsSession:
                     prepared.refresh_values(dist_a)
             return dist_a.rows, dist_a.local, dist_a.col_copy, prepared
 
-        result = run_spmd(self.p, program, machine=self.machine)
+        result = self._exec.run(program)
         self._state = list(result.values)
         return result.report
+
+    # ------------------------------------------------------------------
+    # edge-subset derivation (influence maximization's live-edge samples)
+    # ------------------------------------------------------------------
+    def _ensure_edge_ids(self) -> None:
+        """Per-rank edge-id companions for every cached block.
+
+        For the local row block, the ``Ac`` column copy and each prepared
+        subtile, record the *global edge index* (position in ``A``'s CSR
+        data) of every stored entry, aligned with the block's data order.
+        Built by replaying the deterministic distribution transforms
+        (row slicing, the column-copy strip exchange, subtile extraction)
+        on an id-valued twin of ``A``.  Pure bookkeeping, charged
+        nothing: on the real system every rank derives its own keep flags
+        locally from the shared sample seed — no ids ever travel.
+        """
+        if self._edge_ids is not None:
+            return
+        indptr, indices = self._pattern
+        n = self.ncols
+        nnz = len(indices)
+        ids_global = CsrMatrix(
+            (n, n), indptr, indices, np.arange(nnz, dtype=np.int64), check=False
+        )
+        ranges = self._rows.ranges
+        local_ids = [extract_row_range(ids_global, lo, hi) for lo, hi in ranges]
+        per_rank = []
+        for j, (c0, c1) in enumerate(ranges):
+            _, _, col_copy, prepared = self._state[j]
+            col_data = None
+            sub_ids = None
+            if col_copy is not None:
+                # Replay build_column_copy: strips arrive tagged with the
+                # sender's row offset and are stacked in offset order.
+                tagged = [
+                    (
+                        ranges[i][0],
+                        extract_col_range(local_ids[i], c0, c1, reindex=True),
+                    )
+                    for i in range(self.p)
+                ]
+                col_ids_mat = _vstack_tagged(tagged, n, c1 - c0)
+                col_data = col_ids_mat.data.astype(np.int64, copy=False)
+                if prepared is not None and prepared.subtiles:
+                    sub_ids = {}
+                    for peer, subs in prepared.subtiles.items():
+                        lo_p, hi_p = ranges[peer]
+                        tile_ids = extract_row_range(col_ids_mat, lo_p, hi_p)
+                        sub_ids[peer] = [
+                            None
+                            if ps.block is None
+                            else extract_row_range(
+                                tile_ids, *ps.row_range
+                            ).data.astype(np.int64, copy=False)
+                            for ps in subs
+                        ]
+            per_rank.append(
+                (
+                    local_ids[j].data.astype(np.int64, copy=False),
+                    col_data,
+                    sub_ids,
+                )
+            )
+        self._edge_ids = per_rank
+
+    def derive_edge_subset(self, keep: np.ndarray) -> "TsSession":
+        """A child session for the edge subset flagged by ``keep``.
+
+        ``keep`` is a boolean mask over the resident ``A``'s stored
+        entries (global CSR order) — exactly what one live-edge sample of
+        the Independent Cascade model draws.  Instead of scattering the
+        sampled matrix and re-preparing from scratch (a fresh session per
+        sample), every rank *masks* its cached state down to the kept
+        edges: local block, ``Ac`` column copy, prepared subtile blocks
+        (with their pattern casts and ``needed_b_rows`` rescans) — one
+        streaming pass, zero communication except the forced-policy mode
+        table's binary all-to-all.  The derived state is bit-identical to
+        what a fresh session on the masked matrix would build, so every
+        multiply (and hence the sample's whole MS-BFS) is bit-identical
+        too.
+
+        The child shares this session's executor (close the parent last)
+        and its row partition; handles are *not* interchangeable between
+        parent and child.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        indptr, indices = self._pattern
+        nnz = len(indices)
+        if keep.shape != (nnz,):
+            raise ValueError(
+                f"keep must flag all {nnz} stored edges, got shape {keep.shape}"
+            )
+        self._ensure_edge_ids()
+        config = self.config
+        forced = LOCAL if config.mode_policy == "local" else REMOTE
+
+        def program(comm):
+            rank = comm.rank
+            rows, local, col_copy, prepared = self._state[rank]
+            local_ids, col_ids, sub_ids = self._edge_ids[rank]
+            with comm.phase("prepare"):
+                touched = 0
+                new_local = mask_entries(local, keep[local_ids])
+                touched += new_local.nbytes_estimate()
+                new_col = None
+                if col_copy is not None:
+                    new_col = mask_entries(col_copy, keep[col_ids])
+                    touched += new_col.nbytes_estimate()
+                new_prepared = None
+                if prepared is not None:
+                    new_prepared = PreparedA(
+                        config=config, rank=rank, size=comm.size
+                    )
+                    if self.algorithm == "tiled" and sub_ids is not None:
+                        new_prepared.row_tile_ranges = list(
+                            prepared.row_tile_ranges
+                        )
+                        for peer, subs in prepared.subtiles.items():
+                            new_subs = []
+                            for ps, ids in zip(subs, sub_ids[peer]):
+                                blk = (
+                                    None
+                                    if ps.block is None
+                                    else mask_entries(ps.block, keep[ids])
+                                )
+                                if blk is None or blk.nnz == 0:
+                                    new_subs.append(
+                                        PreparedSubtile(
+                                            ps.peer, ps.row_tile, ps.row_range,
+                                            None, None, None,
+                                        )
+                                    )
+                                    continue
+                                touched += blk.nbytes_estimate()
+                                if ps.peer == rank:
+                                    new_subs.append(
+                                        PreparedSubtile(
+                                            ps.peer, ps.row_tile, ps.row_range,
+                                            blk, None, None,
+                                        )
+                                    )
+                                else:
+                                    # bool cast + nonzero-column rescan:
+                                    # same 2x streaming charge as
+                                    # prepare_multiply's off-diagonal path
+                                    touched += 2 * blk.nbytes_estimate()
+                                    new_subs.append(
+                                        PreparedSubtile(
+                                            ps.peer, ps.row_tile, ps.row_range,
+                                            blk,
+                                            blk.astype(np.bool_),
+                                            blk.nonzero_columns(),
+                                        )
+                                    )
+                            new_prepared.subtiles[peer] = new_subs
+                comm.charge_touch(touched)
+                if (
+                    new_prepared is not None
+                    and new_prepared.subtiles
+                    and config.mode_policy != "hybrid"
+                ):
+                    # Masking can empty a subtile, so the static mode
+                    # table must be re-exchanged for the subset.
+                    outgoing = [
+                        [
+                            _static_mode(ps, rank, forced)
+                            for ps in new_prepared.subtiles[peer]
+                        ]
+                        for peer in range(comm.size)
+                    ]
+                    with comm.phase("symbolic"):
+                        incoming = comm.alltoall(outgoing)
+                    new_prepared.static_consumed_modes = dict(
+                        enumerate(incoming)
+                    )
+            return rows, new_local, new_col, new_prepared
+
+        result = self._exec.run(program)
+        child = self._derived_shell()
+        child._state = list(result.values)
+        child._pattern = mask_pattern(indptr, indices, keep)
+        child.setup_report = result.report
+        return child
+
+    def _derived_shell(self) -> "TsSession":
+        """A child session sharing this session's configuration, row
+        partition and executor (``_owns_exec=False``), with empty
+        per-instance state — the single place the shared-field copy
+        lives, so new ``__init__`` attributes get one home to extend.
+        """
+        child = TsSession.__new__(TsSession)
+        child.p = self.p
+        child.semiring = self.semiring
+        child.config = self.config
+        child.machine = self.machine
+        child.algorithm = self.algorithm
+        child.multiplies = 0
+        child.ncols = self.ncols
+        child._rows = self._rows
+        child._exec = self._exec
+        child._owns_exec = False
+        child._edge_ids = None
+        child._state = None
+        child._pattern = None
+        child.setup_report = None
+        return child
 
 
 def ts_spmm(

@@ -45,6 +45,11 @@ def place_rows(
         raise ValueError("payload row count does not match id count")
     if len(row_ids) and (row_ids.min() < 0 or row_ids.max() >= nrows):
         raise ValueError("placed row id out of range")
+    if len(row_ids) > 1 and np.any(np.diff(row_ids) <= 0):
+        # The indptr scatter below assumes sorted, unique ids; an unsorted
+        # or duplicated payload would silently build a CSR whose indptr
+        # disagrees with the order of indices/data.
+        raise ValueError("placed row ids must be strictly increasing")
     indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
     counts = rows.row_nnz()
     indptr[row_ids + 1] = counts

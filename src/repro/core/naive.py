@@ -24,7 +24,7 @@ import numpy as np
 
 from ..partition.distmat import DistSparseMatrix
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
-from ..sparse.kernels import dispatch_spgemm
+from ..sparse.kernels import dispatch_spgemm, resolve_spgemm
 from ..sparse.semiring import PLUS_TIMES, Semiring
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_rows, place_rows
@@ -115,8 +115,11 @@ def naive_multiply(
         else:
             payload = None
         b_needed = place_rows(rows.n, payload, d, semiring.dtype)
-        c_local, flops = dispatch_spgemm(A.local, b_needed, semiring, config.kernel)
-        comm.charge_spgemm(flops, d=d, accumulator=config.accumulator_for(d))
+        kname = resolve_spgemm(config.kernel, semiring, A.local, d=d).name
+        c_local, flops = dispatch_spgemm(A.local, b_needed, semiring, kname)
+        comm.charge_spgemm(
+            flops, d=d, accumulator=config.accumulator_for(d), kernel=kname
+        )
 
     diagnostics = {
         "fetched_b_nnz": int(sum(m.nnz for m in parts_mats)),

@@ -42,7 +42,7 @@ import numpy as np
 
 from ..partition.distmat import DistSparseMatrix
 from ..sparse.csr import CsrMatrix
-from ..sparse.kernels import dispatch_spgemm
+from ..sparse.kernels import dispatch_spgemm, resolve_spgemm
 from ..sparse.ops import extract_row_range
 from ..sparse.semiring import BOOL_AND_OR
 from ..sparse.tile import ColumnStrips, strips_build_bytes
@@ -237,6 +237,11 @@ def replan(
         if hybrid:
             b_row_nnz = B.local.row_nnz()
             b_bool = B.local.astype(np.bool_)  # one conversion per replan
+            # The pattern products run on a real registry kernel; charge
+            # its calibrated constant (non-strict: mirrors the dispatch).
+            sym_kernel = resolve_spgemm(
+                config.kernel, BOOL_AND_OR, b_bool, d=B.ncols, strict=False
+            ).name
         for peer in range(comm.size):
             infos: List[SubtileInfo] = []
             for ps in prepared.subtiles[peer]:
@@ -277,7 +282,7 @@ def replan(
                 pattern, sym_flops = dispatch_spgemm(
                     ps.block_bool, b_bool, BOOL_AND_OR, config.kernel, strict=False
                 )
-                comm.charge_symbolic(sym_flops)
+                comm.charge_symbolic(sym_flops, kernel=sym_kernel)
                 plan.pattern_products += 1
                 out_nnz = pattern.nnz
                 # Compare exact wire bytes of the two options: both

@@ -37,7 +37,7 @@ import numpy as np
 
 from ..partition.distmat import DistSparseMatrix
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
-from ..sparse.kernels import dispatch_spgemm
+from ..sparse.kernels import dispatch_spgemm, resolve_spgemm
 from ..sparse.merge import merge_bytes, merge_csrs
 from ..sparse.ops import extract_row_range
 from ..sparse.semiring import PLUS_TIMES, Semiring
@@ -103,6 +103,10 @@ def tiled_multiply(
     p = comm.size
     d = B.ncols
     acc = config.accumulator_for(d)
+    # Resolve the kernel once per multiply: every tile product sees the
+    # same (A dtype, semiring, d), so the resolution — and therefore the
+    # calibrated compute constant charged per flop — is uniform.
+    kname = resolve_spgemm(config.kernel, semiring, A.local, d=d).name
     diag = TileDiagnostics()
 
     if prepared is not None:
@@ -137,10 +141,8 @@ def tiled_multiply(
         for info in diag_infos:
             if info.mode != DIAGONAL:
                 continue
-            c_part, flops = dispatch_spgemm(
-                info.block, B.local, semiring, config.kernel
-            )
-            comm.charge_spgemm(flops, d=d, accumulator=acc)
+            c_part, flops = dispatch_spgemm(info.block, B.local, semiring, kname)
+            comm.charge_spgemm(flops, d=d, accumulator=acc, kernel=kname)
             diag.flops += flops
             diag.diagonal_tiles += 1
             partials.append(_offset_rows(c_part, info.row_range[0], my_nrows, d))
@@ -186,7 +188,7 @@ def tiled_multiply(
             if tile_payloads:
                 send_b[peer] = tile_payloads
             remote_part = _compute_remote_partial(
-                comm, infos, B.local, semiring, d, acc, config.kernel, diag
+                comm, infos, B.local, semiring, d, acc, kname, diag
             )
             if remote_part is not None:
                 send_c[peer] = remote_part
@@ -221,6 +223,7 @@ def tiled_multiply(
                         semiring,
                         d,
                         acc,
+                        kname,
                         diag,
                     )
                     if c_part is not None:
@@ -276,7 +279,7 @@ def _compute_remote_partial(
     rows_acc, cols_acc, vals_acc = [], [], []
     for info in remote_infos:
         c_part, flops = dispatch_spgemm(info.block, b_local, semiring, kernel)
-        comm.charge_spgemm(flops, d=d, accumulator=acc)
+        comm.charge_spgemm(flops, d=d, accumulator=acc, kernel=kernel)
         diag.flops += flops
         if c_part.nnz:
             rows_acc.append(c_part.row_ids() + info.row_range[0])
@@ -311,6 +314,7 @@ def _consume_local(
     semiring: Semiring,
     d: int,
     acc: str,
+    kernel: str,
     diag: TileDiagnostics,
 ) -> Optional[CsrMatrix]:
     """Multiply my local-mode row tiles of ``strip`` with received B rows.
@@ -332,8 +336,8 @@ def _consume_local(
         block_b = place_rows(
             j_hi - j_lo, (global_ids - j_lo, rows), d, semiring.dtype
         )
-        c_part, flops = dispatch_spgemm(sub, block_b, semiring, config.kernel)
-        comm.charge_spgemm(flops, d=d, accumulator=acc)
+        c_part, flops = dispatch_spgemm(sub, block_b, semiring, kernel)
+        comm.charge_spgemm(flops, d=d, accumulator=acc, kernel=kernel)
         diag.flops += flops
         if c_part.nnz:
             rows_acc.append(c_part.row_ids() + r0)

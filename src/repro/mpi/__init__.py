@@ -43,7 +43,7 @@ from .errors import (
     SpmdAbort,
     SpmdError,
 )
-from .executor import SpmdResult, run_spmd
+from .executor import ResidentSession, SpmdResult, SpmdSession, run_spmd
 from .payload import payload_nbytes
 from .runtime import ANY_SOURCE, ANY_TAG
 from .stats import PhaseStats, RankStats, SpmdReport
@@ -62,12 +62,14 @@ __all__ = [
     "PhaseStats",
     "RankError",
     "RankStats",
+    "ResidentSession",
     "SCALED_PERLMUTTER",
     "SimComm",
     "SpmdAbort",
     "SpmdError",
     "SpmdReport",
     "SpmdResult",
+    "SpmdSession",
     "VirtualClock",
     "get_profile",
     "layered_grid_dims",

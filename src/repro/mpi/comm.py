@@ -107,17 +107,29 @@ class SimComm(CollectivesMixin):
     # ------------------------------------------------------------------
     # virtual-cost charging
     # ------------------------------------------------------------------
-    def charge_spgemm(self, flops: int, *, d: int, accumulator: str = "spa") -> None:
-        """Charge the modelled time of ``flops`` local SpGEMM operations."""
-        self._charge_compute(self.machine.spgemm_time(flops, d=d, accumulator=accumulator))
+    def charge_spgemm(
+        self, flops: int, *, d: int, accumulator: str = "spa", kernel: str = None
+    ) -> None:
+        """Charge the modelled time of ``flops`` local SpGEMM operations.
+
+        ``kernel`` — when the caller knows which registry kernel actually
+        ran — selects that kernel's calibrated compute constant
+        (:data:`repro.mpi.costmodel.KERNEL_COMPUTE_SCALE`) instead of the
+        coarse SPA/hash accumulator dichotomy.
+        """
+        self._charge_compute(
+            self.machine.spgemm_time(
+                flops, d=d, accumulator=accumulator, kernel=kernel
+            )
+        )
 
     def charge_spmm(self, flops: int) -> None:
         """Charge the modelled time of ``flops`` CSR × dense flops."""
         self._charge_compute(self.machine.spmm_time(flops))
 
-    def charge_symbolic(self, flops: int) -> None:
+    def charge_symbolic(self, flops: int, *, kernel: str = None) -> None:
         """Charge ``flops`` pattern-only operations (symbolic step)."""
-        self._charge_compute(self.machine.symbolic_time(flops))
+        self._charge_compute(self.machine.symbolic_time(flops, kernel=kernel))
 
     def charge_touch(self, nbytes: int) -> None:
         """Charge streaming ``nbytes`` through memory (packing, merging)."""

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 def _ceil_log2(q: int) -> int:
@@ -53,6 +54,26 @@ def _ceil_log2(q: int) -> int:
     if q <= 1:
         return 0
     return int(math.ceil(math.log2(q)))
+
+
+#: Per-kernel compute-cost multipliers over ``spgemm_flop_time`` (which is
+#: calibrated for a cache-resident batched SPA).  Measured on the
+#: ``bench_micro_kernels`` workload (~38K semiring products, best-of wall
+#: clock; see docs/kernels.md): ratios of each kernel's per-product time
+#: to the batched SPA's.  These replace the blunt SPA/hash dichotomy when
+#: the charging site knows which registry kernel actually ran — a forced
+#: ``--kernel esc-vectorized`` run is now modelled ~4× slower per flop
+#: than a SPA run, matching what the wall clock shows, instead of being
+#: charged as if it were a SPA.  Unknown kernels (user-registered) fall
+#: back to the accumulator-based rule.
+KERNEL_COMPUTE_SCALE = {
+    "spa": 1.0,            # 824 µs  (the calibration baseline)
+    "scipy": 1.7,          # 1.43 ms — C path, but converts in/out
+    "hash": 2.7,           # 2.20 ms — one fused-key stable sort
+    "esc-vectorized": 4.4,  # 3.66 ms — lexsort + reduceat
+    "hash-rowwise": 76.0,  # 62.9 ms — scalar reference loop
+    "spa-rowwise": 83.0,   # 68.1 ms — scalar reference loop (seed path)
+}
 
 
 @dataclass(frozen=True)
@@ -122,17 +143,35 @@ class MachineProfile:
     # ------------------------------------------------------------------
     # compute costs
     # ------------------------------------------------------------------
-    def spgemm_time(self, flops: int, *, d: int, accumulator: str = "spa") -> float:
+    def spgemm_time(
+        self,
+        flops: int,
+        *,
+        d: int,
+        accumulator: str = "spa",
+        kernel: Optional[str] = None,
+    ) -> float:
         """Virtual seconds for ``flops`` semiring multiply-adds.
 
-        ``d`` is the output row length (the SPA length); ``accumulator`` is
+        ``d`` is the output row length (the SPA length).  When ``kernel``
+        names a registry kernel with a calibrated constant
+        (:data:`KERNEL_COMPUTE_SCALE`), that per-kernel multiplier is
+        charged — the SPA-family kernels additionally pay the
+        ``spa_spill_penalty`` once their dense scratch row (``d`` entries)
+        no longer fits the fast cache, the paper's §III-C crossover.
+        Otherwise the coarse ``accumulator`` dichotomy applies:
         ``"spa"``, ``"hash"`` or ``"esc"`` (expand-sort-compress, charged
         like hash).
         """
         if flops <= 0:
             return 0.0
         per = self.spgemm_flop_time
-        if accumulator == "spa":
+        scale = KERNEL_COMPUTE_SCALE.get(kernel) if kernel is not None else None
+        if scale is not None:
+            per *= scale
+            if kernel in ("spa", "spa-rowwise") and d > self.spa_cache_entries:
+                per *= self.spa_spill_penalty
+        elif accumulator == "spa":
             if d > self.spa_cache_entries:
                 per *= self.spa_spill_penalty
         elif accumulator in ("hash", "esc"):
@@ -145,9 +184,19 @@ class MachineProfile:
         """Virtual seconds for a CSR × dense multiply of ``flops`` flops."""
         return max(flops, 0) * self.spmm_flop_time
 
-    def symbolic_time(self, flops: int) -> float:
-        """Virtual seconds for ``flops`` pattern-only (symbolic) operations."""
-        return max(flops, 0) * self.spgemm_flop_time * self.symbolic_discount
+    def symbolic_time(self, flops: int, *, kernel: Optional[str] = None) -> float:
+        """Virtual seconds for ``flops`` pattern-only (symbolic) operations.
+
+        ``kernel`` applies the same calibrated per-kernel multiplier as
+        :meth:`spgemm_time` — the symbolic pattern products run on a real
+        registry kernel too (batched SPA for the boolean default, whose
+        multiplier is 1.0, so default-path charges are unchanged).
+        """
+        per = self.spgemm_flop_time * self.symbolic_discount
+        scale = KERNEL_COMPUTE_SCALE.get(kernel) if kernel is not None else None
+        if scale is not None:
+            per *= scale
+        return max(flops, 0) * per
 
     def touch_time(self, nbytes: int) -> float:
         """Virtual seconds to stream ``nbytes`` through memory (merge/pack)."""

@@ -1,21 +1,36 @@
-"""Thread-per-rank SPMD executor.
+"""Thread-per-rank SPMD executor: one-shot runs and resident sessions.
 
 :func:`run_spmd` is the single entry point used by every distributed
-algorithm, example and benchmark in this repository: it launches ``size``
-threads, each running ``fn(comm, *args, **kwargs)`` against its own
-:class:`~repro.mpi.comm.SimComm`, and returns the per-rank results together
-with an :class:`~repro.mpi.stats.SpmdReport` of modelled time and traffic.
+algorithm, example and benchmark in this repository: it executes
+``fn(comm, *args, **kwargs)`` on ``size`` simulated ranks, each against its
+own :class:`~repro.mpi.comm.SimComm`, and returns the per-rank results
+together with an :class:`~repro.mpi.stats.SpmdReport` of modelled time and
+traffic.
+
+:class:`SpmdSession` is the resident variant behind iterative drivers
+(:class:`~repro.core.driver.TsSession`, the baseline sessions): ``size``
+worker threads are started **once** and then fed one task per call to
+:meth:`SpmdSession.run`.  Each task gets fresh virtual clocks, statistics
+and a fresh :class:`~repro.mpi.runtime.GroupContext` (so its report covers
+only that task's incremental cost, and communicators never leak between
+tasks), but the threads — and whatever rank-resident state the caller
+threads through ``fn``'s closure — persist.  A multi-level MS-BFS thus
+spawns ``p`` threads once per traversal instead of once per level.
+``run_spmd`` itself is now a create–run–close :class:`SpmdSession`.
 
 Failure semantics mirror ``MPI_Abort``: the first rank to raise triggers a
-run-wide abort that releases every peer blocked in a collective or a
+task-wide abort that releases every peer blocked in a collective or a
 receive; the original traceback is re-raised as
-:class:`~repro.mpi.errors.RankError`.  A watchdog timeout converts genuine
-communication-pattern deadlocks into :class:`~repro.mpi.errors.DeadlockError`
-instead of hanging the test suite.
+:class:`~repro.mpi.errors.RankError` and the session transitions to
+*dead* — further :meth:`~SpmdSession.run` calls are refused, exactly like
+a communicator after ``MPI_Abort``.  A watchdog timeout converts genuine
+communication-pattern deadlocks into
+:class:`~repro.mpi.errors.DeadlockError` instead of hanging the caller.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time as _time
 from typing import Any, Callable, List, Optional, Tuple
@@ -29,7 +44,7 @@ from .stats import RankStats, SpmdReport
 
 
 class SpmdResult:
-    """Return value of :func:`run_spmd`.
+    """Return value of :func:`run_spmd` / :meth:`SpmdSession.run`.
 
     Attributes
     ----------
@@ -51,6 +66,263 @@ class SpmdResult:
 
     def __len__(self) -> int:
         return len(self.values)
+
+
+class _SpmdTask:
+    """One unit of work dispatched to every worker of a session.
+
+    Owns the per-task runtime state: a fresh abort controller and group
+    context (communicators must not leak between tasks), fresh clocks and
+    statistics (so the task's report is incremental), the result slots and
+    the first-error record.
+    """
+
+    def __init__(self, size: int, fn: Callable, args: tuple, kwargs: dict,
+                 machine: MachineProfile):
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.machine = machine
+        self.abort = AbortController()
+        self.ctx = GroupContext(size, self.abort, list(range(size)))
+        self.clocks = [VirtualClock() for _ in range(size)]
+        self.stats = [RankStats(rank=r) for r in range(size)]
+        self.results: List[Any] = [None] * size
+        self.completed = [False] * size
+        self.error: Optional[Tuple[int, BaseException]] = None
+        self.cond = threading.Condition()
+        self.done = 0
+
+    def execute(self, rank: int) -> None:
+        comm = SimComm(
+            self.ctx, rank, self.machine, self.clocks[rank], self.stats[rank]
+        )
+        try:
+            self.results[rank] = self.fn(comm, *self.args, **self.kwargs)
+        except SpmdAbort:
+            pass  # collateral of another rank's failure
+        except BaseException as exc:  # noqa: BLE001 - must catch everything
+            with self.cond:
+                if self.error is None:
+                    self.error = (rank, exc)
+            self.abort.abort()
+        finally:
+            with self.cond:
+                self.done += 1
+                self.completed[rank] = True
+                self.cond.notify_all()
+
+    def report(self) -> SpmdReport:
+        return SpmdReport(
+            size=len(self.clocks),
+            rank_stats=self.stats,
+            clocks=[c.now for c in self.clocks],
+            comm_times=[c.comm_time for c in self.clocks],
+            compute_times=[c.compute_time for c in self.clocks],
+        )
+
+
+def _session_worker(rank: int, tasks: "queue.Queue") -> None:
+    """Worker loop: execute tasks until the ``None`` shutdown sentinel.
+
+    A module-level function on purpose: workers hold references only to
+    their task queue, never to the owning :class:`SpmdSession`, so a
+    dropped session is reference-collected promptly and its finalizer can
+    shut the threads down.
+    """
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        task.execute(rank)
+
+
+class SpmdSession:
+    """A resident pool of ``size`` SPMD rank workers.
+
+    Threads are started in the constructor and fed one :class:`_SpmdTask`
+    per :meth:`run` call; rank-resident state lives in whatever the
+    caller's ``fn`` closes over (e.g. :class:`~repro.core.driver.TsSession`
+    threads its per-rank blocks through).  The session dies — refusing all
+    further tasks — as soon as any task fails or deadlocks, and is shut
+    down explicitly with :meth:`close` (idempotent; also invoked by the
+    finalizer so abandoned sessions do not leak threads).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        machine: MachineProfile = PERLMUTTER,
+        timeout: float = 600.0,
+    ):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self.machine = machine
+        self.timeout = timeout
+        self._queues: List[queue.Queue] = [queue.Queue() for _ in range(size)]
+        self._closed = False
+        self._dead_reason: Optional[str] = None
+        # Serializes concurrent run() callers: tasks must reach every
+        # rank queue in the same order or two overlapping tasks deadlock
+        # each other's collectives.
+        self._run_lock = threading.Lock()
+        # Guards the closed flag + queue feeding so a close() racing a
+        # run() cannot slip shutdown sentinels in front of a task on
+        # some rank queues (which would strand the task's collectives).
+        # Held only around enqueues — close() never waits on a task.
+        self._queue_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=_session_worker,
+                args=(r, self._queues[r]),
+                name=f"spmd-rank-{r}",
+                daemon=True,
+            )
+            for r in range(size)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, *, join: bool = True) -> None:
+        """Shut the workers down (idempotent).  Safe to call on a dead
+        session; stuck workers are abandoned as daemons after a short
+        join grace."""
+        with self._queue_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for q in self._queues:
+                q.put(None)
+        if join:
+            for t in self._threads:
+                t.join(timeout=2.0)
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close(join=False)
+        except Exception:
+            pass
+
+    def _kill(self, reason: str) -> None:
+        self._dead_reason = reason
+        self.close(join=False)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: Optional[float] = None,
+        **kwargs: Any,
+    ) -> SpmdResult:
+        """Execute ``fn(comm, *args, **kwargs)`` on every resident rank.
+
+        Raises :class:`RankError`/:class:`DeadlockError` on failure — and
+        in either case marks the whole session dead: like a real job after
+        ``MPI_Abort``, a session with ranks in an unknown state must not
+        accept further collectives.  Concurrent callers are serialized
+        (one task in flight at a time).
+        """
+        with self._run_lock:
+            task = _SpmdTask(self.size, fn, args, kwargs, self.machine)
+            with self._queue_lock:
+                if self._closed:
+                    raise RuntimeError(
+                        "SPMD session is closed"
+                        + (
+                            f" (aborted: {self._dead_reason})"
+                            if self._dead_reason
+                            else ""
+                        )
+                        + "; create a new session"
+                    )
+                for q in self._queues:
+                    q.put(task)
+
+            deadline = _time.monotonic() + (
+                self.timeout if timeout is None else timeout
+            )
+            timed_out = False
+            with task.cond:
+                while task.done < self.size:
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        timed_out = True
+                        break
+                    task.cond.wait(remaining)
+            if timed_out:
+                task.abort.abort()
+                grace = _time.monotonic() + 5.0
+                with task.cond:
+                    while task.done < self.size and _time.monotonic() < grace:
+                        task.cond.wait(0.5)
+
+            if task.error is not None:
+                rank, exc = task.error
+                self._kill(f"rank {rank} raised {type(exc).__name__}")
+                raise RankError(rank, exc) from exc
+            if timed_out:
+                stuck = [
+                    f"spmd-rank-{r}" for r in range(self.size)
+                    if not task.completed[r]
+                ]
+                self._kill("watchdog timeout")
+                raise DeadlockError(
+                    f"SPMD run exceeded "
+                    f"{self.timeout if timeout is None else timeout}s "
+                    f"watchdog; blocked threads: {stuck}"
+                )
+            return SpmdResult(list(task.results), task.report())
+
+
+class ResidentSession:
+    """Base for driver-side sessions holding rank-resident state.
+
+    Owns the :class:`SpmdSession` executor and its lifecycle —
+    ``closed``, ``close()``, context-manager support — so every resident
+    session (:class:`repro.core.driver.TsSession`, the SUMMA and
+    shift-1.5D baseline sessions) shares one implementation of the
+    session contract and protocol changes happen in one place.  A
+    subclass that *shares* another session's executor (derived
+    edge-subset sessions) sets ``_owns_exec = False`` so its ``close()``
+    leaves the parent's workers running.
+    """
+
+    _owns_exec = True
+
+    def __init__(self, p: int, machine: MachineProfile = PERLMUTTER):
+        self.p = p
+        self.machine = machine
+        self._exec = SpmdSession(p, machine=machine)
+
+    def _run_setup(self, setup: Callable) -> List[Any]:
+        """Run the one-time distribution task; record its report."""
+        result = self._exec.run(setup)
+        self.setup_report = result.report
+        return list(result.values)
+
+    @property
+    def closed(self) -> bool:
+        return self._exec.closed
+
+    def close(self) -> None:
+        """Shut down the rank workers (idempotent; no-op for sessions
+        that share another session's executor)."""
+        if self._owns_exec:
+            self._exec.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def run_spmd(
@@ -84,58 +356,8 @@ def run_spmd(
     SpmdResult
         Per-rank return values plus the :class:`SpmdReport`.
     """
-    if size < 1:
-        raise ValueError(f"size must be >= 1, got {size}")
-    abort = AbortController()
-    ctx = GroupContext(size, abort, list(range(size)))
-    clocks = [VirtualClock() for _ in range(size)]
-    stats = [RankStats(rank=r) for r in range(size)]
-    results: List[Any] = [None] * size
-    errors: List[Optional[Tuple[int, BaseException]]] = [None]
-    error_lock = threading.Lock()
-
-    def worker(rank: int) -> None:
-        comm = SimComm(ctx, rank, machine, clocks[rank], stats[rank])
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except SpmdAbort:
-            pass  # collateral of another rank's failure
-        except BaseException as exc:  # noqa: BLE001 - must catch everything
-            with error_lock:
-                if errors[0] is None:
-                    errors[0] = (rank, exc)
-            abort.abort()
-
-    threads = [
-        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}", daemon=True)
-        for r in range(size)
-    ]
-    for t in threads:
-        t.start()
-
-    deadline = _time.monotonic() + timeout
-    for t in threads:
-        remaining = deadline - _time.monotonic()
-        t.join(max(remaining, 0.0))
-    if any(t.is_alive() for t in threads):
-        abort.abort()
-        for t in threads:
-            t.join(5.0)
-        if errors[0] is None:
-            stuck = [t.name for t in threads if t.is_alive()]
-            raise DeadlockError(
-                f"SPMD run exceeded {timeout}s watchdog; blocked threads: {stuck}"
-            )
-
-    if errors[0] is not None:
-        rank, exc = errors[0]
-        raise RankError(rank, exc) from exc
-
-    report = SpmdReport(
-        size=size,
-        rank_stats=stats,
-        clocks=[c.now for c in clocks],
-        comm_times=[c.comm_time for c in clocks],
-        compute_times=[c.compute_time for c in clocks],
-    )
-    return SpmdResult(results, report)
+    session = SpmdSession(size, machine=machine, timeout=timeout)
+    try:
+        return session.run(fn, *args, **kwargs)
+    finally:
+        session.close()

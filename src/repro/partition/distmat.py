@@ -63,18 +63,20 @@ class DistSparseMatrix:
         global_mat: CsrMatrix,
         *,
         charge_comm: bool = False,
+        phase: str = "scatter-input",
     ) -> "DistSparseMatrix":
         """Distribute ``global_mat`` row-block-wise onto ``comm``.
 
         With ``charge_comm=True`` the distribution is performed as a root
-        scatter and its α–β cost lands on the clocks; by default it is
-        free (pre-distributed input, matching the paper's timing scope).
+        scatter and its α–β cost lands on the clocks, under ``phase``; by
+        default it is free (pre-distributed input, matching the paper's
+        timing scope).
         """
         rows = Block1D(global_mat.nrows, comm.size)
         lo, hi = rows.range_of(comm.rank)
         block = extract_row_range(global_mat, lo, hi)
         if charge_comm:
-            with comm.phase("scatter-input"):
+            with comm.phase(phase):
                 blocks = None
                 if comm.rank == 0:
                     blocks = [
@@ -155,6 +157,56 @@ class DistSparseMatrix:
             raise RuntimeError("build_column_copy() has not been called")
         lo, hi = self.rows.range_of(rank)
         return extract_row_range(self.col_copy, lo, hi)
+
+
+@dataclass
+class DistHandle:
+    """A driver-side *handle* to a rank-resident row-partitioned matrix.
+
+    Produced and consumed by resident sessions
+    (:class:`repro.core.driver.TsSession`): ``blocks[i]`` is the CSR row
+    block resident on rank ``i`` (local rows × global columns, like
+    :attr:`DistSparseMatrix.local`).  The driver holds only this handle —
+    the matrix is never materialized globally, so chaining one multiply's
+    output into the next multiply's operand moves **zero bytes** through
+    the driver (no per-level B scatter, no C gather, no global vstack).
+
+    ``owner`` is the session whose row partition the blocks follow; a
+    session refuses handles minted by a different session, since the
+    partitions need not line up.  Call :meth:`gather` to materialize the
+    global matrix — the one explicit exit point of the handle lifecycle
+    (scatter-once → resident chain → ``gather()``).
+    """
+
+    owner: object
+    rows: Block1D
+    ncols: int
+    blocks: List[CsrMatrix]
+
+    @property
+    def nrows(self) -> int:
+        return self.rows.n
+
+    @property
+    def shape(self):
+        return (self.rows.n, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        """Global nonzero count (sum of the resident blocks' nnz).
+
+        Driver-visible without a gather: on the real system this is the
+        allreduce every iterative driver already performs for its
+        termination test.
+        """
+        return sum(b.nnz for b in self.blocks)
+
+    def block_of(self, rank: int) -> CsrMatrix:
+        return self.blocks[rank]
+
+    def gather(self) -> CsrMatrix:
+        """Materialize the global matrix on the driver (ends the chain)."""
+        return _vstack_blocks(self.blocks, self.ncols)
 
 
 @dataclass

@@ -30,6 +30,7 @@ from .ops import (
     extract_col_range,
     extract_row_range,
     extract_rows,
+    mask_entries,
     nnz_of_rows,
     pattern_difference,
     row_topk,
@@ -85,6 +86,7 @@ __all__ = [
     "extract_col_range",
     "extract_row_range",
     "extract_rows",
+    "mask_entries",
     "from_edges",
     "fused_sddmm_spmm",
     "get_kernel",

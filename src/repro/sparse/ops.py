@@ -121,15 +121,32 @@ def pattern_difference(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
 
     Implements the frontier update ``F ← N \\ S`` of Alg 3.
     """
-    keep = ~_pattern_member(a, b)
+    return mask_entries(a, ~_pattern_member(a, b))
+
+
+def mask_pattern(
+    indptr: np.ndarray, indices: np.ndarray, keep: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply an entry mask to a bare CSR pattern; ``(indptr, indices)``."""
     csum = np.concatenate([[0], np.cumsum(keep)])
-    return CsrMatrix(
-        a.shape,
-        csum[a.indptr].astype(INDEX_DTYPE),
-        a.indices[keep],
-        a.data[keep],
-        check=False,
-    )
+    return csum[indptr].astype(INDEX_DTYPE), indices[keep]
+
+
+def mask_entries(mat: CsrMatrix, keep: np.ndarray) -> CsrMatrix:
+    """The entries of ``mat`` flagged by the boolean ``keep`` (nnz-long).
+
+    Drops the others while preserving per-row sorted order — the edge
+    subsetting primitive behind live-edge sampling (influence
+    maximization) and the derived per-sample sessions that mask a full
+    graph's prepared state down to one sample's.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape != (mat.nnz,):
+        raise ValueError(
+            f"keep must flag all {mat.nnz} stored entries, got shape {keep.shape}"
+        )
+    indptr, indices = mask_pattern(mat.indptr, mat.indices, keep)
+    return CsrMatrix(mat.shape, indptr, indices, mat.data[keep], check=False)
 
 
 def ewise_add(a: CsrMatrix, b: CsrMatrix, semiring: Semiring = PLUS_TIMES) -> CsrMatrix:

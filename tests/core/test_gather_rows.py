@@ -52,6 +52,29 @@ class TestSparsePackPlace:
         placed = place_rows(10, pack_rows(mat, ids), 6, mat.dtype)
         CsrMatrix(placed.shape, placed.indptr, placed.indices, placed.data, check=True)
 
+    def test_unsorted_ids_rejected(self, rng):
+        """Regression: the docstring promised strictly increasing row ids
+        but nothing checked — an unsorted payload silently built a CSR
+        whose indptr disagreed with the indices/data order."""
+        mat = csr_from_dense(random_dense(rng, 8, 5, 0.9))
+        ids, rows = pack_rows(mat, np.array([1, 4, 6]))
+        shuffled = np.array([4, 1, 6])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            place_rows(8, (shuffled, rows), 5, mat.dtype)
+
+    def test_duplicate_ids_rejected(self, rng):
+        """Duplicates previously *silently dropped* one row's counts from
+        the indptr scatter while keeping its entries — a corrupt block."""
+        mat = csr_from_dense(random_dense(rng, 8, 5, 0.9))
+        ids, rows = pack_rows(mat, np.array([2, 5]))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            place_rows(8, (np.array([5, 5]), rows), 5, mat.dtype)
+
+    def test_sorted_ids_still_fine(self, rng):
+        mat = csr_from_dense(random_dense(rng, 8, 5, 0.9))
+        placed = place_rows(8, pack_rows(mat, np.array([0, 2, 7])), 5, mat.dtype)
+        CsrMatrix(placed.shape, placed.indptr, placed.indices, placed.data, check=True)
+
 
 class TestDensePackPlace:
     def test_roundtrip(self, rng):

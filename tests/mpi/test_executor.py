@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.mpi import DeadlockError, RankError, SpmdResult, run_spmd
+from repro.mpi import DeadlockError, RankError, SpmdResult, SpmdSession, run_spmd
 
 
 def test_single_rank_returns_value():
@@ -106,3 +106,94 @@ def test_threads_do_not_leak():
     run_spmd(8, lambda comm: comm.barrier())
     after = threading.active_count()
     assert after <= before + 1  # allow for unrelated daemon churn
+
+
+class TestSpmdSession:
+    """Resident rank workers: reuse, abort fan-out, dead-session contract."""
+
+    def test_tasks_reuse_the_same_worker_threads(self):
+        session = SpmdSession(4)
+        try:
+            idents1 = session.run(lambda comm: threading.get_ident()).values
+            idents2 = session.run(lambda comm: threading.get_ident()).values
+            assert idents1 == idents2  # persistent workers, not respawned
+            assert len(set(idents1)) == 4
+        finally:
+            session.close()
+
+    def test_per_task_reports_are_incremental(self):
+        """Each task gets fresh clocks/stats: a second task's report must
+        not include the first task's traffic."""
+        session = SpmdSession(3)
+        try:
+            first = session.run(lambda comm: comm.allgather(b"x" * 1000))
+            second = session.run(lambda comm: comm.barrier())
+            assert first.report.total_bytes() > 0
+            assert second.report.total_bytes() == 0
+        finally:
+            session.close()
+
+    def test_rank_failure_aborts_whole_session(self):
+        """A rank raising mid-task must release peers blocked in a
+        collective and kill the session cleanly."""
+        session = SpmdSession(4)
+
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on rank 1")
+            comm.allgather(comm.rank)  # peers must be released
+
+        with pytest.raises(RankError) as exc_info:
+            session.run(program)
+        assert exc_info.value.rank == 1
+        assert session.closed
+
+    def test_dead_session_refuses_further_runs(self):
+        session = SpmdSession(2)
+
+        def program(comm):
+            if comm.rank == 0:
+                raise RuntimeError("die")
+            comm.barrier()
+
+        with pytest.raises(RankError):
+            session.run(program)
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run(lambda comm: comm.rank)
+
+    def test_deadlock_kills_session(self):
+        session = SpmdSession(2, timeout=1.0)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.recv(source=1)  # rank 1 never sends
+
+        with pytest.raises(DeadlockError):
+            session.run(program)
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run(lambda comm: comm.rank)
+
+    def test_close_is_idempotent_and_joins_workers(self):
+        before = threading.active_count()
+        session = SpmdSession(6)
+        session.run(lambda comm: comm.barrier())
+        session.close()
+        session.close()  # idempotent
+        after = threading.active_count()
+        assert after <= before + 1
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run(lambda comm: comm.rank)
+
+    def test_session_survives_many_tasks(self):
+        session = SpmdSession(3)
+        try:
+            for i in range(20):
+                result = session.run(lambda comm, i=i: comm.allreduce(i))
+                assert result.values == [3 * i] * 3
+        finally:
+            session.close()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            SpmdSession(0)
