@@ -1,0 +1,107 @@
+"""Microbenchmark: sorted-key merge/membership vs the seed's rebuild path.
+
+The BFS epilogue runs two elementwise pattern ops per level —
+``F ← N \\ S`` (:func:`pattern_difference`) and ``S ← S ∨ N``
+(:func:`ewise_add`) — whose seed implementations were ``np.isin``-bound
+(membership re-sorted both key sets every call) and rebuilt the union
+through a full ``coo_to_csr`` lexsort.  Both inputs are sorted CSRs, so
+membership is a plain binary search and the union a two-run merge; this
+bench measures the win on a Fig 12-sized frontier/visited pair and
+pins the results to the legacy implementations bit for bit.
+
+Results land in ``benchmarks/results/micro_pattern_ops.txt``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import print_table
+from repro.sparse import BOOL_AND_OR, CsrMatrix, ewise_add, pattern_difference
+from repro.sparse.build import coo_to_csr
+from repro.sparse.ops import mask_entries
+
+N, D = 20_000, 128  # visited-set shape of a Fig 12-style MS-BFS mid-level
+DENSITY_N, DENSITY_S = 0.02, 0.08
+
+
+def _legacy_member(a: CsrMatrix, b: CsrMatrix) -> np.ndarray:
+    """The seed's membership: np.isin over encoded keys (internal sort)."""
+    a_keys = a.row_ids() * a.ncols + a.indices
+    b_keys = b.row_ids() * b.ncols + b.indices
+    return np.isin(a_keys, b_keys, assume_unique=False)
+
+
+def _legacy_ewise_add(a: CsrMatrix, b: CsrMatrix, semiring) -> CsrMatrix:
+    """The seed's union: full coo_to_csr rebuild (lexsort from scratch)."""
+    return coo_to_csr(
+        np.concatenate([a.row_ids(), b.row_ids()]),
+        np.concatenate([a.indices, b.indices]),
+        np.concatenate([semiring.coerce(a.data), semiring.coerce(b.data)]),
+        a.shape,
+        semiring,
+    )
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def bench_micro_pattern_ops(benchmark, sink):
+    rng = np.random.default_rng(3)
+    reached = CsrMatrix.from_dense(rng.random((N, D)) < DENSITY_N)
+    visited = CsrMatrix.from_dense(rng.random((N, D)) < DENSITY_S)
+
+    t_new_diff, got_diff = _best_of(lambda: pattern_difference(reached, visited))
+    t_old_diff, want_diff = _best_of(
+        lambda: mask_entries(reached, ~_legacy_member(reached, visited))
+    )
+    t_new_add, got_add = _best_of(lambda: ewise_add(visited, reached, BOOL_AND_OR))
+    t_old_add, want_add = _best_of(
+        lambda: _legacy_ewise_add(visited, reached, BOOL_AND_OR)
+    )
+
+    # bit-identical to the legacy path
+    for got, want in ((got_diff, want_diff), (got_add, want_add)):
+        assert np.array_equal(got.indptr, want.indptr)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.data, want.data)
+
+    print_table(
+        f"Pattern-op microbench (reached {reached.nnz:,} nnz, "
+        f"visited {visited.nnz:,} nnz, best of 5)",
+        ["op", "seed path", "merge path", "speedup"],
+        [
+            [
+                "pattern_difference (F <- N \\ S)",
+                f"{t_old_diff * 1e3:.2f} ms",
+                f"{t_new_diff * 1e3:.2f} ms",
+                f"{t_old_diff / t_new_diff:.1f}x",
+            ],
+            [
+                "ewise_add (S <- S v N)",
+                f"{t_old_add * 1e3:.2f} ms",
+                f"{t_new_add * 1e3:.2f} ms",
+                f"{t_old_add / t_new_add:.1f}x",
+            ],
+        ],
+        file=sink,
+    )
+
+    # the point of the rewrite: both hot spots must actually be faster
+    assert t_new_diff < t_old_diff, (
+        f"searchsorted membership lost to np.isin: "
+        f"{t_new_diff:.4f}s vs {t_old_diff:.4f}s"
+    )
+    assert t_new_add < t_old_add, (
+        f"merge-path ewise_add lost to the coo rebuild: "
+        f"{t_new_add:.4f}s vs {t_old_add:.4f}s"
+    )
+
+    benchmark(lambda: ewise_add(visited, reached, BOOL_AND_OR))

@@ -14,43 +14,44 @@ the highest-magnitude entries per row (§IV-B), and the tile height is set
 to the mini-batch size so each row tile is one mini-batch (Fig 4c) — the
 regime where remote tiles pay off (Fig 13d).
 
-Simplification recorded in DESIGN.md: the σ(z_u·z_v) coefficients (an
-SDDMM over the same fetched rows as the SpGEMM) are computed driver-side
-without extra charged communication — on the real system they ride along
-with the SpGEMM's row fetches, so the charged traffic matches.
+The epoch loop is **SPMD-resident** by default: one resident
+:class:`~repro.core.driver.TsSession` holds the coefficient pattern, the
+embedding lives on the ranks as a sparse
+:class:`~repro.partition.distmat.DistHandle` plus its dense
+:class:`~repro.partition.distmat.DistDenseHandle` twin, and each epoch is
+one rank program — a *distributed SDDMM* (each rank fetches exactly the
+``Z`` rows its pattern columns reference, charged; the σ coefficients are
+computed on the row owners and flow into the resident operand through a
+values-only ``Ac`` strip exchange), the TS-SpGEMM, and the fused
+rank-local SGD + top-k re-sparsification epilogue.  Per-epoch driver
+traffic is exactly **zero**; the embedding is gathered once after the
+last epoch.  ``driver_gather=True`` is the ablation: the historical loop
+that round-trips ``Z`` and the gradient through the driver every epoch
+(now honestly charged as a root scatter + gather) and computes the SDDMM
+driver-side.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, TsConfig
-from ..core.driver import TsSession, ts_spgemm
+from ..core.driver import TsSession
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
 from ..sparse.build import coo_to_csr
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
-from ..sparse.ops import row_topk
-from ..sparse.sddmm import sddmm
+from ..sparse.ops import extract_rows, row_topk
+from ..sparse.sddmm import force2vec_coefficients
 from ..sparse.semiring import PLUS_TIMES, Semiring
-
 
 #: Collapses duplicate (u, v) pairs in the force pattern by summing their
 #: ±1 labels: an edge that is also drawn as a negative sample nets out.
 _LABEL_SEMIRING = Semiring(
     "label_sum", np.add, np.multiply, 0.0, np.dtype(np.float64)
 )
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x, dtype=np.float64)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
 
 
 @dataclass
@@ -63,6 +64,11 @@ class EmbeddingEpoch:
     remote_tiles: int
     local_tiles: int
     z_nnz: int
+    #: Driver-side traffic of this epoch (Z scatter / gradient gather);
+    #: zero on the resident path — the quantity the distributed SDDMM
+    #: eliminates, nonzero only under the ``driver_gather=True`` ablation.
+    driver_scatter_bytes: int = 0
+    driver_gather_bytes: int = 0
 
     @property
     def remote_fraction(self) -> float:
@@ -87,6 +93,103 @@ class EmbeddingResult:
         return sum(e.comm_bytes for e in self.epochs)
 
 
+def _sddmm_prologue(comm, operand, z_sp_local, z_dn_local, labels_local):
+    """Rank-local epoch prologue: the distributed SDDMM (Fig 4b, fused).
+
+    Fetches the ``Z`` rows this rank's coefficient pattern references —
+    the sender knows what to ship without a request round thanks to the
+    ``Ac`` column copy, the paper's §III-A trick, and ships them *sparse*
+    so the traffic falls with the embedding sparsity — then computes the
+    σ force coefficients for the local pattern block and pushes them into
+    the resident operand (values-only ``Ac`` strip refresh).  All of it
+    is charged: the row fetch as wire traffic under ``sddmm-fetch``, the
+    dot products via ``charge_sddmm`` — the honest accounting the old
+    driver-side-coefficients simplification skipped.
+    """
+    dist = operand.dist
+    if dist.col_copy is None:
+        raise RuntimeError(
+            "the distributed SDDMM needs the tiled algorithm's Ac column copy"
+        )
+    p = comm.size
+    local = operand.local
+    cached = operand.aux.get("sddmm_plan")
+    if cached is None:
+        # B-independent: which of my Z rows each peer's pattern block
+        # references (read straight off my Ac block — no request round),
+        # and my own pattern re-indexed into the compact space of the
+        # columns it actually references, so the receive buffer is
+        # O(referenced rows · d), not O(n · d).
+        with comm.phase("prepare"):
+            send_rows = [
+                dist.col_copy_rows_of(i).nonzero_columns() for i in range(p)
+            ]
+            needed = local.nonzero_columns()
+            compact = CsrMatrix(
+                (local.nrows, len(needed)),
+                local.indptr,
+                np.searchsorted(needed, local.indices),
+                local.data,
+                check=False,
+            )
+            comm.charge_touch(
+                p * dist.col_copy.indices.nbytes + 2 * local.indices.nbytes
+            )
+        cached = (send_rows, needed, compact)
+        operand.aux["sddmm_plan"] = cached
+    send_rows, needed, compact = cached
+    my_lo, my_hi = dist.local_range
+    d = z_dn_local.shape[1]
+    with comm.phase("sddmm-fetch"):
+        send = [None] * p
+        packed = 0
+        for i in range(p):
+            if i == comm.rank or len(send_rows[i]) == 0:
+                continue
+            block = extract_rows(z_sp_local, send_rows[i])
+            send[i] = (my_lo + send_rows[i], block)
+            packed += block.nbytes_estimate()
+        received = comm.alltoall(send)
+        y = np.zeros((len(needed), d))
+        mine = (needed >= my_lo) & (needed < my_hi)
+        y[mine] = z_dn_local[needed[mine] - my_lo]
+        for payload in received:
+            if payload is None:
+                continue
+            gids, block = payload
+            # every shipped row is referenced by my pattern, so it has a
+            # slot in the compact space
+            y[np.searchsorted(needed, gids)] = block.to_dense()
+            packed += block.nbytes_estimate()
+        comm.charge_touch(packed)
+    coeffs = force2vec_coefficients(compact, z_dn_local, y, labels_local.data)
+    comm.charge_sddmm(local.nnz * d)
+    operand.refresh_values(coeffs)
+
+
+def _make_sgd_epilogue(lr: float, keep_per_row: int):
+    """Rank-local epoch epilogue: synchronous SGD step + re-sparsification.
+
+    Row-partitioned, so it needs zero communication; returns the new
+    sparse ``Z`` block and its dense twin (= ``Z.to_dense()``, the SDDMM
+    operand of the next epoch), which come back as session handles.
+    """
+
+    def epilogue(comm, c_local, z_dn_local):
+        with comm.phase("sgd-update"):
+            grad = c_local.to_dense()
+            z_sp_new = row_topk(
+                CsrMatrix.from_dense(z_dn_local - lr * grad), keep_per_row
+            )
+            z_dn_new = z_sp_new.to_dense()
+            comm.charge_touch(
+                c_local.nbytes_estimate() + 2 * z_dn_new.nbytes
+            )
+        return z_sp_new, z_dn_new
+
+    return epilogue
+
+
 def train_sparse_embedding(
     adj: CsrMatrix,
     p: int,
@@ -101,6 +204,7 @@ def train_sparse_embedding(
     holdout_fraction: float = 0.1,
     learning_rate: Optional[float] = None,
     negative_refresh: int = 1,
+    driver_gather: bool = False,
 ) -> EmbeddingResult:
     """Train a sparse Force2Vec embedding of the graph ``adj``.
 
@@ -110,21 +214,22 @@ def train_sparse_embedding(
 
     ``negative_refresh`` controls how many epochs each negative-sample
     draw is kept for (default 1 = redraw every epoch, the historical
-    behaviour).  With a value > 1 the coefficient matrix ``W`` keeps a
-    *fixed pattern* between redraws — only its values move with ``Z`` —
-    so the resident :class:`~repro.core.driver.TsSession` holds one
-    prepared plan across those epochs and refreshes just the numeric
-    state (``update_operand``); each multiply then replans only against
-    the re-sparsified ``Z``.  Requires ``config.reuse_plan``; with it off
-    every epoch runs the fresh-plan driver, whatever the refresh period.
+    behaviour).  With a value > 1 the coefficient matrix keeps a *fixed
+    pattern* between redraws, so the resident session's prepared plan
+    (:class:`~repro.core.plan.PreparedA`) survives those epochs and only
+    the numeric state moves — the per-epoch SDDMM refreshes values in
+    place, and each multiply replans only against the re-sparsified
+    ``Z``.  A redraw changes the pattern and triggers a full re-setup,
+    equivalent to a fresh session.
 
-    Unlike MS-BFS, the epoch loop cannot chain distributed handles: the
-    SDDMM coefficients and the top-k re-sparsification read the *global*
-    ``Z`` driver-side, so each epoch's ``Z`` scatter and gradient gather
-    is a genuine driver round-trip (kept free on the clocks, like every
-    driver entry point — see ``TsSession.multiply(charge_driver=...)``
-    for the ablation that prices it).  Making this loop fully resident
-    needs a distributed SDDMM; see ROADMAP.
+    By default the whole loop is SPMD-resident — ``Z`` is scattered once,
+    every epoch runs as one rank program (distributed SDDMM → TS-SpGEMM →
+    fused SGD/top-k epilogue) chaining rank-resident handles, and the
+    final embedding is gathered once: per-epoch ``driver_*_bytes`` are
+    exactly zero.  ``driver_gather=True`` ablates this: every epoch
+    scatters ``Z`` and gathers the gradient through the driver (charged,
+    like MS-BFS's ``driver_gather`` ablation) and computes the SDDMM
+    driver-side.  Both paths produce bit-identical embeddings.
     """
     if adj.nrows != adj.ncols:
         raise ValueError("adjacency matrix must be square")
@@ -156,63 +261,90 @@ def train_sparse_embedding(
     # Tile height = mini-batch size (§IV-B); everything else — kernel,
     # mode policy, plan reuse — is inherited from the caller's config.
     train_config = replace(config, tile_height=batch)
-    use_session = config.reuse_plan and negative_refresh > 1
     session: Optional[TsSession] = None
+
+    def draw_pattern() -> CsrMatrix:
+        """One negative-sample draw: the ±1-labelled force pattern."""
+        neg_u = np.repeat(np.arange(n, dtype=INDEX_DTYPE), n_negative)
+        neg_v = rng.integers(0, n, n * n_negative, dtype=INDEX_DTYPE)
+        keep = neg_u != neg_v
+        neg_u, neg_v = neg_u[keep], neg_v[keep]
+        # +1 on attractive edges, -1 on repulsive samples (Fig 4b).  The
+        # pattern is fixed until the next refresh; only values move.
+        labels = np.concatenate([np.ones(len(train_u)), -np.ones(len(neg_u))])
+        return coo_to_csr(
+            np.concatenate([train_u, neg_u]),
+            np.concatenate([train_v, neg_v]),
+            labels,
+            (n, n),
+            _LABEL_SEMIRING,
+        )
 
     result = EmbeddingResult(Z=z_sparse)
     pattern = None
+    z_sp_h = z_dn_h = labels_h = None
+    sgd_epilogue = _make_sgd_epilogue(lr, keep_per_row)
     try:
         for epoch in range(epochs):
-            z_dense = z_sparse.to_dense()
-            if pattern is None or epoch % negative_refresh == 0:
-                # negative samples: n_negative random non-self targets per
-                # vertex, kept for `negative_refresh` epochs
-                neg_u = np.repeat(np.arange(n, dtype=INDEX_DTYPE), n_negative)
-                neg_v = rng.integers(0, n, n * n_negative, dtype=INDEX_DTYPE)
-                keep = neg_u != neg_v
-                neg_u, neg_v = neg_u[keep], neg_v[keep]
-
-                # Coefficient pattern over (edges + negatives): +1 on
-                # attractive edges, -1 on repulsive samples (Fig 4b).  The
-                # pattern is fixed until the next refresh; only values move.
-                labels = np.concatenate(
-                    [np.ones(len(train_u)), -np.ones(len(neg_u))]
+            redraw = pattern is None or epoch % negative_refresh == 0
+            if redraw:
+                pattern = draw_pattern()
+            if driver_gather:
+                # Ablation: the historical driver round-trip loop.  The
+                # SDDMM runs driver-side over the global dense Z, the
+                # refreshed coefficient matrix re-enters the session from
+                # the driver, and every epoch pays a charged Z scatter
+                # (scatter-B) and gradient gather (gather-C).
+                z_dense = z_sparse.to_dense()
+                coeff_vals = force2vec_coefficients(
+                    pattern, z_dense, z_dense, pattern.data
                 )
-                pattern = coo_to_csr(
-                    np.concatenate([train_u, neg_u]),
-                    np.concatenate([train_v, neg_v]),
-                    labels,
-                    (n, n),
-                    _LABEL_SEMIRING,
+                W = CsrMatrix(
+                    pattern.shape, pattern.indptr, pattern.indices,
+                    coeff_vals, check=False,
                 )
-            # SDDMM over the pattern (driver-side; see module docstring)
-            # computes the dot products; the Force2Vec per-edge map turns
-            # them into gradient coefficients.
-            scores = sddmm(pattern, z_dense, z_dense)
-            # attractive (label > 0): sigma(s) - 1 ; repulsive: sigma(s)
-            coeff_vals = _sigmoid(scores.data) - (pattern.data > 0).astype(np.float64)
-            W = CsrMatrix(
-                pattern.shape, pattern.indptr, pattern.indices, coeff_vals, check=False
-            )
-
-            # the distributed multiply: gradient = W · Z (sparse × sparse TS)
-            if use_session:
                 if session is None:
                     session = TsSession(
-                        W, p, semiring=PLUS_TIMES, config=train_config, machine=machine
+                        W, p, semiring=PLUS_TIMES, config=train_config,
+                        machine=machine,
                     )
                 else:
-                    # values-only refresh between redraws; a redrawn pattern
-                    # is detected inside and triggers a full re-setup
+                    # values-only refresh between redraws; a redrawn
+                    # pattern is detected inside and triggers a full
+                    # re-setup
                     session.update_operand(W)
-                mult = session.multiply(z_sparse)
+                mult = session.multiply(z_sparse, charge_driver=True)
+                grad = mult.C.to_dense()
+                # synchronous SGD step + re-sparsification (top-k per row)
+                z_sparse = row_topk(
+                    CsrMatrix.from_dense(z_dense - lr * grad), keep_per_row
+                )
+                z_nnz = z_sparse.nnz
             else:
-                mult = ts_spgemm(W, z_sparse, p, config=train_config, machine=machine)
-            grad = mult.C.to_dense()
-
-            # synchronous SGD step + re-sparsification (keep top-k per row)
-            z_dense = z_dense - lr * grad
-            z_sparse = row_topk(CsrMatrix.from_dense(z_dense), keep_per_row)
+                # Resident path: one rank program per epoch, zero driver
+                # traffic.  The labels handle carries the ±1 pattern
+                # values the per-epoch coefficient map needs.
+                if session is None:
+                    session = TsSession(
+                        pattern, p, semiring=PLUS_TIMES, config=train_config,
+                        machine=machine,
+                    )
+                    z_sp_h = session.scatter(z_sparse)
+                    z_dn_h = session.scatter_dense(z_sparse.to_dense())
+                    labels_h = session.scatter(pattern)
+                elif redraw:
+                    session.update_operand(pattern)
+                    labels_h = session.scatter(pattern)
+                mult = session.multiply(
+                    z_sp_h,
+                    gather=False,
+                    prologue=_sddmm_prologue,
+                    prologue_operands=(z_sp_h, z_dn_h, labels_h),
+                    epilogue=sgd_epilogue,
+                    epilogue_operands=(z_dn_h,),
+                )
+                z_sp_h, z_dn_h = mult.extra
+                z_nnz = z_sp_h.nnz
 
             diag = mult.diagnostics
             result.epochs.append(
@@ -222,9 +354,15 @@ def train_sparse_embedding(
                     comm_bytes=mult.comm_bytes(),
                     remote_tiles=int(diag.get("remote_tiles", 0)),
                     local_tiles=int(diag.get("local_tiles", 0)),
-                    z_nnz=z_sparse.nnz,
+                    z_nnz=z_nnz,
+                    driver_scatter_bytes=int(
+                        diag.get("driver_scatter_bytes", 0)
+                    ),
+                    driver_gather_bytes=int(diag.get("driver_gather_bytes", 0)),
                 )
             )
+        if z_sp_h is not None:
+            z_sparse = z_sp_h.gather()  # the one gather that ends the chain
     finally:
         if session is not None:
             session.close()

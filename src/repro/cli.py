@@ -171,15 +171,22 @@ def _cmd_embed(args) -> int:
         config=_config(args),
         negative_refresh=args.negative_refresh,
         machine=machine,
+        driver_gather=args.driver_gather == "on",
     )
     rows = [
-        [e.epoch, fmt_seconds(e.runtime), fmt_bytes(e.comm_bytes), f"{e.remote_fraction:.0%}"]
+        [
+            e.epoch,
+            fmt_seconds(e.runtime),
+            fmt_bytes(e.comm_bytes),
+            fmt_bytes(e.driver_scatter_bytes + e.driver_gather_bytes),
+            f"{e.remote_fraction:.0%}",
+        ]
         for e in result.epochs
     ]
     print_table(
         f"Sparse embedding on {args.dataset} (d={args.d}, "
         f"{args.sparsity:.0%} sparse Z)",
-        ["epoch", "runtime", "comm", "remote tiles"],
+        ["epoch", "runtime", "comm", "driver bytes", "remote tiles"],
         rows,
     )
     print(f"\nlink-prediction accuracy: {result.accuracy:.3f}")
@@ -276,6 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="epochs each negative-sample draw is kept; >1 freezes the "
         "coefficient pattern between draws so the resident session "
         "reuses its prepared plan (values still update every epoch)",
+    )
+    p_emb.add_argument(
+        "--driver-gather",
+        default="off",
+        choices=("on", "off"),
+        help="round-trip every epoch's Z and gradient through the driver "
+        "(charged scatter + gather, SDDMM computed driver-side) instead "
+        "of the rank-resident SDDMM chain; ablation of the "
+        "zero-driver-traffic default",
     )
     p_emb.set_defaults(func=_cmd_embed)
 

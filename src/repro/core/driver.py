@@ -26,6 +26,7 @@ from ..mpi.executor import ResidentSession, run_spmd
 from ..mpi.stats import SpmdReport
 from ..partition.block1d import Block1D
 from ..partition.distmat import (
+    DistDenseHandle,
     DistDenseMatrix,
     DistHandle,
     DistSparseMatrix,
@@ -164,6 +165,88 @@ def ts_spgemm(
     )
 
 
+class ResidentOperand:
+    """One rank's view of a session's resident ``A`` inside a rank program.
+
+    Handed to :meth:`TsSession.multiply`'s ``prologue`` so rank-local code
+    can *read* the resident operand (``local``, ``col_copy``, ``dist``)
+    and *refresh its values in place* before the multiply runs — the
+    distributed-SDDMM pattern, where each epoch's coefficients are
+    computed on the row owners and only then flow into the multiply.
+    ``aux`` is a per-rank scratch dict for pattern-derived caches (value
+    strip selections, SDDMM send lists); it survives value refreshes and
+    is reset whenever the session's pattern changes.
+    """
+
+    __slots__ = ("dist", "prepared", "aux")
+
+    def __init__(self, dist: DistSparseMatrix, prepared, aux: Dict[str, Any]):
+        self.dist = dist
+        self.prepared = prepared
+        self.aux = aux
+
+    @property
+    def local(self) -> CsrMatrix:
+        return self.dist.local
+
+    @property
+    def rows(self) -> Block1D:
+        return self.dist.rows
+
+    def refresh_values(self, new_data: np.ndarray, *, phase: str = "refresh-values") -> None:
+        """Replace the resident block's values; pattern must be unchanged.
+
+        The rank-resident analogue of :meth:`TsSession.update_operand`:
+        the local row block takes ``new_data`` directly, and the ``Ac``
+        column copy is refreshed through a genuine *values-only* strip
+        all-to-all — the pattern already lives on every consumer, so only
+        the ``nnz`` new values travel, charged under ``phase`` (multiply
+        time, not setup: iterative drivers pay this every refresh).  The
+        prepared plan's numeric state (subtile blocks, bool casts, strip
+        values) is reloaded from the refreshed copies; everything
+        pattern-derived survives untouched.
+        """
+        comm = self.dist.comm
+        local = self.dist.local
+        new_data = np.asarray(new_data)
+        if new_data.shape != local.data.shape:
+            raise ValueError(
+                f"refresh_values needs {local.data.shape} values, "
+                f"got {new_data.shape}"
+            )
+        self.dist.local = CsrMatrix(
+            local.shape, local.indptr, local.indices, new_data, check=False
+        )
+        if self.dist.col_copy is not None:
+            sels = self.aux.get("value_strip_selections")
+            if sels is None:
+                # Pattern-determined: which of my entries land in each
+                # peer's column strip, in strip order (= data order of the
+                # strips build_column_copy shipped).
+                sels = [
+                    np.flatnonzero((local.indices >= c0) & (local.indices < c1))
+                    for c0, c1 in self.dist.rows.ranges
+                ]
+                self.aux["value_strip_selections"] = sels
+            with comm.phase(phase):
+                received = comm.alltoall([new_data[sel] for sel in sels])
+                cc = self.dist.col_copy
+                new_col = (
+                    np.concatenate(received)
+                    if received
+                    else np.zeros(0, dtype=new_data.dtype)
+                )
+                # Received chunks arrive in sender-rank order — the same
+                # order _vstack_tagged stacked the original strips — so
+                # the concatenation is aligned with col_copy's data.
+                self.dist.col_copy = CsrMatrix(
+                    cc.shape, cc.indptr, cc.indices, new_col, check=False
+                )
+                comm.charge_touch(new_data.nbytes + new_col.nbytes)
+            if self.prepared is not None and self.prepared.subtiles:
+                self.prepared.refresh_values(self.dist)
+
+
 class TsSession(ResidentSession):
     """A resident distributed-multiply session: setup paid once, reused.
 
@@ -263,7 +346,11 @@ class TsSession(ResidentSession):
                 prepared = PreparedA(
                     config=self.config, rank=comm.rank, size=comm.size
                 )
-            return dist_a.rows, dist_a.local, dist_a.col_copy, prepared
+            # aux: per-rank scratch for pattern-derived caches built
+            # lazily by prologues (value-strip selections, SDDMM send
+            # lists).  Reset here because it is only valid for this
+            # pattern; it survives same-pattern value refreshes.
+            return dist_a.rows, dist_a.local, dist_a.col_copy, prepared, {}
 
         result = self._exec.run(program)
         self._state = list(result.values)
@@ -288,22 +375,41 @@ class TsSession(ResidentSession):
         blocks = [extract_row_range(B, lo, hi) for lo, hi in self._rows.ranges]
         return DistHandle(owner=self, rows=self._rows, ncols=B.ncols, blocks=blocks)
 
-    def _check_handle(self, h: DistHandle) -> None:
+    def scatter_dense(self, B: np.ndarray) -> DistDenseHandle:
+        """Slice a driver-resident *dense* matrix into a rank-resident handle.
+
+        The dense sibling of :meth:`scatter` — the entry point for SpMM
+        operands and dense iterative state (the embedding's ``Z`` blocks).
+        Free on the clocks, like every initial distribution.
+        """
+        B = np.asarray(B)
+        if B.ndim != 2 or B.shape[0] != self.ncols:
+            raise ValueError(
+                f"matrix must be ({self.ncols}, d) to match A, got {B.shape}"
+            )
+        blocks = [B[lo:hi] for lo, hi in self._rows.ranges]
+        return DistDenseHandle(
+            owner=self, rows=self._rows, ncols=B.shape[1], blocks=blocks
+        )
+
+    def _check_handle(self, h: Union[DistHandle, DistDenseHandle]) -> None:
         if h.owner is not self:
             raise ValueError(
-                "DistHandle belongs to a different session; handles follow "
+                "handle belongs to a different session; handles follow "
                 "their session's row partition and cannot be mixed"
             )
 
     # ------------------------------------------------------------------
     def multiply(
         self,
-        B: Union[CsrMatrix, DistHandle],
+        B: Union[CsrMatrix, np.ndarray, DistHandle, DistDenseHandle],
         *,
         gather: bool = True,
         charge_driver: bool = False,
+        prologue: Optional[Callable] = None,
+        prologue_operands: Tuple = (),
         epilogue: Optional[Callable] = None,
-        epilogue_operands: Tuple[DistHandle, ...] = (),
+        epilogue_operands: Tuple = (),
     ) -> MultiplyResult:
         """One distributed ``C = A · B`` against the resident ``A``.
 
@@ -313,6 +419,26 @@ class TsSession(ResidentSession):
         ``gather=True`` (default) ``result.C`` is the global
         :class:`CsrMatrix`; with ``gather=False`` it is a
         :class:`DistHandle` that chains into the next multiply.
+
+        A *dense* ``B`` — an ``np.ndarray`` or a
+        :class:`~repro.partition.distmat.DistDenseHandle` — selects the
+        SpMM path (:func:`repro.core.spmm.spmm_multiply`, §V-C): the
+        product is dense and comes back as a global ndarray
+        (``gather=True``) or a chaining :class:`DistDenseHandle`
+        (``gather=False``).  Dense multiplies require the ``tiled``
+        algorithm and the arithmetic semiring.
+
+        ``prologue`` fuses a rank-local *pre*-processing step into the
+        same rank program: ``prologue(comm, operand, *operand_blocks)``
+        runs right before each rank's multiply with a
+        :class:`ResidentOperand` view of the resident ``A``, and may
+        refresh its values in place
+        (:meth:`ResidentOperand.refresh_values`).  This is the
+        distributed-SDDMM hook: the embedding epoch computes its sigmoid
+        coefficients from fetched ``Z`` rows and feeds them straight into
+        the multiply, one SPMD task per epoch, nothing through the
+        driver.  State mutated by the prologue stays resident for later
+        multiplies.
 
         ``charge_driver=True`` charges the per-multiply driver
         round-trip on the virtual clocks — the B root scatter
@@ -335,23 +461,67 @@ class TsSession(ResidentSession):
         handles in ``result.extra``.  Its charges land in this
         multiply's report.
         """
-        b_handle = B if isinstance(B, DistHandle) else None
-        if b_handle is not None:
+        b_handle: Optional[DistHandle] = None
+        b_dense_handle: Optional[DistDenseHandle] = None
+        if isinstance(B, DistHandle):
+            b_handle = B
             self._check_handle(b_handle)
-        elif B.nrows != self.ncols:
-            raise ValueError(
-                f"B must have {self.ncols} rows to match A, got {B.shape}"
-            )
+            b_ncols = B.ncols
+        elif isinstance(B, DistDenseHandle):
+            b_dense_handle = B
+            self._check_handle(b_dense_handle)
+            b_ncols = B.ncols
+        elif isinstance(B, CsrMatrix):
+            if B.nrows != self.ncols:
+                raise ValueError(
+                    f"B must have {self.ncols} rows to match A, got {B.shape}"
+                )
+            b_ncols = B.ncols
+        else:
+            B = np.asarray(B)
+            if B.ndim != 2 or B.shape[0] != self.ncols:
+                raise ValueError(
+                    f"B must have {self.ncols} rows to match A, got {B.shape}"
+                )
+            b_ncols = B.shape[1]
+        dense_b = b_dense_handle is not None or isinstance(B, np.ndarray)
+        if dense_b:
+            if self.algorithm != "tiled":
+                raise ValueError(
+                    "dense operands run the SpMM path, which needs the "
+                    "tiled algorithm's Ac column copy"
+                )
+            if self.semiring is not PLUS_TIMES:
+                raise ValueError(
+                    "dense SpMM is arithmetic-only; use a sparse operand "
+                    f"for semiring {self.semiring.name!r}"
+                )
+        for h in prologue_operands:
+            self._check_handle(h)
         for h in epilogue_operands:
             self._check_handle(h)
-        b_ncols = B.ncols
 
         def program(comm):
-            rows, local, col_copy, prepared = self._state[comm.rank]
+            rows, local, col_copy, prepared, aux = self._state[comm.rank]
             dist_a = DistSparseMatrix(comm, rows, local, self.ncols, col_copy)
+            if prologue is not None:
+                operand = ResidentOperand(dist_a, prepared, aux)
+                prologue(
+                    comm,
+                    operand,
+                    *[h.blocks[comm.rank] for h in prologue_operands],
+                )
             if b_handle is not None:
                 dist_b = DistSparseMatrix(
                     comm, rows, b_handle.blocks[comm.rank], b_ncols
+                )
+            elif b_dense_handle is not None:
+                dist_b = DistDenseMatrix(
+                    comm, rows, b_dense_handle.blocks[comm.rank], b_ncols
+                )
+            elif dense_b:
+                dist_b = DistDenseMatrix.scatter_rows(
+                    comm, B, charge_comm=charge_driver, phase="scatter-B"
                 )
             else:
                 # B lives on the driver.  Under the ablation accounting
@@ -363,7 +533,12 @@ class TsSession(ResidentSession):
                 dist_b = DistSparseMatrix.scatter_rows(
                     comm, B, charge_comm=charge_driver, phase="scatter-B"
                 )
-            if self.algorithm == "tiled":
+            if dense_b:
+                dist_c, diag = spmm_multiply(
+                    dist_a, dist_b, self.config, prepared=prepared
+                )
+                diag_dict = diag.as_dict()
+            elif self.algorithm == "tiled":
                 dist_c, diag = tiled_multiply(
                     dist_a, dist_b, self.semiring, self.config, prepared=prepared
                 )
@@ -382,17 +557,34 @@ class TsSession(ResidentSession):
             if gather and charge_driver:
                 with comm.phase("gather-C"):
                     comm.gather(dist_c.local, root=0)
-            return dist_c.local, diag_dict, extra
+            new_state = None
+            if prologue is not None:
+                # The prologue may have refreshed the resident values;
+                # persist whatever it left behind for later multiplies.
+                new_state = (
+                    dist_a.rows, dist_a.local, dist_a.col_copy, prepared, aux
+                )
+            return dist_c.local, diag_dict, extra, new_state
 
         result = self._exec.run(program)
         self.multiplies += 1
+        if prologue is not None:
+            self._state = [v[3] for v in result.values]
         diagnostics = _merge_diag(v[1] for v in result.values)
         per_phase = result.report.phase_bytes()
         diagnostics["driver_scatter_bytes"] = per_phase.get("scatter-B", 0)
         diagnostics["driver_gather_bytes"] = per_phase.get("gather-C", 0)
         blocks = [v[0] for v in result.values]
-        if gather:
-            c_out: Any = _vstack_blocks(blocks, b_ncols)
+        if dense_b:
+            c_out: Any = (
+                np.vstack(blocks)
+                if gather
+                else DistDenseHandle(
+                    owner=self, rows=self._rows, ncols=b_ncols, blocks=blocks
+                )
+            )
+        elif gather:
+            c_out = _vstack_blocks(blocks, b_ncols)
         else:
             c_out = DistHandle(
                 owner=self, rows=self._rows, ncols=b_ncols, blocks=blocks
@@ -408,11 +600,24 @@ class TsSession(ResidentSession):
         )
 
     def _wrap_local_outputs(self, per_rank: List[Any]) -> Any:
-        """Wrap per-rank blocks (or tuples of them) into DistHandles."""
+        """Wrap per-rank blocks (or tuples of them) into handles.
+
+        Sparse blocks (:class:`CsrMatrix`) become :class:`DistHandle`\\ s,
+        dense blocks (``np.ndarray``) :class:`DistDenseHandle`\\ s — a
+        rank-local epilogue may return either kind (the embedding's
+        returns both: the re-sparsified ``Z`` and its dense twin).
+        """
         first = per_rank[0]
 
-        def _handle(i: Optional[int]) -> DistHandle:
+        def _handle(i: Optional[int]):
             blocks = [v if i is None else v[i] for v in per_rank]
+            if isinstance(blocks[0], np.ndarray):
+                return DistDenseHandle(
+                    owner=self,
+                    rows=self._rows,
+                    ncols=blocks[0].shape[1],
+                    blocks=blocks,
+                )
             return DistHandle(
                 owner=self,
                 rows=self._rows,
@@ -468,13 +673,14 @@ class TsSession(ResidentSession):
             return report
 
         def program(comm):
-            rows, _, _, prepared = self._state[comm.rank]
+            rows, _, _, prepared, aux = self._state[comm.rank]
             dist_a = DistSparseMatrix.scatter_rows(comm, A)
             if self.algorithm == "tiled":
                 dist_a.build_column_copy()
                 if prepared is not None:
                     prepared.refresh_values(dist_a)
-            return dist_a.rows, dist_a.local, dist_a.col_copy, prepared
+            # aux holds only pattern-derived caches, still valid here.
+            return dist_a.rows, dist_a.local, dist_a.col_copy, prepared, aux
 
         result = self._exec.run(program)
         self._state = list(result.values)
@@ -507,7 +713,7 @@ class TsSession(ResidentSession):
         local_ids = [extract_row_range(ids_global, lo, hi) for lo, hi in ranges]
         per_rank = []
         for j, (c0, c1) in enumerate(ranges):
-            _, _, col_copy, prepared = self._state[j]
+            _, _, col_copy, prepared, _ = self._state[j]
             col_data = None
             sub_ids = None
             if col_copy is not None:
@@ -544,7 +750,9 @@ class TsSession(ResidentSession):
             )
         self._edge_ids = per_rank
 
-    def derive_edge_subset(self, keep: np.ndarray) -> "TsSession":
+    def derive_edge_subset(
+        self, keep: np.ndarray, values: Optional[np.ndarray] = None
+    ) -> "TsSession":
         """A child session for the edge subset flagged by ``keep``.
 
         ``keep`` is a boolean mask over the resident ``A``'s stored
@@ -560,6 +768,15 @@ class TsSession(ResidentSession):
         multiply (and hence the sample's whole MS-BFS) is bit-identical
         too.
 
+        ``values``, when given, additionally *refreshes* the stored
+        values: it is an ``nnz``-long array aligned with the parent's
+        global CSR order, and every kept edge takes its entry — the
+        weighted live-edge case (per-sample edge weights in influence
+        maximization), which previously required a silent full fresh
+        prepare.  Placement rides the same edge-id companions as the
+        masking, so derived state stays bit-identical to a fresh session
+        on the masked *re-valued* matrix.
+
         The child shares this session's executor (close the parent last)
         and its row partition; handles are *not* interchangeable between
         parent and child.
@@ -571,21 +788,45 @@ class TsSession(ResidentSession):
             raise ValueError(
                 f"keep must flag all {nnz} stored edges, got shape {keep.shape}"
             )
+        if values is not None:
+            values = np.asarray(values)
+            if values.shape != (nnz,):
+                raise ValueError(
+                    f"values must cover all {nnz} stored edges, "
+                    f"got shape {values.shape}"
+                )
         self._ensure_edge_ids()
         config = self.config
         forced = LOCAL if config.mode_policy == "local" else REMOTE
 
+        def _revalued(block: CsrMatrix, ids: np.ndarray) -> CsrMatrix:
+            """``block`` with its data replaced from ``values`` (aligned
+            via the block's edge-id companion); identity when no values
+            were supplied."""
+            if values is None:
+                return block
+            return CsrMatrix(
+                block.shape, block.indptr, block.indices, values[ids],
+                check=False,
+            )
+
         def program(comm):
             rank = comm.rank
-            rows, local, col_copy, prepared = self._state[rank]
+            rows, local, col_copy, prepared, _ = self._state[rank]
             local_ids, col_ids, sub_ids = self._edge_ids[rank]
             with comm.phase("prepare"):
                 touched = 0
-                new_local = mask_entries(local, keep[local_ids])
+                if values is not None:
+                    touched += values.nbytes  # one streaming value pass
+                new_local = mask_entries(
+                    _revalued(local, local_ids), keep[local_ids]
+                )
                 touched += new_local.nbytes_estimate()
                 new_col = None
                 if col_copy is not None:
-                    new_col = mask_entries(col_copy, keep[col_ids])
+                    new_col = mask_entries(
+                        _revalued(col_copy, col_ids), keep[col_ids]
+                    )
                     touched += new_col.nbytes_estimate()
                 new_prepared = None
                 if prepared is not None:
@@ -602,7 +843,9 @@ class TsSession(ResidentSession):
                                 blk = (
                                     None
                                     if ps.block is None
-                                    else mask_entries(ps.block, keep[ids])
+                                    else mask_entries(
+                                        _revalued(ps.block, ids), keep[ids]
+                                    )
                                 )
                                 if blk is None or blk.nnz == 0:
                                     new_subs.append(
@@ -654,7 +897,7 @@ class TsSession(ResidentSession):
                     new_prepared.static_consumed_modes = dict(
                         enumerate(incoming)
                     )
-            return rows, new_local, new_col, new_prepared
+            return rows, new_local, new_col, new_prepared, {}
 
         result = self._exec.run(program)
         child = self._derived_shell()
@@ -689,13 +932,49 @@ class TsSession(ResidentSession):
 
 def ts_spmm(
     A: CsrMatrix,
-    B: np.ndarray,
+    B: Union[np.ndarray, DistDenseHandle],
     p: int,
     *,
-    config: TsConfig = DEFAULT_CONFIG,
-    machine: MachineProfile = PERLMUTTER,
+    config: Optional[TsConfig] = None,
+    machine: Optional[MachineProfile] = None,
+    session: Optional[TsSession] = None,
+    gather: bool = True,
 ) -> MultiplyResult:
-    """Distributed SpMM ``C = A · B`` with dense ``B`` (§V-C comparator)."""
+    """Distributed SpMM ``C = A · B`` with dense ``B`` (§V-C comparator).
+
+    With ``session`` (a resident :class:`TsSession` for ``A``), the
+    multiply runs on the session's resident state instead of launching a
+    fresh one-shot job: ``B`` may then also be a rank-resident
+    :class:`~repro.partition.distmat.DistDenseHandle`, and
+    ``gather=False`` returns one — so iterative dense chains (``Z ←
+    A·Z``) stay on-rank end-to-end, exactly like the sparse handle path.
+    The per-call form (no session) always gathers.  A session carries
+    its own config and machine profile; passing a *different* one here
+    is rejected rather than silently ignored.
+    """
+    if session is not None:
+        if session.p != p:
+            raise ValueError(
+                f"session runs {session.p} ranks, ts_spmm was asked for {p}"
+            )
+        if config is not None and config != session.config:
+            raise ValueError(
+                "config differs from the session's; a resident session "
+                "multiplies with the config it was prepared under"
+            )
+        if machine is not None and machine != session.machine:
+            raise ValueError(
+                "machine profile differs from the session's; a resident "
+                "session charges the profile it was created with"
+            )
+        return session.multiply(B, gather=gather)
+    if not gather:
+        raise ValueError(
+            "gather=False needs a resident session; the per-call path has "
+            "no rank-resident state for a handle to point into"
+        )
+    config = DEFAULT_CONFIG if config is None else config
+    machine = PERLMUTTER if machine is None else machine
     B = np.asarray(B)
     if A.ncols != B.shape[0] or A.nrows != A.ncols:
         raise ValueError(f"need square A and matching B: A {A.shape}, B {B.shape}")

@@ -36,6 +36,7 @@ class SpmmDiagnostics:
     empty_tiles: int = 0
     rounds: int = 0
     flops: int = 0
+    plan_reused: int = 0  # 1 when the cached SpMM mode table served this call
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -109,6 +110,9 @@ def spmm_multiply(
             prepared.spmm_cache = (produced, consumed_modes)
     else:
         produced, consumed_modes = cached
+        # The whole symbolic phase was skipped — the same observability
+        # flag the tiled SpGEMM surfaces as ``plan_reused``.
+        diag.plan_reused = 1
 
     # ---- diagonal ------------------------------------------------------
     with comm.phase("diagonal"):

@@ -127,6 +127,10 @@ class SimComm(CollectivesMixin):
         """Charge the modelled time of ``flops`` CSR × dense flops."""
         self._charge_compute(self.machine.spmm_time(flops))
 
+    def charge_sddmm(self, flops: int) -> None:
+        """Charge the modelled time of ``flops`` SDDMM multiply-adds."""
+        self._charge_compute(self.machine.sddmm_time(flops))
+
     def charge_symbolic(self, flops: int, *, kernel: str = None) -> None:
         """Charge ``flops`` pattern-only operations (symbolic step)."""
         self._charge_compute(self.machine.symbolic_time(flops, kernel=kernel))

@@ -184,6 +184,18 @@ class MachineProfile:
         """Virtual seconds for a CSR × dense multiply of ``flops`` flops."""
         return max(flops, 0) * self.spmm_flop_time
 
+    def sddmm_time(self, flops: int) -> float:
+        """Virtual seconds for ``flops`` SDDMM multiply-adds.
+
+        An SDDMM streams dense rows and accumulates one dot product per
+        stored pattern entry — the same dense-accumulate access pattern as
+        SpMM, so it shares ``spmm_flop_time``.  Distributed SDDMMs must
+        also charge the *rows they fetch* (as communication): the old
+        driver-side-coefficients simplification computed them uncharged,
+        which under-modelled every fused SDDMM→SpGEMM epoch.
+        """
+        return max(flops, 0) * self.spmm_flop_time
+
     def symbolic_time(self, flops: int, *, kernel: Optional[str] = None) -> float:
         """Virtual seconds for ``flops`` pattern-only (symbolic) operations.
 

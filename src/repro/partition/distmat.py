@@ -210,6 +210,39 @@ class DistHandle:
 
 
 @dataclass
+class DistDenseHandle:
+    """A driver-side handle to a rank-resident row-partitioned *dense* matrix.
+
+    The dense sibling of :class:`DistHandle`, produced and consumed by
+    resident sessions for SpMM operands and for dense rank-resident state
+    (the embedding loop's ``Z`` row blocks): ``blocks[i]`` is the
+    ``rows.size_of(i) × ncols`` ndarray resident on rank ``i``.  Like its
+    sparse sibling, the matrix is never materialized globally while the
+    chain runs — :meth:`gather` is the one explicit exit point.
+    """
+
+    owner: object
+    rows: Block1D
+    ncols: int
+    blocks: List[np.ndarray]
+
+    @property
+    def nrows(self) -> int:
+        return self.rows.n
+
+    @property
+    def shape(self):
+        return (self.rows.n, self.ncols)
+
+    def block_of(self, rank: int) -> np.ndarray:
+        return self.blocks[rank]
+
+    def gather(self) -> np.ndarray:
+        """Materialize the global dense matrix on the driver."""
+        return np.vstack(self.blocks)
+
+
+@dataclass
 class DistDenseMatrix:
     """One rank's share of a 1-D row-partitioned dense matrix (SpMM B)."""
 
@@ -219,11 +252,32 @@ class DistDenseMatrix:
     ncols: int
 
     @classmethod
-    def scatter_rows(cls, comm: SimComm, global_mat: np.ndarray) -> "DistDenseMatrix":
+    def scatter_rows(
+        cls,
+        comm: SimComm,
+        global_mat: np.ndarray,
+        *,
+        charge_comm: bool = False,
+        phase: str = "scatter-input",
+    ) -> "DistDenseMatrix":
+        """Distribute ``global_mat`` row-block-wise onto ``comm``.
+
+        Mirrors :meth:`DistSparseMatrix.scatter_rows`: free by default
+        (pre-distributed input); with ``charge_comm=True`` performed as a
+        charged root scatter under ``phase`` — the per-multiply driver
+        round-trip accounting of the dense-operand ablation.
+        """
         global_mat = np.asarray(global_mat)
         rows = Block1D(global_mat.shape[0], comm.size)
         lo, hi = rows.range_of(comm.rank)
-        return cls(comm, rows, global_mat[lo:hi], global_mat.shape[1])
+        block = global_mat[lo:hi]
+        if charge_comm:
+            with comm.phase(phase):
+                blocks = None
+                if comm.rank == 0:
+                    blocks = [global_mat[a:b] for a, b in rows.ranges]
+                block = comm.scatter(blocks, root=0)
+        return cls(comm, rows, block, global_mat.shape[1])
 
     def gather(self) -> np.ndarray:
         blocks = self.comm.allgather(self.local)

@@ -24,7 +24,7 @@ from .kernels import (
     resolve_spgemm,
 )
 from .merge import merge_bytes, merge_csrs
-from .sddmm import fused_sddmm_spmm, sddmm
+from .sddmm import force2vec_coefficients, fused_sddmm_spmm, sddmm, sigmoid
 from .ops import (
     ewise_add,
     extract_col_range,
@@ -88,6 +88,7 @@ __all__ = [
     "extract_rows",
     "mask_entries",
     "from_edges",
+    "force2vec_coefficients",
     "fused_sddmm_spmm",
     "get_kernel",
     "get_semiring",
@@ -101,6 +102,7 @@ __all__ = [
     "resolve_spgemm",
     "row_topk",
     "sddmm",
+    "sigmoid",
     "spgemm",
     "spgemm_esc",
     "spgemm_flops",

@@ -106,14 +106,34 @@ def extract_row_range(mat: CsrMatrix, r0: int, r1: int) -> CsrMatrix:
     )
 
 
+def _entry_keys(mat: CsrMatrix) -> np.ndarray:
+    """Stored entries as scalar ``row * ncols + col`` keys, in int64.
+
+    The promotion must happen *before* the multiply: with 32-bit index
+    inputs the product would wrap for any matrix whose ``nrows * ncols``
+    exceeds 2^31.  The CSR invariant (rows in order, columns strictly
+    increasing per row) makes the returned keys strictly increasing.
+    """
+    return (
+        mat.row_ids().astype(np.int64, copy=False) * np.int64(mat.ncols)
+        + mat.indices.astype(np.int64, copy=False)
+    )
+
+
 def _pattern_member(a: CsrMatrix, b: CsrMatrix) -> np.ndarray:
     """Boolean per stored entry of ``a``: is its (row, col) also in ``b``?"""
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
-    # Encode (row, col) as a single int64 key; both are < 2^31 in practice.
-    a_keys = a.row_ids() * a.ncols + a.indices
-    b_keys = b.row_ids() * b.ncols + b.indices
-    return np.isin(a_keys, b_keys, assume_unique=False)
+    if a.nnz == 0 or b.nnz == 0:
+        return np.zeros(a.nnz, dtype=bool)
+    # Both key arrays are already sorted (CSR invariant), so membership is
+    # one binary search per entry — not np.isin, whose internal sort made
+    # this the hot spot of the BFS epilogue.
+    a_keys = _entry_keys(a)
+    b_keys = _entry_keys(b)
+    pos = np.searchsorted(b_keys, a_keys)
+    pos[pos == len(b_keys)] = len(b_keys) - 1
+    return b_keys[pos] == a_keys
 
 
 def pattern_difference(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
@@ -153,17 +173,48 @@ def ewise_add(a: CsrMatrix, b: CsrMatrix, semiring: Semiring = PLUS_TIMES) -> Cs
     """Elementwise union combining overlaps with the semiring add.
 
     ``S ← S ∨ N`` in Alg 3 is ``ewise_add(S, N, BOOL_AND_OR)``.
+
+    Both operands are sorted CSRs, so their entry-key sequences are
+    already sorted: instead of rebuilding through ``coo_to_csr`` (which
+    lexsorts the concatenated triples from scratch), the two runs are
+    *merged* — each element's final position is its own offset plus a
+    binary search into the other run — and only adjacent duplicates are
+    collapsed.  Ties place ``a``'s entry first, matching the stable
+    lexsort of the rebuild path bit for bit.
     """
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
-    from .build import coo_to_csr  # local import to avoid a cycle
-
-    rows = np.concatenate([a.row_ids(), b.row_ids()])
-    cols = np.concatenate([a.indices, b.indices])
-    vals = np.concatenate(
-        [semiring.coerce(a.data), semiring.coerce(b.data)]
-    )
-    return coo_to_csr(rows, cols, vals, a.shape, semiring)
+    if b.nnz == 0:
+        return CsrMatrix(
+            a.shape, a.indptr, a.indices, semiring.coerce(a.data), check=False
+        )
+    if a.nnz == 0:
+        return CsrMatrix(
+            b.shape, b.indptr, b.indices, semiring.coerce(b.data), check=False
+        )
+    a_keys = _entry_keys(a)
+    b_keys = _entry_keys(b)
+    na, nb = a.nnz, b.nnz
+    pos_a = np.arange(na, dtype=np.int64) + np.searchsorted(b_keys, a_keys, side="left")
+    pos_b = np.arange(nb, dtype=np.int64) + np.searchsorted(a_keys, b_keys, side="right")
+    keys = np.empty(na + nb, dtype=np.int64)
+    vals = np.empty(na + nb, dtype=semiring.dtype)
+    keys[pos_a] = a_keys
+    keys[pos_b] = b_keys
+    vals[pos_a] = semiring.coerce(a.data)
+    vals[pos_b] = semiring.coerce(b.data)
+    # Collapse duplicate positions (each key appears at most twice).
+    key_change = np.empty(na + nb, dtype=bool)
+    key_change[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=key_change[1:])
+    starts = np.flatnonzero(key_change)
+    out_keys = keys[starts]
+    out_vals = semiring.reduce_segments(vals, starts)
+    ncols = np.int64(a.ncols)
+    out_rows = out_keys // ncols
+    counts = np.bincount(out_rows, minlength=a.nrows)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+    return CsrMatrix(a.shape, indptr, out_keys % ncols, out_vals, check=False)
 
 
 def row_topk(mat: CsrMatrix, k: int) -> CsrMatrix:

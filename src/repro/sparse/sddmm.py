@@ -16,7 +16,12 @@ kernels:
   index set.
 
 The sparse-embedding application builds its force coefficients with these
-kernels; the distributed multiply on top remains TS-SpGEMM.
+kernels; the distributed multiply on top remains TS-SpGEMM.  In the
+distributed setting each rank runs them *locally* over its row block of
+the coefficient pattern: ``x`` is the rank's own dense ``Z`` rows and
+``y`` a buffer holding the (fetched) ``Z`` rows its pattern columns
+reference — the rank-resident embedding epoch executes exactly this via
+:meth:`repro.core.driver.TsSession.multiply`'s prologue hook.
 """
 
 from __future__ import annotations
@@ -62,6 +67,35 @@ def sddmm(
     return CsrMatrix(
         pattern.shape, pattern.indptr, pattern.indices, dots, check=False
     )
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function (Force2Vec's force map)."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def force2vec_coefficients(
+    pattern: CsrMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    labels: np.ndarray,
+) -> np.ndarray:
+    """Force2Vec gradient coefficients over ``pattern``'s stored entries.
+
+    For entry ``(i, j)`` with score ``s = ⟨x_i, y_j⟩``: attractive edges
+    (``label > 0``) contribute ``σ(s) − 1``, repulsive negative samples
+    ``σ(s)`` (Fig 4b).  ``labels`` is the per-entry ±1 label array aligned
+    with ``pattern``'s data order.  Returns the value array only — the
+    caller owns where those values land (a driver-global coefficient
+    matrix, or one rank's resident row block in the distributed SDDMM).
+    """
+    scores = sddmm(pattern, x, y)
+    return sigmoid(scores.data) - (np.asarray(labels) > 0).astype(np.float64)
 
 
 def fused_sddmm_spmm(

@@ -157,6 +157,79 @@ class TestPatternOps:
         c = ewise_add(a, CsrMatrix.empty((1, 2)), PLUS_TIMES)
         assert c.equal(a)
 
+    def test_ewise_add_empty_operand_coerces_dtype(self):
+        """An empty operand must not skip the semiring's dtype coercion."""
+        a = csr_from_dense(np.array([[True, False]], dtype=bool))
+        c = ewise_add(a, CsrMatrix.empty((1, 2), dtype=np.bool_), PLUS_TIMES)
+        assert c.dtype == PLUS_TIMES.dtype
+        c2 = ewise_add(CsrMatrix.empty((1, 2), dtype=np.bool_), a, PLUS_TIMES)
+        assert c2.dtype == PLUS_TIMES.dtype
+
+    def test_ewise_add_matches_coo_rebuild(self, rng):
+        """The merge path must be bit-identical to the historical
+        coo_to_csr rebuild across semirings and overlap patterns."""
+        from repro.sparse import MIN_PLUS
+        from repro.sparse.build import coo_to_csr
+
+        for semiring in (PLUS_TIMES, BOOL_AND_OR, MIN_PLUS):
+            for trial in range(5):
+                da = random_dense(rng, 13, 17, 0.3)
+                db = random_dense(rng, 13, 17, 0.3)
+                a, b = csr_from_dense(da), csr_from_dense(db)
+                if semiring is BOOL_AND_OR:
+                    a, b = a.astype(np.bool_), b.astype(np.bool_)
+                got = ewise_add(a, b, semiring)
+                want = coo_to_csr(
+                    np.concatenate([a.row_ids(), b.row_ids()]),
+                    np.concatenate([a.indices, b.indices]),
+                    np.concatenate(
+                        [semiring.coerce(a.data), semiring.coerce(b.data)]
+                    ),
+                    a.shape,
+                    semiring,
+                )
+                assert got.dtype == want.dtype
+                np.testing.assert_array_equal(got.indptr, want.indptr)
+                np.testing.assert_array_equal(got.indices, want.indices)
+                np.testing.assert_array_equal(got.data, want.data)
+
+    def test_pattern_ops_survive_32bit_key_overflow(self):
+        """(row, col) keys must be computed in int64: with ncols large
+        enough, ``row * ncols + col`` overflows 32-bit arithmetic for
+        perfectly ordinary matrices."""
+        ncols = 1 << 21  # 2 M columns
+        nrows = 1 << 12  # rows up to 4095: keys up to ~2^33 > int32
+        row_hi = nrows - 1
+        key_hi = row_hi * ncols + 7
+        assert key_hi > np.iinfo(np.int32).max  # the overflow premise
+
+        def mat(entries):
+            rows = np.array([r for r, _ in entries])
+            cols = np.array([c for _, c in entries])
+            counts = np.bincount(rows, minlength=nrows)
+            indptr = np.concatenate([[0], np.cumsum(counts)])
+            return CsrMatrix(
+                (nrows, ncols), indptr, cols, np.ones(len(entries)), check=False
+            )
+
+        a = mat([(0, 3), (5, ncols - 1), (row_hi, 7)])
+        b = mat([(5, ncols - 1), (row_hi, 7), (row_hi, ncols - 1)])
+        diff = pattern_difference(a, b)
+        assert [(int(r), int(c)) for r, c in zip(diff.row_ids(), diff.indices)] == [
+            (0, 3)
+        ]
+        union = ewise_add(a, b, PLUS_TIMES)
+        got = {
+            (int(r), int(c)): v
+            for r, c, v in zip(union.row_ids(), union.indices, union.data)
+        }
+        assert got == {
+            (0, 3): 1.0,
+            (5, ncols - 1): 2.0,
+            (row_hi, 7): 2.0,
+            (row_hi, ncols - 1): 1.0,
+        }
+
 
 class TestRowTopk:
     def test_keeps_largest_magnitude(self):

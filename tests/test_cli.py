@@ -107,6 +107,18 @@ class TestCommands:
         assert rc == 0
         assert "link-prediction accuracy" in capsys.readouterr().out
 
+    def test_embed_driver_gather_ablation(self, capsys):
+        rc = main(
+            [
+                "embed", "--dataset", "cora", "--scale", "0.2", "-p", "2",
+                "--d", "8", "--epochs", "2", "--driver-gather", "on",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "driver bytes" in out
+        assert "link-prediction accuracy" in out
+
     def test_bfs_and_embed_accept_kernel_choices(self):
         for cmd in ("bfs", "embed"):
             args = build_parser().parse_args([cmd, "--kernel", "hash"])
