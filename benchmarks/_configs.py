@@ -1,0 +1,18 @@
+"""Shared configurations for the paper-figure benchmark reproductions.
+
+Importable as a plain module (``from _configs import UNFUSED``) because
+pytest puts each non-package bench module's directory on ``sys.path``
+during collection.
+"""
+
+from repro.core import TsConfig
+
+#: The paper's per-round schedule.  The figure sweeps that measure
+#: communication scaling (Fig 8-11) anchor to the
+#: ``alpha*(1 + 2*ceil(p/w))`` latency term that the fused communication
+#: layer (a post-paper optimization, ``TsConfig.fuse_comm``) collapses,
+#: while the SUMMA/PETSc baselines and the closed-form cost models keep
+#: their unfused charging — so those measured sweeps pin ``fuse_comm``
+#: off to stay like-for-like reproductions.  ``bench_fusedmm.py`` is
+#: where the fused-vs-unfused comparison itself is measured and gated.
+UNFUSED = TsConfig(fuse_comm=False)

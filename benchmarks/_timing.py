@@ -1,0 +1,24 @@
+"""Shared wall-clock measurement helpers for the benchmark harness.
+
+Importable as a plain module (``from _timing import best_of_interleaved``)
+because pytest puts each non-package bench module's directory on
+``sys.path`` during collection.
+"""
+
+import time
+
+
+def best_of_interleaved(fns, repeats=3):
+    """Best-of wall clock per candidate, with the candidates' runs
+    *interleaved* so background-load drift hits both sides equally.
+
+    Returns ``(best_seconds, last_results)``, one entry per candidate.
+    """
+    best = [float("inf")] * len(fns)
+    results = [None] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            results[i] = fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best, results

@@ -17,9 +17,8 @@ Fig 12 configuration (RMAT graph, d = 128 concurrent sources, p = 8):
 Results land in ``benchmarks/results/distributed_handles.txt``.
 """
 
-import time
-
 import numpy as np
+from _timing import best_of_interleaved
 
 from repro.analysis import fmt_bytes, fmt_seconds, print_table
 from repro.apps import msbfs, msbfs_spmd
@@ -35,18 +34,6 @@ N, D = 4096, 256
 MAX_WALL_RATIO = 1.05  # handle path must not be slower (margin for jitter)
 
 
-def _best_of_interleaved(fns, repeats=4):
-    """Best-of wall clock per candidate, with the candidates' runs
-    *interleaved* so background-load drift hits both sides equally."""
-    best = [float("inf")] * len(fns)
-    results = [None] * len(fns)
-    for _ in range(repeats):
-        for i, fn in enumerate(fns):
-            t0 = time.perf_counter()
-            results[i] = fn()
-            best[i] = min(best[i], time.perf_counter() - t0)
-    return best, results
-
 
 def bench_distributed_handles(benchmark, sink):
     """Per-level driver traffic + end-to-end MS-BFS, handles vs gather."""
@@ -59,14 +46,15 @@ def bench_distributed_handles(benchmark, sink):
     # so neither path pays cold-start costs in its timed runs.
     msbfs(adj, sources, P, config=config, machine=machine)
 
-    (wall_handles, wall_gather), (res_handles, res_gather) = _best_of_interleaved(
+    (wall_handles, wall_gather), (res_handles, res_gather) = best_of_interleaved(
         [
             lambda: msbfs(adj, sources, P, config=config, machine=machine),
             lambda: msbfs(
                 adj, sources, P, config=config, machine=machine,
                 driver_gather=True,
             ),
-        ]
+        ],
+        repeats=4,
     )
     res_spmd = msbfs_spmd(adj, sources, P, config=config, machine=machine)
 

@@ -24,8 +24,15 @@ def _sweep(alias):
     B = tall_skinny(A.nrows, 128, 0.80, seed=1)
     rows = []
     for w in WIDTHS:
+        # fuse_comm=False: this figure studies the *per-round* received-B
+        # footprint, which the fused path deliberately trades away (all
+        # rounds' B rows arrive in one exchange regardless of w).
         result = ts_spgemm(
-            A, B, P, config=TsConfig(tile_width_factor=w), machine=SCALED_PERLMUTTER
+            A,
+            B,
+            P,
+            config=TsConfig(tile_width_factor=w, fuse_comm=False),
+            machine=SCALED_PERLMUTTER,
         )
         rows.append(
             (w, result.diagnostics["peak_recv_b_bytes"], result.multiply_time)

@@ -14,6 +14,8 @@ our peak-memory column shows the same blow-up mechanism.)
 
 import pytest
 
+from _configs import UNFUSED
+
 from repro.analysis import fmt_bytes, fmt_seconds, print_series, print_table
 from repro.baselines import ALGORITHMS
 from repro.data import load, tall_skinny
@@ -35,7 +37,9 @@ def bench_fig08_dimension_sweep(benchmark, sink):
         for d in ds:
             B = tall_skinny(n, d, sparsity, seed=1)
             for name in ALGOS:
-                result = ALGORITHMS[name](A, B, P, machine=SCALED_PERLMUTTER)
+                result = ALGORITHMS[name](
+                    A, B, P, machine=SCALED_PERLMUTTER, config=UNFUSED
+                )
                 series[name].append(result.multiply_time)
         print_series(
             f"Fig 8 (measured, simulator scale): runtime vs d "

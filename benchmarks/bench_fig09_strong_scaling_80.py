@@ -17,6 +17,8 @@ closed-form model at full scale shows them together.
 
 import pytest
 
+from _configs import UNFUSED
+
 from repro.analysis import parallel_efficiency, print_series
 from repro.analysis.metrics import RunRecord
 from repro.baselines import ALGORITHMS
@@ -39,7 +41,8 @@ def _measured(alias, machine, scale):
     records = []
     for p in SIM_PS:
         for name in ALGOS:
-            result = ALGORITHMS[name](A, B, p, machine=machine)
+            result = ALGORITHMS[name](A, B, p, machine=machine,
+                                       config=UNFUSED)
             series[name].append(result.multiply_time)
             records.append(
                 RunRecord(name, alias, p, D, SPARSITY, result.multiply_time)

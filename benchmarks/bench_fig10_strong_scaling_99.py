@@ -8,6 +8,8 @@ latency-bound earlier.
 
 import pytest
 
+from _configs import UNFUSED
+
 from repro.analysis import print_series
 from repro.baselines import ALGORITHMS
 from repro.data import load, tall_skinny
@@ -29,7 +31,9 @@ def bench_fig10_strong_scaling_99(benchmark, sink):
         series = {name: [] for name in ALGOS}
         for p in SIM_PS:
             for name in ALGOS:
-                result = ALGORITHMS[name](A, B, p, machine=SCALED_PERLMUTTER)
+                result = ALGORITHMS[name](
+                    A, B, p, machine=SCALED_PERLMUTTER, config=UNFUSED
+                )
                 series[name].append(result.multiply_time)
         print_series(
             f"Fig 10 (measured): strong scaling runtime "

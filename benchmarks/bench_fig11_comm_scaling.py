@@ -10,6 +10,8 @@ scaling and eventually beats TS-SpGEMM's communication (§V-E).
 
 import pytest
 
+from _configs import UNFUSED
+
 from repro.analysis import print_series
 from repro.baselines import ALGORITHMS
 from repro.data import load, tall_skinny
@@ -30,7 +32,9 @@ def bench_fig11_comm_scaling(benchmark, sink):
     volumes = {name: [] for name in ALGOS}
     for p in SIM_PS:
         for name in ALGOS:
-            result = ALGORITHMS[name](A, B, p, machine=SCALED_PERLMUTTER)
+            result = ALGORITHMS[name](
+                A, B, p, machine=SCALED_PERLMUTTER, config=UNFUSED
+            )
             series[name].append(result.comm_time)
             volumes[name].append(result.comm_bytes())
     print_series(

@@ -1,0 +1,159 @@
+"""Benchmark: fused communication rounds (FusedMM) vs per-round exchanges.
+
+Measures what ``TsConfig(fuse_comm=True)`` removes from sparse-embedding
+training on a Fig 13-flavoured configuration (cora stand-in, d = 64,
+80 % sparse Z, b = 0.5·n/p mini-batch tiles, p = 4), in two tile-width
+regimes:
+
+1. **Latency-dominated (small tiles, w = 1·n/p)** — the unfused epoch
+   pays ``3 + 2·p`` all-to-alls (SDDMM fetch, values refresh, symbolic
+   modes, per-round fetch-B/send-C); the fused epoch packs the SDDMM
+   fetch, the modes and every round's fetch-B into **one** combined
+   exchange, keeps the values-only refresh as its own round, and skips
+   send-C collectively when no tile is remote.  Gates: **round count
+   drops ≥2× per epoch**, per-phase ``comm_bytes`` are conserved
+   exactly, the embedding is **bit-identical**, and the modelled
+   end-to-end training time improves.
+2. **Paper default (w = 16·n/p)** — fewer unfused rounds to begin with;
+   the modelled end-to-end time must still improve (fusion conserves
+   bandwidth terms, so it can only shave latency).
+
+Wall-clock must not regress beyond a jitter margin (the fused path does
+identical local compute; it only merges exchange board cycles).
+
+Results land in ``benchmarks/results/fusedmm.txt``.
+"""
+
+import numpy as np
+from _timing import best_of_interleaved
+
+from repro.analysis import fmt_bytes, fmt_seconds, print_table
+from repro.apps import train_sparse_embedding
+from repro.core import TsConfig
+from repro.data import get_dataset
+from repro.mpi import SCALED_PERLMUTTER
+
+P = 4
+D = 64
+SPARSITY = 0.8
+EPOCHS = 6
+MIN_ROUND_DROP = 2.0  # fused epochs must use >=2x fewer all-to-alls
+# Wall margin for a ~0.5 s measurement on a loaded CI runner: a real
+# regression is way past 10%, while load jitter regularly isn't.
+MAX_WALL_RATIO = 1.10
+
+
+def bench_fusedmm(benchmark, sink):
+    """Round counts, byte conservation and end-to-end time, fused vs not."""
+    adj, _ = get_dataset("cora").generate_with_labels(scale=1.0, seed=4)
+    n = adj.nrows
+    batch = max(n // P // 2, 1)  # b = 0.5 n/p (Table IV / §V-G)
+
+    def run(width, fuse):
+        config = TsConfig(
+            tile_height=batch, tile_width_factor=width, fuse_comm=fuse
+        )
+        return train_sparse_embedding(
+            adj, P, d=D, sparsity=SPARSITY, epochs=EPOCHS, seed=1,
+            learning_rate=0.05, config=config, machine=SCALED_PERLMUTTER,
+        )
+
+    # One untimed warm-up (imports, allocator, thread pools).
+    run(1, True)
+
+    # ---- latency-dominated small-tile configuration (w = 1·n/p) ------
+    (wall_on, wall_off), (res_on, res_off) = best_of_interleaved(
+        [lambda: run(1, True), lambda: run(1, False)], repeats=4
+    )
+
+    rows = []
+    for e_on, e_off in zip(res_on.epochs, res_off.epochs):
+        rows.append(
+            [
+                e_on.epoch,
+                e_on.rounds,
+                e_off.rounds,
+                f"{e_off.rounds / e_on.rounds:.1f}x",
+                fmt_bytes(e_on.comm_bytes),
+                fmt_bytes(e_off.comm_bytes),
+                fmt_seconds(e_on.runtime),
+                fmt_seconds(e_off.runtime),
+            ]
+        )
+    print_table(
+        f"Per-epoch all-to-all rounds, fused vs separate (cora stand-in "
+        f"n={n}, d={D}, {SPARSITY:.0%} sparse Z, p={P}, w=1·n/p)",
+        ["epoch", "rounds (fused)", "rounds (off)", "drop",
+         "comm (fused)", "comm (off)", "runtime (fused)", "runtime (off)"],
+        rows,
+        file=sink,
+    )
+
+    # ---- acceptance gates -------------------------------------------
+    # 1. bit-identical embedding (pattern and values)
+    z_on, z_off = res_on.Z, res_off.Z
+    assert (
+        np.array_equal(z_on.indptr, z_off.indptr)
+        and np.array_equal(z_on.indices, z_off.indices)
+        and np.array_equal(z_on.data, z_off.data)
+    ), "embeddings differ between fused and unfused paths"
+    assert res_on.accuracy == res_off.accuracy
+
+    # 2. >=2x fewer all-to-all rounds on every epoch, bytes conserved
+    for e_on, e_off in zip(res_on.epochs, res_off.epochs):
+        assert e_off.rounds >= MIN_ROUND_DROP * e_on.rounds, (
+            f"epoch {e_on.epoch}: rounds {e_off.rounds} -> {e_on.rounds} "
+            f"is below the {MIN_ROUND_DROP}x gate"
+        )
+        assert e_on.comm_bytes == e_off.comm_bytes, (
+            f"epoch {e_on.epoch}: fusion changed comm bytes "
+            f"({e_on.comm_bytes} vs {e_off.comm_bytes})"
+        )
+
+    # 3. modelled end-to-end win on the latency-dominated configuration
+    m_on, m_off = res_on.total_runtime, res_off.total_runtime
+    assert m_on < m_off, (
+        f"modelled training time did not improve: fused={m_on} "
+        f"separate={m_off}"
+    )
+
+    # ---- paper-default width: the modelled win must survive ----------
+    res_on16, res_off16 = run(16, True), run(16, False)
+    assert np.array_equal(res_on16.Z.data, res_off16.Z.data)
+    assert all(
+        e_on.rounds < e_off.rounds
+        for e_on, e_off in zip(res_on16.epochs, res_off16.epochs)
+    )
+    assert res_on16.total_runtime < res_off16.total_runtime
+
+    print_table(
+        "Embedding training end-to-end, fused vs separate rounds",
+        ["config", "path", "modelled", "best wall-clock",
+         "rounds/epoch", "epoch comm (mean)"],
+        [
+            ["w=1·n/p", "fuse_comm=on", fmt_seconds(m_on),
+             fmt_seconds(wall_on), res_on.epochs[0].rounds,
+             fmt_bytes(res_on.total_comm_bytes // EPOCHS)],
+            ["w=1·n/p", "fuse_comm=off", fmt_seconds(m_off),
+             fmt_seconds(wall_off), res_off.epochs[0].rounds,
+             fmt_bytes(res_off.total_comm_bytes // EPOCHS)],
+            ["w=16·n/p", "fuse_comm=on",
+             fmt_seconds(res_on16.total_runtime), "-",
+             res_on16.epochs[0].rounds,
+             fmt_bytes(res_on16.total_comm_bytes // EPOCHS)],
+            ["w=16·n/p", "fuse_comm=off",
+             fmt_seconds(res_off16.total_runtime), "-",
+             res_off16.epochs[0].rounds,
+             fmt_bytes(res_off16.total_comm_bytes // EPOCHS)],
+        ],
+        file=sink,
+    )
+
+    # 4. wall clock: identical local compute, so the only honest gate is
+    # "not slower beyond a jitter margin" (loaded CI runners).
+    assert wall_on < wall_off * MAX_WALL_RATIO, (
+        f"wall training time regressed beyond the {MAX_WALL_RATIO:.2f}x "
+        f"jitter margin: fused={wall_on:.3f}s separate={wall_off:.3f}s"
+    )
+
+    benchmark(lambda: run(1, True))

@@ -17,9 +17,8 @@ one negative redraw mid-run so plan reuse and re-setup both appear):
 Results land in ``benchmarks/results/resident_embedding.txt``.
 """
 
-import time
-
 import numpy as np
+from _timing import best_of_interleaved
 
 from repro.analysis import fmt_bytes, fmt_seconds, print_table
 from repro.apps import train_sparse_embedding
@@ -32,20 +31,10 @@ D = 64
 SPARSITY = 0.8
 EPOCHS = 8
 NEGATIVE_REFRESH = 4  # one redraw mid-run: exercises re-setup + plan reuse
-MAX_WALL_RATIO = 1.05  # resident must not be slower (margin for jitter)
+# Wall margin for a ~0.5 s measurement on a loaded CI runner: a real
+# regression is way past 10%, while load jitter regularly isn't.
+MAX_WALL_RATIO = 1.10
 
-
-def _best_of_interleaved(fns, repeats=3):
-    """Best-of wall clock per candidate, with the candidates' runs
-    *interleaved* so background-load drift hits both sides equally."""
-    best = [float("inf")] * len(fns)
-    results = [None] * len(fns)
-    for _ in range(repeats):
-        for i, fn in enumerate(fns):
-            t0 = time.perf_counter()
-            results[i] = fn()
-            best[i] = min(best[i], time.perf_counter() - t0)
-    return best, results
 
 
 def bench_resident_embedding(benchmark, sink):
@@ -66,13 +55,14 @@ def bench_resident_embedding(benchmark, sink):
         adj, P, d=D, epochs=1, config=config, machine=SCALED_PERLMUTTER
     )
 
-    (wall_res, wall_abl), (res, abl) = _best_of_interleaved(
+    (wall_res, wall_abl), (res, abl) = best_of_interleaved(
         [
             lambda: train_sparse_embedding(adj, P, **kwargs),
             lambda: train_sparse_embedding(
                 adj, P, driver_gather=True, **kwargs
             ),
-        ]
+        ],
+        repeats=4,
     )
 
     rows = []
@@ -142,7 +132,7 @@ def bench_resident_embedding(benchmark, sink):
     # Wall clock: the resident path wins on quiet machines (see results
     # table), but the differential is a few percent of a
     # multiply-dominated total, so the *gate* only enforces "not slower
-    # beyond a 5% jitter margin" to stay robust on loaded CI runners.
+    # beyond a 10% jitter margin" to stay robust on loaded CI runners.
     assert wall_res < wall_abl * MAX_WALL_RATIO, (
         f"wall training time regressed beyond the {MAX_WALL_RATIO:.2f}x "
         f"jitter margin: resident={wall_res:.3f}s gather={wall_abl:.3f}s"

@@ -1,7 +1,14 @@
 """Measurement aggregation and paper-style reporting."""
 
 from .metrics import RunRecord, geometric_mean, parallel_efficiency, speedups
-from .reporting import fmt_bytes, fmt_count, fmt_seconds, print_series, print_table
+from .reporting import (
+    fmt_bytes,
+    fmt_count,
+    fmt_seconds,
+    multiply_summary_rows,
+    print_series,
+    print_table,
+)
 
 __all__ = [
     "RunRecord",
@@ -9,6 +16,7 @@ __all__ = [
     "fmt_count",
     "fmt_seconds",
     "geometric_mean",
+    "multiply_summary_rows",
     "parallel_efficiency",
     "print_series",
     "print_table",

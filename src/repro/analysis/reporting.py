@@ -46,6 +46,26 @@ def fmt_count(x: float) -> str:
     return f"{x:.0f}" if float(x).is_integer() else f"{x:.3g}"
 
 
+def multiply_summary_rows(result) -> List[List[str]]:
+    """Standard ``[metric, value]`` rows for a multiply-result object.
+
+    Shared by the CLI and benchmark printouts so every report shows the
+    same decomposition — including the all-to-all **round count**, the
+    α·rounds term the fused communication layer (``--fuse-comm``)
+    collapses; without it the fusion win would be invisible in tables
+    that only print bytes (which fusion conserves by design).
+    """
+    rows = [
+        ["multiply time (modelled)", fmt_seconds(result.multiply_time)],
+        ["communication time", fmt_seconds(result.comm_time)],
+        ["bytes on wire", fmt_bytes(result.comm_bytes())],
+    ]
+    report = getattr(result, "report", None)
+    if report is not None and hasattr(report, "alltoall_rounds"):
+        rows.append(["all-to-all rounds", fmt_count(report.alltoall_rounds())])
+    return rows
+
+
 def print_table(
     title: str,
     headers: Sequence[str],

@@ -29,6 +29,15 @@ last epoch.  ``driver_gather=True`` is the ablation: the historical loop
 that round-trips ``Z`` and the gradient through the driver every epoch
 (now honestly charged as a root scatter + gather) and computes the SDDMM
 driver-side.
+
+With ``TsConfig.fuse_comm`` (default) the epoch's exchanges are **fused
+FusedMM-style**: the SDDMM ``Z``-row fetch, the symbolic mode lists and
+the multiply's coalesced ``fetch-B`` payloads travel as tagged sections
+of one combined all-to-all, the σ coefficients then refresh the resident
+operand in a values-only round, and the ``send-C`` partial exchange runs
+(or is skipped collectively when no tile is remote) — 2-3 all-to-alls
+per epoch instead of ``3 + 2·ceil(p/w)``, bit-identical ``Z``, per-phase
+bytes conserved.  ``--fuse-comm off`` restores the separate rounds.
 """
 
 from __future__ import annotations
@@ -39,12 +48,12 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.config import DEFAULT_CONFIG, TsConfig
-from ..core.driver import TsSession
+from ..core.driver import FusedPrologue, TsSession
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
 from ..sparse.build import coo_to_csr
 from ..sparse.csr import INDEX_DTYPE, CsrMatrix
 from ..sparse.ops import extract_rows, row_topk
-from ..sparse.sddmm import force2vec_coefficients
+from ..sparse.sddmm import compact_pattern, force2vec_coefficients
 from ..sparse.semiring import PLUS_TIMES, Semiring
 
 #: Collapses duplicate (u, v) pairs in the force pattern by summing their
@@ -69,6 +78,9 @@ class EmbeddingEpoch:
     #: eliminates, nonzero only under the ``driver_gather=True`` ablation.
     driver_scatter_bytes: int = 0
     driver_gather_bytes: int = 0
+    #: All-to-all exchanges this epoch performed — the α·rounds term
+    #: ``fuse_comm`` collapses (2-3 fused vs ``3 + 2·ceil(p/w)`` unfused).
+    rounds: int = 0
 
     @property
     def remote_fraction(self) -> float:
@@ -93,7 +105,7 @@ class EmbeddingResult:
         return sum(e.comm_bytes for e in self.epochs)
 
 
-def _sddmm_prologue(comm, operand, z_sp_local, z_dn_local, labels_local):
+class _SddmmPrologue(FusedPrologue):
     """Rank-local epoch prologue: the distributed SDDMM (Fig 4b, fused).
 
     Fetches the ``Z`` rows this rank's coefficient pattern references —
@@ -105,66 +117,87 @@ def _sddmm_prologue(comm, operand, z_sp_local, z_dn_local, labels_local):
     is charged: the row fetch as wire traffic under ``sddmm-fetch``, the
     dot products via ``charge_sddmm`` — the honest accounting the old
     driver-side-coefficients simplification skipped.
+
+    As a :class:`~repro.core.driver.FusedPrologue` the fetch is split
+    into :meth:`sections` (the ``Z``-row payloads, ridden along the
+    multiply's fused all-to-all under ``fuse_comm``) and :meth:`finish`
+    (coefficients + values-only refresh); with ``fuse_comm=False`` the
+    base class runs the fetch as its own ``sddmm-fetch`` exchange, the
+    historical schedule.  Stateless on purpose — the pattern-derived
+    plan lives in ``operand.aux`` so one instance serves every rank.
     """
-    dist = operand.dist
-    if dist.col_copy is None:
-        raise RuntimeError(
-            "the distributed SDDMM needs the tiled algorithm's Ac column copy"
-        )
-    p = comm.size
-    local = operand.local
-    cached = operand.aux.get("sddmm_plan")
-    if cached is None:
-        # B-independent: which of my Z rows each peer's pattern block
-        # references (read straight off my Ac block — no request round),
-        # and my own pattern re-indexed into the compact space of the
-        # columns it actually references, so the receive buffer is
-        # O(referenced rows · d), not O(n · d).
+
+    PHASE = "sddmm-fetch"
+
+    def _plan(self, comm, operand):
+        """B-independent plan: which of my Z rows each peer's pattern
+        block references (read straight off my Ac block — no request
+        round), and my own pattern re-indexed into the compact space of
+        the columns it actually references, so the receive buffer is
+        O(referenced rows · d), not O(n · d)."""
+        cached = operand.aux.get("sddmm_plan")
+        if cached is not None:
+            return cached
+        dist = operand.dist
+        if dist.col_copy is None:
+            raise RuntimeError(
+                "the distributed SDDMM needs the tiled algorithm's Ac column copy"
+            )
+        local = operand.local
+        p = comm.size
         with comm.phase("prepare"):
             send_rows = [
                 dist.col_copy_rows_of(i).nonzero_columns() for i in range(p)
             ]
             needed = local.nonzero_columns()
-            compact = CsrMatrix(
-                (local.nrows, len(needed)),
-                local.indptr,
-                np.searchsorted(needed, local.indices),
-                local.data,
-                check=False,
-            )
+            compact = compact_pattern(local, needed)
             comm.charge_touch(
                 p * dist.col_copy.indices.nbytes + 2 * local.indices.nbytes
             )
         cached = (send_rows, needed, compact)
         operand.aux["sddmm_plan"] = cached
-    send_rows, needed, compact = cached
-    my_lo, my_hi = dist.local_range
-    d = z_dn_local.shape[1]
-    with comm.phase("sddmm-fetch"):
-        send = [None] * p
-        packed = 0
-        for i in range(p):
-            if i == comm.rank or len(send_rows[i]) == 0:
-                continue
-            block = extract_rows(z_sp_local, send_rows[i])
-            send[i] = (my_lo + send_rows[i], block)
-            packed += block.nbytes_estimate()
-        received = comm.alltoall(send)
-        y = np.zeros((len(needed), d))
-        mine = (needed >= my_lo) & (needed < my_hi)
-        y[mine] = z_dn_local[needed[mine] - my_lo]
-        for payload in received:
-            if payload is None:
-                continue
-            gids, block = payload
-            # every shipped row is referenced by my pattern, so it has a
-            # slot in the compact space
-            y[np.searchsorted(needed, gids)] = block.to_dense()
-            packed += block.nbytes_estimate()
-        comm.charge_touch(packed)
-    coeffs = force2vec_coefficients(compact, z_dn_local, y, labels_local.data)
-    comm.charge_sddmm(local.nnz * d)
-    operand.refresh_values(coeffs)
+        return cached
+
+    def sections(self, comm, operand, z_sp_local, z_dn_local, labels_local):
+        send_rows, _, _ = self._plan(comm, operand)
+        my_lo, _ = operand.dist.local_range
+        with comm.phase(self.PHASE):
+            send = [None] * comm.size
+            packed = 0
+            for i in range(comm.size):
+                if i == comm.rank or len(send_rows[i]) == 0:
+                    continue
+                block = extract_rows(z_sp_local, send_rows[i])
+                send[i] = (my_lo + send_rows[i], block)
+                packed += block.nbytes_estimate()
+            comm.charge_touch(packed)
+        return [(self.PHASE, send)]
+
+    def finish(self, comm, operand, received, z_sp_local, z_dn_local, labels_local):
+        _, needed, compact = operand.aux["sddmm_plan"]
+        my_lo, my_hi = operand.dist.local_range
+        d = z_dn_local.shape[1]
+        with comm.phase(self.PHASE):
+            y = np.zeros((len(needed), d))
+            mine = (needed >= my_lo) & (needed < my_hi)
+            y[mine] = z_dn_local[needed[mine] - my_lo]
+            packed = 0
+            for payload in received[self.PHASE]:
+                if payload is None:
+                    continue
+                gids, block = payload
+                # every shipped row is referenced by my pattern, so it
+                # has a slot in the compact space
+                y[np.searchsorted(needed, gids)] = block.to_dense()
+                packed += block.nbytes_estimate()
+            comm.charge_touch(packed)
+        coeffs = force2vec_coefficients(compact, z_dn_local, y, labels_local.data)
+        comm.charge_sddmm(operand.local.nnz * d)
+        operand.refresh_values(coeffs)
+
+
+#: Shared stateless instance (per-rank state lives in ``operand.aux``).
+_sddmm_prologue = _SddmmPrologue()
 
 
 def _make_sgd_epilogue(lr: float, keep_per_row: int):
@@ -359,6 +392,7 @@ def train_sparse_embedding(
                         diag.get("driver_scatter_bytes", 0)
                     ),
                     driver_gather_bytes=int(diag.get("driver_gather_bytes", 0)),
+                    rounds=mult.rounds,
                 )
             )
         if z_sp_h is not None:

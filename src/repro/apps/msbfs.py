@@ -52,6 +52,9 @@ class BfsIteration:
     #: the resident-handle path — the quantity Fig 12's loop never pays.
     driver_scatter_bytes: int = 0
     driver_gather_bytes: int = 0
+    #: All-to-all exchanges this level performed — the α·rounds term
+    #: ``fuse_comm`` collapses to one fused exchange per multiply.
+    rounds: int = 0
 
 
 @dataclass
@@ -218,6 +221,7 @@ def _msbfs_driver_loop(
                 driver_gather_bytes=int(
                     diagnostics.get("driver_gather_bytes", 0)
                 ),
+                rounds=mult.report.alltoall_rounds(),
             )
         )
         level += 1
@@ -269,6 +273,7 @@ def _msbfs_handles(
                 # update, as in msbfs_spmd's per-level windows.
                 runtime=mult.multiply_time,
                 comm_time=mult.comm_time,
+                rounds=mult.rounds,
             )
         )
         level += 1
@@ -348,6 +353,7 @@ def msbfs_spmd(
                     comm.time - t0,
                     totals1.bytes_sent - bytes0,
                     totals1.comm_time - comm_t0,
+                    totals1.alltoall_rounds - totals0.alltoall_rounds,
                 )
             )
             level += 1
@@ -371,6 +377,7 @@ def msbfs_spmd(
                 comm_nnz=sum(e[3] for e in entries),
                 runtime=max(e[4] for e in entries),
                 comm_time=max(e[6] for e in entries),
+                rounds=max(e[7] for e in entries),
             )
         )
     return out

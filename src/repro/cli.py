@@ -29,7 +29,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from .analysis import fmt_bytes, fmt_seconds, print_series, print_table
+from .analysis import (
+    fmt_bytes,
+    fmt_seconds,
+    multiply_summary_rows,
+    print_series,
+    print_table,
+)
 from .apps import influence_maximization, msbfs, train_sparse_embedding
 from .baselines import ALGORITHMS
 from .core import TsConfig
@@ -62,6 +68,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="amortize the B-independent symbolic+tiling plan across "
         "iterative multiplies (off = re-plan every multiply, for ablation)",
     )
+    parser.add_argument(
+        "--fuse-comm",
+        default="on",
+        choices=("on", "off"),
+        help="pack the symbolic modes, every tile round's fetch-B/send-C "
+        "and a fused-capable prologue's fetch (the embedding's SDDMM) "
+        "into one combined all-to-all per multiply step (off = the "
+        "paper's separate per-round exchanges, for ablation; output is "
+        "bit-identical either way)",
+    )
 
 
 def _add_kernel(parser: argparse.ArgumentParser) -> None:
@@ -79,6 +95,7 @@ def _config(args, **overrides) -> TsConfig:
     return TsConfig(
         kernel=getattr(args, "kernel", "auto"),
         reuse_plan=args.reuse_plan == "on",
+        fuse_comm=getattr(args, "fuse_comm", "on") == "on",
         **overrides,
     )
 
@@ -107,10 +124,7 @@ def _cmd_multiply(args) -> int:
         ["A", f"{A.shape}, nnz={A.nnz:,}"],
         ["B", f"{B.shape}, nnz={B.nnz:,} ({args.sparsity:.0%} sparse)"],
         ["C", f"{result.C.shape}, nnz={result.C.nnz:,}"],
-        ["multiply time (modelled)", fmt_seconds(result.multiply_time)],
-        ["communication time", fmt_seconds(result.comm_time)],
-        ["bytes on wire", fmt_bytes(result.comm_bytes())],
-    ]
+    ] + multiply_summary_rows(result)
     for key in ("local_tiles", "remote_tiles", "peak_recv_b_bytes"):
         if key in getattr(result, "diagnostics", {}):
             value = result.diagnostics[key]
@@ -141,6 +155,7 @@ def _cmd_bfs(args) -> int:
             it.iteration,
             it.frontier_nnz,
             it.comm_nnz,
+            it.rounds,
             fmt_bytes(it.driver_scatter_bytes + it.driver_gather_bytes),
             fmt_seconds(it.runtime),
         ]
@@ -149,7 +164,7 @@ def _cmd_bfs(args) -> int:
     print_table(
         f"MSBFS: {args.sources} sources on {args.dataset} (p={args.ranks}, "
         f"{result.levels} levels, total {fmt_seconds(result.total_runtime)})",
-        ["level", "frontier nnz", "comm nnz", "driver bytes", "runtime"],
+        ["level", "frontier nnz", "comm nnz", "rounds", "driver bytes", "runtime"],
         rows,
     )
     counts = result.reachable_counts()
@@ -178,6 +193,7 @@ def _cmd_embed(args) -> int:
             e.epoch,
             fmt_seconds(e.runtime),
             fmt_bytes(e.comm_bytes),
+            e.rounds,
             fmt_bytes(e.driver_scatter_bytes + e.driver_gather_bytes),
             f"{e.remote_fraction:.0%}",
         ]
@@ -186,7 +202,7 @@ def _cmd_embed(args) -> int:
     print_table(
         f"Sparse embedding on {args.dataset} (d={args.d}, "
         f"{args.sparsity:.0%} sparse Z)",
-        ["epoch", "runtime", "comm", "driver bytes", "remote tiles"],
+        ["epoch", "runtime", "comm", "rounds", "driver bytes", "remote tiles"],
         rows,
     )
     print(f"\nlink-prediction accuracy: {result.accuracy:.3f}")

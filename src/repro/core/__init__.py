@@ -1,7 +1,15 @@
 """The paper's contribution: distributed TS-SpGEMM (naive, tiled) and SpMM."""
 
 from .config import DEFAULT_CONFIG, MODE_POLICIES, TsConfig
-from .driver import MultiplyResult, SETUP_PHASES, TsSession, ts_spgemm, ts_spmm
+from .driver import (
+    FUSED_SECTION_PHASES,
+    FusedPrologue,
+    MultiplyResult,
+    SETUP_PHASES,
+    TsSession,
+    ts_spgemm,
+    ts_spmm,
+)
 from .naive import naive_multiply
 from .plan import PreparedA, PreparedSubtile, prepare_multiply, replan
 from .spmm import SpmmDiagnostics, spmm_multiply
@@ -21,6 +29,8 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DIAGONAL",
     "EMPTY",
+    "FUSED_SECTION_PHASES",
+    "FusedPrologue",
     "LOCAL",
     "MODE_POLICIES",
     "MultiplyResult",

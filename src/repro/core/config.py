@@ -60,6 +60,18 @@ class TsConfig:
         amortize the B-independent symbolic + tiling work across
         multiplies.  ``False`` re-plans every multiply from scratch — the
         ablation behind the CLI's ``--reuse-plan on|off``.
+    fuse_comm:
+        When ``True`` (default), the tiled multiply issues **one fused
+        all-to-all** per multiply step instead of separate exchanges for
+        the symbolic mode table and every tile round's ``fetch-B`` /
+        ``send-C`` — and a fused-capable prologue (the embedding's
+        distributed SDDMM) packs its row fetch into the same combined
+        round (FusedMM-style).  Output is bit-identical and per-phase
+        byte totals are conserved; only the α·rounds latency term drops.
+        ``False`` keeps the paper's per-round exchanges — the ablation
+        behind the CLI's ``--fuse-comm on|off`` (and the configuration
+        under which the Fig 5 per-round memory/latency trade-off is
+        observable).
     spa_threshold:
         Largest ``d`` for which the SPA accumulator is cost-modelled; hash
         accumulation is charged beyond it (§III-C: "For d > 1024, we opt
@@ -75,6 +87,7 @@ class TsConfig:
     mode_policy: str = "hybrid"
     kernel: str = "auto"
     reuse_plan: bool = True
+    fuse_comm: bool = True
     spa_threshold: int = 1024
     default_d: int = 128
     default_b_sparsity: float = 0.80

@@ -53,6 +53,20 @@ from .tiled import tiled_multiply
 #: once per resident session, every multiply in a fresh-plan run.
 SETUP_PHASES = frozenset({"build-Ac", "tiling", "scatter-input", "prepare"})
 
+#: Phase names whose wire bytes the fused communication layer
+#: (``TsConfig.fuse_comm``) conserves exactly: the tiled multiply's fused
+#: sections (modes, coalesced fetch-B/send-C), the SDDMM prologue's fetch
+#: and the values-only refresh round.  The fused-comm test suite and the
+#: CI benchmark assert byte equality over exactly this set — a new fused
+#: section name belongs here so both gates keep covering it.
+FUSED_SECTION_PHASES = (
+    "fetch-B",
+    "send-C",
+    "symbolic",
+    "sddmm-fetch",
+    "refresh-values",
+)
+
 
 @dataclass
 class MultiplyResult:
@@ -107,6 +121,13 @@ class MultiplyResult:
         """Bytes moved by multiply phases (excludes setup), all ranks."""
         per_phase = self.report.phase_bytes()
         return sum(v for k, v in per_phase.items() if k not in SETUP_PHASES)
+
+    @property
+    def rounds(self) -> int:
+        """All-to-all exchanges this multiply performed (the α·rounds
+        term the fused communication layer collapses; a fused
+        multi-section exchange counts once)."""
+        return self.report.alltoall_rounds()
 
 
 def _merge_diag(dicts) -> Dict[str, Any]:
@@ -178,12 +199,16 @@ class ResidentOperand:
     is reset whenever the session's pattern changes.
     """
 
-    __slots__ = ("dist", "prepared", "aux")
+    __slots__ = ("dist", "prepared", "aux", "refreshes")
 
     def __init__(self, dist: DistSparseMatrix, prepared, aux: Dict[str, Any]):
         self.dist = dist
         self.prepared = prepared
         self.aux = aux
+        #: Number of refresh_values calls on this view — how the fused
+        #: multiply learns that a prologue changed the operand's values
+        #: (and must therefore re-sync its plan's numeric references).
+        self.refreshes = 0
 
     @property
     def local(self) -> CsrMatrix:
@@ -245,6 +270,82 @@ class ResidentOperand:
                 comm.charge_touch(new_data.nbytes + new_col.nbytes)
             if self.prepared is not None and self.prepared.subtiles:
                 self.prepared.refresh_values(self.dist)
+        self.refreshes += 1
+
+
+class FusedPrologue:
+    """A multiply prologue whose fetch round can fuse into the multiply's
+    combined all-to-all (``TsConfig.fuse_comm``).
+
+    A plain callable prologue runs *before* the multiply and pays its own
+    exchange rounds.  Subclasses of this class instead split the work:
+
+    * :meth:`sections` returns the prologue's send payloads as tagged
+      sections ``[(phase_name, sendlist), ...]`` — shipped inside the
+      multiply's single fused exchange (the FusedMM fusion of the SDDMM
+      row fetch with ``fetch-B``);
+    * :meth:`finish` receives the per-section results and completes the
+      prologue — e.g. computes coefficients and refreshes the resident
+      operand's values in place — before any value-dependent multiply
+      compute runs.
+
+    Instances are shared by all rank threads: keep per-rank state in
+    ``operand.aux``, never on ``self``.  :meth:`__call__` provides the
+    unfused fallback (each section as its own exchange, then ``finish``),
+    so the same object works with ``fuse_comm`` on or off — the ablation
+    contract's bit-identity hinges on ``sections``/``finish`` not caring
+    which transport delivered the payloads.
+    """
+
+    def sections(self, comm, operand: ResidentOperand, *operand_blocks):
+        """Return ``[(name, sendlist), ...]`` for the fused exchange."""
+        raise NotImplementedError
+
+    def finish(self, comm, operand: ResidentOperand, received, *operand_blocks):
+        """Complete the prologue from ``received[name][src_rank]`` payloads."""
+        raise NotImplementedError
+
+    def __call__(self, comm, operand: ResidentOperand, *operand_blocks) -> None:
+        received = {}
+        for name, sendlist in self.sections(comm, operand, *operand_blocks):
+            with comm.phase(name):
+                received[name] = comm.alltoall(sendlist)
+        self.finish(comm, operand, received, *operand_blocks)
+
+
+class _FusedPrologueShim:
+    """Adapter binding a :class:`FusedPrologue` to one rank's operand and
+    blocks, matching the two-method hook ``tiled_multiply`` expects.
+
+    After :meth:`finish`, ``values_refreshed`` tells the fused multiply
+    whether the prologue refreshed the resident operand's values (in
+    which case its plan must re-sync numeric block references) and
+    ``refreshed_prepared`` names the :class:`~repro.core.plan.PreparedA`
+    whose numeric state the refresh already reloaded (None when the
+    session runs without one, e.g. ``reuse_plan=False``).
+    """
+
+    __slots__ = (
+        "prologue", "operand", "blocks", "values_refreshed", "refreshed_prepared"
+    )
+
+    def __init__(self, prologue: FusedPrologue, operand: ResidentOperand, blocks):
+        self.prologue = prologue
+        self.operand = operand
+        self.blocks = blocks
+        self.values_refreshed = False
+        self.refreshed_prepared = None
+
+    def sections(self, comm):
+        return self.prologue.sections(comm, self.operand, *self.blocks)
+
+    def finish(self, comm, received):
+        before = self.operand.refreshes
+        self.prologue.finish(comm, self.operand, received, *self.blocks)
+        self.values_refreshed = self.operand.refreshes != before
+        prepared = self.operand.prepared
+        if self.values_refreshed and prepared is not None and prepared.subtiles:
+            self.refreshed_prepared = prepared
 
 
 class TsSession(ResidentSession):
@@ -500,17 +601,28 @@ class TsSession(ResidentSession):
             self._check_handle(h)
         for h in epilogue_operands:
             self._check_handle(h)
+        # A FusedPrologue rides the tiled multiply's combined all-to-all
+        # (sparse operands only: the SpMM path has no refresh hook); any
+        # other prologue — or any other path — runs the classic way,
+        # paying its own rounds before the multiply.
+        fuse_prologue = (
+            self.config.fuse_comm
+            and isinstance(prologue, FusedPrologue)
+            and not dense_b
+            and self.algorithm == "tiled"
+        )
 
         def program(comm):
             rows, local, col_copy, prepared, aux = self._state[comm.rank]
             dist_a = DistSparseMatrix(comm, rows, local, self.ncols, col_copy)
+            fused_shim = None
             if prologue is not None:
                 operand = ResidentOperand(dist_a, prepared, aux)
-                prologue(
-                    comm,
-                    operand,
-                    *[h.blocks[comm.rank] for h in prologue_operands],
-                )
+                blocks_here = [h.blocks[comm.rank] for h in prologue_operands]
+                if fuse_prologue:
+                    fused_shim = _FusedPrologueShim(prologue, operand, blocks_here)
+                else:
+                    prologue(comm, operand, *blocks_here)
             if b_handle is not None:
                 dist_b = DistSparseMatrix(
                     comm, rows, b_handle.blocks[comm.rank], b_ncols
@@ -540,7 +652,12 @@ class TsSession(ResidentSession):
                 diag_dict = diag.as_dict()
             elif self.algorithm == "tiled":
                 dist_c, diag = tiled_multiply(
-                    dist_a, dist_b, self.semiring, self.config, prepared=prepared
+                    dist_a,
+                    dist_b,
+                    self.semiring,
+                    self.config,
+                    prepared=prepared,
+                    fused_prologue=fused_shim,
                 )
                 diag_dict = diag.as_dict()
             else:
@@ -658,10 +775,16 @@ class TsSession(ResidentSession):
     def update_operand(self, A: CsrMatrix) -> SpmdReport:
         """Refresh the resident ``A`` in place; returns the update report.
 
-        Same pattern: values are re-sliced, the column copy re-shipped
-        (charged — new values must travel) and the prepared numeric state
-        refreshed while every pattern-derived artifact survives.  Changed
-        pattern: full re-setup, equivalent to a new session.
+        Same pattern: a genuine *values-only* refresh — each rank takes
+        its new value slice directly and the ``Ac`` column copy is
+        refreshed through the same values-only strip all-to-all as
+        :meth:`ResidentOperand.refresh_values` (charged under
+        ``refresh-values``: only the ``nnz`` new values travel, the
+        pattern already lives on every consumer), with the prepared
+        numeric state reloaded and every pattern-derived artifact —
+        subtile structure, ``needed_b_rows``, strips, static modes, aux
+        caches — surviving untouched.  Changed pattern: full re-setup,
+        equivalent to a new session.
         """
         if A.shape != (self.ncols, self.ncols):
             raise ValueError(f"operand shape changed: {A.shape}")
@@ -673,12 +796,11 @@ class TsSession(ResidentSession):
             return report
 
         def program(comm):
-            rows, _, _, prepared, aux = self._state[comm.rank]
-            dist_a = DistSparseMatrix.scatter_rows(comm, A)
-            if self.algorithm == "tiled":
-                dist_a.build_column_copy()
-                if prepared is not None:
-                    prepared.refresh_values(dist_a)
+            rows, local, col_copy, prepared, aux = self._state[comm.rank]
+            dist_a = DistSparseMatrix(comm, rows, local, self.ncols, col_copy)
+            lo, hi = rows.range_of(comm.rank)
+            operand = ResidentOperand(dist_a, prepared, aux)
+            operand.refresh_values(A.data[A.indptr[lo] : A.indptr[hi]])
             # aux holds only pattern-derived caches, still valid here.
             return dist_a.rows, dist_a.local, dist_a.col_copy, prepared, aux
 

@@ -215,7 +215,11 @@ def _static_mode(ps: PreparedSubtile, rank: int, forced: str) -> str:
 
 # ----------------------------------------------------------------------
 def replan(
-    prepared: PreparedA, A: DistSparseMatrix, B: DistSparseMatrix
+    prepared: PreparedA,
+    A: DistSparseMatrix,
+    B: DistSparseMatrix,
+    *,
+    exchange_modes: bool = True,
 ) -> SymbolicPlan:
     """The B-dependent half of the symbolic step (collective).
 
@@ -226,6 +230,12 @@ def replan(
     policy one boolean pattern product and byte comparison per non-empty
     off-diagonal subtile plus the mode all-to-all; under a forced policy,
     nothing at all.
+
+    ``exchange_modes=False`` defers the hybrid mode all-to-all: the
+    outgoing per-peer mode lists are left on ``plan.outgoing_modes`` for
+    the fused multiply to ship as a section of its combined exchange
+    (same payloads, same ``symbolic`` byte accounting, one round fewer).
+    Forced policies never exchange here, so the flag is a no-op for them.
     """
     comm = A.comm
     config = prepared.config
@@ -312,8 +322,11 @@ def replan(
             outgoing = [
                 [s.mode for s in plan.produced[peer]] for peer in range(comm.size)
             ]
-            incoming = comm.alltoall(outgoing)
-            plan.consumed_modes = dict(enumerate(incoming))
+            if exchange_modes:
+                incoming = comm.alltoall(outgoing)
+                plan.consumed_modes = dict(enumerate(incoming))
+            else:
+                plan.outgoing_modes = outgoing
         else:
             plan.consumed_modes = dict(prepared.static_consumed_modes)
     prepared.replans += 1

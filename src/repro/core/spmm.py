@@ -131,16 +131,12 @@ def spmm_multiply(
     diag.rounds = n_rounds
     strips = prepared.ensure_strips(A) if prepared is not None else _consumer_strips(A)
     my_group = comm.rank // width
-    for rnd in range(n_rounds):
-        # Rotated tile schedule; see repro.core.tiled's module docstring.
-        cons_group = (comm.rank + rnd) % n_rounds
-        active = range(cons_group * width, min((cons_group + 1) * width, p))
-        my_consumers = [
-            i for i in range(p) if (my_group - i) % n_rounds == rnd and i != comm.rank
-        ]
+
+    def _producer_payloads(peers):
+        """``fetch-B`` / ``send-C`` payloads for the given consumers."""
         send_b: List[Optional[list]] = [None] * p
         send_c: List[Optional[tuple]] = [None] * p
-        for peer in my_consumers:
+        for peer in peers:
             infos = produced[peer]
             # per-tile fetches (no union) — see repro.core.tiled
             tile_payloads = []
@@ -168,40 +164,75 @@ def spmm_multiply(
                     np.concatenate(remote_rows),
                     np.vstack(remote_vals),
                 )
-        with comm.phase("fetch-B"):
-            recv_b = comm.alltoall(send_b)
-        with comm.phase("send-C"):
-            recv_c = comm.alltoall(send_c)
+        return send_b, send_c
 
-        with comm.phase("local-compute"):
-            for j in active:
-                if j == comm.rank:
-                    continue
-                payload = recv_b[j]
-                if payload is not None:
-                    j_lo, j_hi = A.rows.range_of(j)
-                    strip = strips[j]
-                    ranges = row_tile_ranges(
-                        strip.nrows, config.effective_tile_height(strip.nrows)
+    def _consume(active, recv_b, recv_c):
+        for j in active:
+            if j == comm.rank:
+                continue
+            payload = recv_b[j]
+            if payload is not None:
+                j_lo, j_hi = A.rows.range_of(j)
+                strip = strips[j]
+                ranges = row_tile_ranges(
+                    strip.nrows, config.effective_tile_height(strip.nrows)
+                )
+                for rt, gids, vals in payload:
+                    if rt >= len(ranges):
+                        continue
+                    r0, r1 = ranges[rt]
+                    sub = extract_row_range(strip, r0, r1)
+                    if sub.nnz == 0:
+                        continue
+                    block_b = place_dense_rows(
+                        j_hi - j_lo, (gids - j_lo, vals), d
                     )
-                    for rt, gids, vals in payload:
-                        if rt >= len(ranges):
-                            continue
-                        r0, r1 = ranges[rt]
-                        sub = extract_row_range(strip, r0, r1)
-                        if sub.nnz == 0:
-                            continue
-                        block_b = place_dense_rows(
-                            j_hi - j_lo, (gids - j_lo, vals), d
-                        )
-                        part, flops = dispatch_spmm(sub, block_b)
-                        comm.charge_spmm(flops)
-                        diag.flops += flops
-                        c_local[r0:r1] += part
-                remote = recv_c[j]
-                if remote is not None:
-                    rids, vals = remote
-                    np.add.at(c_local, rids, vals)
+                    part, flops = dispatch_spmm(sub, block_b)
+                    comm.charge_spmm(flops)
+                    diag.flops += flops
+                    c_local[r0:r1] += part
+            remote = recv_c[j]
+            if remote is not None:
+                rids, vals = remote
+                np.add.at(c_local, rids, vals)
+
+    if config.fuse_comm:
+        # Fused schedule: every (producer, consumer) pair meets in exactly
+        # one round, so per-peer payloads coalesce loss-free into a single
+        # multi-section exchange; the rotated rounds are replayed from the
+        # coalesced buffers in the unfused order (identical accumulation
+        # order → bit-identical dense C).  See repro.core.tiled.
+        send_b, send_c = _producer_payloads(
+            [i for i in range(p) if i != comm.rank]
+        )
+        with comm.phase("fused-round"):
+            received, _ = comm.alltoall_fused(
+                [("fetch-B", send_b), ("send-C", send_c)]
+            )
+        recv_b, recv_c = received["fetch-B"], received["send-C"]
+        for rnd in range(n_rounds):
+            cons_group = (comm.rank + rnd) % n_rounds
+            active = range(cons_group * width, min((cons_group + 1) * width, p))
+            with comm.phase("local-compute"):
+                _consume(active, recv_b, recv_c)
+    else:
+        for rnd in range(n_rounds):
+            # Rotated tile schedule; see repro.core.tiled's module docstring.
+            cons_group = (comm.rank + rnd) % n_rounds
+            active = range(cons_group * width, min((cons_group + 1) * width, p))
+            my_consumers = [
+                i
+                for i in range(p)
+                if (my_group - i) % n_rounds == rnd and i != comm.rank
+            ]
+            send_b, send_c = _producer_payloads(my_consumers)
+            with comm.phase("fetch-B"):
+                recv_b = comm.alltoall(send_b)
+            with comm.phase("send-C"):
+                recv_c = comm.alltoall(send_c)
+
+            with comm.phase("local-compute"):
+                _consume(active, recv_b, recv_c)
 
     _count(produced, diag)
     return DistDenseMatrix(comm, A.rows, c_local, d), diag

@@ -59,12 +59,19 @@ class SymbolicPlan:
     ``pattern_products``: boolean pattern multiplies this plan actually
     ran — the B-dependent symbolic work a prepared plan cannot skip
     (zero under forced mode policies).
+    ``outgoing_modes``: set instead of ``consumed_modes`` when the mode
+    exchange was *deferred* (``replan(..., exchange_modes=False)``): the
+    per-peer mode lists still to be shared.  The fused multiply ships
+    them as a tagged section of its combined all-to-all and fills
+    ``consumed_modes`` from what arrives, so a deferred plan ends up
+    identical to an eagerly-exchanged one.
     """
 
     produced: Dict[int, List[SubtileInfo]] = field(default_factory=dict)
     consumed_modes: Dict[int, List[str]] = field(default_factory=dict)
     row_tile_ranges: List[Tuple[int, int]] = field(default_factory=list)
     pattern_products: int = 0
+    outgoing_modes: Optional[List[List[str]]] = None
 
     def count(self, mode: str) -> int:
         return sum(
@@ -84,13 +91,17 @@ def build_symbolic_plan(
     B: DistSparseMatrix,
     semiring: Semiring,
     config: TsConfig,
+    *,
+    exchange_modes: bool = True,
 ) -> SymbolicPlan:
     """Run the communication-free mode selection, then share the modes.
 
     Must be called collectively; requires ``A.col_copy``.  The symbolic
     multiplications are charged to the virtual compute clock (the real
     implementation pays them too); the mode exchange is one all-to-all of
-    a few bytes per tile.
+    a few bytes per tile.  With ``exchange_modes=False`` that exchange is
+    *deferred* (``outgoing_modes`` is set instead) so the fused multiply
+    can piggyback it on its combined all-to-all.
 
     This is the fresh-plan path: it builds a throwaway
     :class:`~repro.core.plan.PreparedA` and immediately runs the
@@ -102,4 +113,6 @@ def build_symbolic_plan(
         raise RuntimeError("symbolic step requires A.build_column_copy() first")
     from .plan import prepare_multiply, replan
 
-    return replan(prepare_multiply(A, config), A, B)
+    return replan(
+        prepare_multiply(A, config), A, B, exchange_modes=exchange_modes
+    )

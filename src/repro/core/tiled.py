@@ -26,6 +26,22 @@ per-tile communication are identical; the rotation — the same trick that
 distinguishes Cannon's algorithm from naive stage order — keeps every
 rank's injection bandwidth busy in every round instead of leaving all but
 ``w/(n/p)`` producers idle.
+
+**Fused communication** (``TsConfig.fuse_comm``, default on): every
+(producer, consumer) pair meets in exactly one tile round of the rotated
+schedule, so coalescing the rounds merges *rounds*, not payloads — the
+per-peer messages are identical to the unfused schedule's.  The fused
+path therefore packs the symbolic mode lists, every round's ``fetch-B``
+payloads and (when no value-refresh prologue intervenes) every round's
+``send-C`` partials into **one** multi-section all-to-all
+(:meth:`repro.mpi.comm.SimComm.alltoall_fused`), then replays the
+consumer-side rounds from the coalesced buffers in the original order —
+output is bit-identical, per-phase bytes are conserved, and only the
+α·rounds latency term drops.  The price is the Fig 5 trade-off taken to
+its end point: all received ``B`` rows are resident at once
+(``peak_recv_b_bytes`` reports the fused footprint honestly), which is
+why ``--fuse-comm off`` remains the configuration for per-round memory
+studies.
 """
 
 from __future__ import annotations
@@ -44,7 +60,7 @@ from ..sparse.semiring import PLUS_TIMES, Semiring
 from ..sparse.tile import ColumnStrips, strips_build_bytes
 from .config import DEFAULT_CONFIG, TsConfig
 from .gather_rows import pack_rows, place_rows
-from .plan import PreparedA, replan
+from .plan import PreparedA, prepare_multiply, replan
 from .symbolic import (
     DIAGONAL,
     EMPTY,
@@ -52,7 +68,6 @@ from .symbolic import (
     REMOTE,
     SubtileInfo,
     SymbolicPlan,
-    build_symbolic_plan,
     row_tile_ranges,
 )
 
@@ -84,6 +99,7 @@ def tiled_multiply(
     config: TsConfig = DEFAULT_CONFIG,
     plan: Optional[SymbolicPlan] = None,
     prepared: Optional[PreparedA] = None,
+    fused_prologue=None,
 ) -> Tuple[DistSparseMatrix, TileDiagnostics]:
     """One DIST-TS-SPGEMM multiply; returns ``(C, diagnostics)``.
 
@@ -94,12 +110,24 @@ def tiled_multiply(
     incremental ``replan`` runs here.  ``plan`` may alternatively supply
     a complete symbolic plan to reuse verbatim (same ``A`` *and* ``B``
     pattern).  Without either, a fresh plan is built from scratch.
+
+    With ``config.fuse_comm`` the multiply issues one fused multi-section
+    all-to-all instead of the symbolic + per-round exchanges (see the
+    module docstring).  ``fused_prologue`` — only meaningful on the fused
+    path — is an object with ``sections(comm)`` and ``finish(comm,
+    received)`` methods: its fetch sections ride the combined round and
+    ``finish`` runs before any value-dependent compute, so a prologue
+    that refreshes the resident operand's values (the distributed SDDMM)
+    fuses into the same round trip.
     """
     comm = A.comm
     if B.comm is not comm:
         raise ValueError("A and B must live on the same communicator")
     if A.col_copy is None:
         raise RuntimeError("tiled_multiply requires A.build_column_copy() first")
+    fuse = config.fuse_comm
+    if fused_prologue is not None and not fuse:
+        raise ValueError("fused_prologue requires config.fuse_comm")
     p = comm.size
     d = B.ncols
     acc = config.accumulator_for(d)
@@ -112,40 +140,40 @@ def tiled_multiply(
     if prepared is not None:
         prepared.check_compatible(A, config)
         diag.plan_reused = 1
+    # ``sync_prepared`` owns the plan's numeric subtile blocks — the
+    # caller's resident PreparedA, or the fresh path's throwaway (built
+    # here instead of inside build_symbolic_plan so a fused prologue's
+    # value refresh has a handle to re-read the blocks through).
+    sync_prepared = prepared
     if plan is None:
-        if prepared is not None:
-            plan = replan(prepared, A, B)
-        else:
-            plan = build_symbolic_plan(A, B, semiring, config)
+        if prepared is None:
+            sync_prepared = prepare_multiply(A, config)
+        plan = replan(sync_prepared, A, B, exchange_modes=not fuse)
     diag.symbolic_products = plan.pattern_products
 
     # Consumer-side strips of my local A block, one per producer column
     # block, with column ids local to that block.  A prepared plan owns
-    # them (built and charged once); the fresh path rebuilds per call.
-    if prepared is not None:
-        strips = prepared.ensure_strips(A)
+    # them (built and charged once; the fresh path's throwaway rebuilds
+    # per call, same "tiling" charge as ever).
+    if sync_prepared is not None:
+        strips = sync_prepared.ensure_strips(A)
     else:
         with comm.phase("tiling"):
             strips = ColumnStrips(A.local, A.rows.ranges)
             comm.charge_touch(strips_build_bytes(A.local, p))
 
+    if fuse:
+        return _fused_multiply(
+            comm, A, B, semiring, config, plan, strips, diag, d, acc, kname,
+            fused_prologue, sync_prepared,
+        )
+
     my_nrows = A.local.nrows
     my_lo, _ = A.rows.range_of(comm.rank)
-    partials: List[CsrMatrix] = []
 
-    # ------------------------------------------------------------------
-    # Diagonal tile: everything needed is already here (Alg 2 lines 20-22).
-    # ------------------------------------------------------------------
-    with comm.phase("diagonal"):
-        diag_infos = plan.produced.get(comm.rank, [])
-        for info in diag_infos:
-            if info.mode != DIAGONAL:
-                continue
-            c_part, flops = dispatch_spgemm(info.block, B.local, semiring, kname)
-            comm.charge_spgemm(flops, d=d, accumulator=acc, kernel=kname)
-            diag.flops += flops
-            diag.diagonal_tiles += 1
-            partials.append(_offset_rows(c_part, info.row_range[0], my_nrows, d))
+    partials = _diagonal_partials(
+        comm, plan, B.local, semiring, d, acc, kname, diag, my_nrows
+    )
 
     # ------------------------------------------------------------------
     # Tile rounds (Alg 2 lines 11-18 and 24-29, consolidated all-to-alls).
@@ -164,35 +192,10 @@ def tiled_multiply(
             i for i in range(p) if (my_group - i) % n_rounds == rnd and i != comm.rank
         ]
 
-        # ---- producer side: build this round's payloads ---------------
-        # B rows are packed per local-mode row tile — a row needed by two
-        # tiles is shipped twice, exactly as in the paper's per-tile
-        # all-to-alls.  Avoiding that duplication is precisely what the
-        # remote mode is for (Fig 4c), so "optimizing" it away here would
-        # erase the hybrid mode's benefit (Fig 6).
-        send_b: List[Optional[list]] = [None] * p
-        send_c: List[Optional[tuple]] = [None] * p
-        for peer in my_consumers:
-            infos = plan.produced[peer]
-            tile_payloads = []
-            for info in infos:
-                if info.mode != LOCAL or info.needed_b_rows is None:
-                    continue
-                packed = pack_rows(B.local, info.needed_b_rows)
-                if packed is None:
-                    continue
-                local_ids, rows = packed
-                tile_payloads.append((info.row_tile, my_lo + local_ids, rows))
-                diag.sent_b_nnz += rows.nnz
-                comm.charge_touch(rows.nbytes_estimate())
-            if tile_payloads:
-                send_b[peer] = tile_payloads
-            remote_part = _compute_remote_partial(
-                comm, infos, B.local, semiring, d, acc, kname, diag
-            )
-            if remote_part is not None:
-                send_c[peer] = remote_part
-                diag.sent_c_nnz += remote_part[1].nnz
+        send_b = _build_send_b(comm, plan, B.local, my_lo, p, diag, my_consumers)
+        send_c = _build_send_c(
+            comm, plan, B.local, semiring, d, acc, kname, p, diag, my_consumers
+        )
 
         with comm.phase("fetch-B"):
             recv_b = comm.alltoall(send_b)
@@ -200,46 +203,293 @@ def tiled_multiply(
             recv_c = comm.alltoall(send_c)
 
         # ---- consumer side --------------------------------------------
-        round_b_bytes = sum(
-            rows.nbytes_estimate()
-            for j, payload in enumerate(recv_b)
-            if payload is not None and j != comm.rank
-            for (_, _, rows) in payload
+        diag.peak_recv_b_bytes = max(
+            diag.peak_recv_b_bytes, _recv_b_bytes(comm, recv_b)
         )
-        diag.peak_recv_b_bytes = max(diag.peak_recv_b_bytes, round_b_bytes)
-
         with comm.phase("local-compute"):
-            for j in active:
-                if j == comm.rank:
-                    continue
-                payload = recv_b[j]
-                if payload is not None:
-                    c_part = _consume_local(
-                        comm,
-                        strips[j],
-                        payload,
-                        A.rows.range_of(j),
-                        config,
-                        semiring,
-                        d,
-                        acc,
-                        kname,
-                        diag,
-                    )
-                    if c_part is not None:
-                        partials.append(c_part)
-                remote = recv_c[j]
-                if remote is not None:
-                    partials.append(
-                        place_rows(my_nrows, remote, d, semiring.dtype)
-                    )
+            _consume_round(
+                comm, active, recv_b, recv_c, strips, A, config, semiring,
+                d, acc, kname, diag, my_nrows, partials,
+            )
+        partials = _merge_round(comm, partials, semiring)
 
-        # Merge this round's partial results into the running output
-        # (Alg 2's per-tile MERGE, batched per round).
-        if len(partials) > 1:
-            with comm.phase("merge"):
-                comm.charge_touch(merge_bytes(partials))
-                partials = [merge_csrs(partials, semiring)]
+    with comm.phase("merge"):
+        if partials:
+            comm.charge_touch(merge_bytes(partials))
+            c_local = merge_csrs(partials, semiring)
+        else:
+            c_local = CsrMatrix.empty((my_nrows, d), dtype=semiring.dtype)
+
+    _count_modes(plan, diag)
+    return DistSparseMatrix(comm, A.rows, c_local, d), diag
+
+
+# ----------------------------------------------------------------------
+# producer/consumer round bodies, shared by the fused and unfused paths
+# (the fused path coalesces *rounds*, never payloads, so both schedules
+# must build and consume byte-identical per-peer messages — keep every
+# change to these helpers path-agnostic)
+# ----------------------------------------------------------------------
+def _diagonal_partials(
+    comm, plan, b_local, semiring, d, acc, kname, diag, my_nrows
+) -> List[CsrMatrix]:
+    """The communication-free diagonal tile (Alg 2 lines 20-22)."""
+    partials: List[CsrMatrix] = []
+    with comm.phase("diagonal"):
+        for info in plan.produced.get(comm.rank, []):
+            if info.mode != DIAGONAL:
+                continue
+            c_part, flops = dispatch_spgemm(info.block, b_local, semiring, kname)
+            comm.charge_spgemm(flops, d=d, accumulator=acc, kernel=kname)
+            diag.flops += flops
+            diag.diagonal_tiles += 1
+            partials.append(_offset_rows(c_part, info.row_range[0], my_nrows, d))
+    return partials
+
+
+def _build_send_b(
+    comm, plan, b_local, my_lo, p, diag, peers
+) -> List[Optional[list]]:
+    """``fetch-B`` payloads for the given consumer ``peers``.
+
+    B rows are packed per local-mode row tile — a row needed by two
+    tiles is shipped twice, exactly as in the paper's per-tile
+    all-to-alls.  Avoiding that duplication is precisely what the
+    remote mode is for (Fig 4c), so "optimizing" it away here would
+    erase the hybrid mode's benefit (Fig 6).  The unfused schedule
+    passes one round's consumers; the fused schedule passes every peer
+    at once — each (producer, consumer) pair meets in exactly one round,
+    so the per-peer payload is identical either way.
+    """
+    send_b: List[Optional[list]] = [None] * p
+    for peer in peers:
+        if peer == comm.rank:
+            continue
+        tile_payloads = []
+        for info in plan.produced[peer]:
+            if info.mode != LOCAL or info.needed_b_rows is None:
+                continue
+            packed = pack_rows(b_local, info.needed_b_rows)
+            if packed is None:
+                continue
+            local_ids, rows = packed
+            tile_payloads.append((info.row_tile, my_lo + local_ids, rows))
+            diag.sent_b_nnz += rows.nnz
+            comm.charge_touch(rows.nbytes_estimate())
+        if tile_payloads:
+            send_b[peer] = tile_payloads
+    return send_b
+
+
+def _build_send_c(
+    comm, plan, b_local, semiring, d, acc, kname, p, diag, peers
+) -> List[Optional[tuple]]:
+    """Remote-mode partial payloads for the given consumer ``peers``."""
+    send_c: List[Optional[tuple]] = [None] * p
+    for peer in peers:
+        if peer == comm.rank:
+            continue
+        remote_part = _compute_remote_partial(
+            comm, plan.produced[peer], b_local, semiring, d, acc, kname, diag
+        )
+        if remote_part is not None:
+            send_c[peer] = remote_part
+            diag.sent_c_nnz += remote_part[1].nnz
+    return send_c
+
+
+def _recv_b_bytes(comm, recv_b) -> int:
+    """Resident footprint of received B rows (Fig 5's memory axis)."""
+    return sum(
+        rows.nbytes_estimate()
+        for j, payload in enumerate(recv_b)
+        if payload is not None and j != comm.rank
+        for (_, _, rows) in payload
+    )
+
+
+def _consume_round(
+    comm, active, recv_b, recv_c, strips, A, config, semiring, d, acc,
+    kname, diag, my_nrows, partials,
+) -> None:
+    """Consume one rotated round's producers, appending to ``partials``."""
+    for j in active:
+        if j == comm.rank:
+            continue
+        payload = recv_b[j]
+        if payload is not None:
+            c_part = _consume_local(
+                comm,
+                strips[j],
+                payload,
+                A.rows.range_of(j),
+                config,
+                semiring,
+                d,
+                acc,
+                kname,
+                diag,
+            )
+            if c_part is not None:
+                partials.append(c_part)
+        remote = recv_c[j]
+        if remote is not None:
+            partials.append(place_rows(my_nrows, remote, d, semiring.dtype))
+
+
+def _merge_round(comm, partials, semiring) -> List[CsrMatrix]:
+    """Merge one round's partials into the running output (Alg 2's
+    per-tile MERGE, batched per round)."""
+    if len(partials) > 1:
+        with comm.phase("merge"):
+            comm.charge_touch(merge_bytes(partials))
+            partials = [merge_csrs(partials, semiring)]
+    return partials
+
+
+# ----------------------------------------------------------------------
+# fused communication path
+# ----------------------------------------------------------------------
+
+
+def _sync_plan_values(plan: SymbolicPlan, prepared: PreparedA) -> None:
+    """Point the plan's subtile infos at ``prepared``'s current blocks.
+
+    ``replan`` captures block references before a fused prologue's value
+    refresh replaces them (:meth:`PreparedA.refresh_values` re-extracts);
+    the pattern-derived fields (modes, ``needed_b_rows``, ranges) are
+    refresh-invariant, so re-pointing the numeric blocks is all that is
+    needed to make the plan read refreshed values.
+    """
+    for peer, infos in plan.produced.items():
+        for info, ps in zip(infos, prepared.subtiles[peer]):
+            info.block = ps.block
+
+
+def _fused_multiply(
+    comm, A, B, semiring, config, plan, strips, diag, d, acc, kname,
+    fused_prologue, sync_prepared,
+) -> Tuple[DistSparseMatrix, TileDiagnostics]:
+    """The fused-round schedule: one combined all-to-all per multiply.
+
+    Without a prologue, a multiply step is exactly **one** exchange: the
+    deferred symbolic modes, every round's ``fetch-B`` payloads and every
+    round's ``send-C`` partials travel as tagged sections of a single
+    fused all-to-all (values are resident, so the remote partials are
+    computable up front).  With a value-refreshing ``fused_prologue``
+    (the distributed SDDMM), the partials depend on the refreshed values,
+    so the step becomes: fused fetch round (prologue sections + modes +
+    ``fetch-B``) → prologue ``finish`` (refresh, one values-only round) →
+    ``send-C`` round, the last skipped everywhere when no rank has remote
+    partials (decided via the fused round's uncharged header flag, so the
+    skip is collectively consistent).
+
+    Consumer-side processing then replays the rotated tile rounds from
+    the coalesced buffers in the unfused order — same partial list, same
+    per-round merge cadence — which is what makes the output
+    bit-identical to ``fuse_comm=False``.
+    """
+    p = comm.size
+    my_nrows = A.local.nrows
+    my_lo, _ = A.rows.range_of(comm.rank)
+    width = config.tile_width_factor
+    n_rounds = -(-p // width)
+    diag.rounds = n_rounds
+    # Every (producer, consumer) pair meets in exactly one round of the
+    # rotated schedule, so building payloads for all peers at once
+    # coalesces *rounds*, never payloads.
+    all_peers = [i for i in range(p) if i != comm.rank]
+
+    # ---- producer side: everything computable before the exchange -----
+    send_b = _build_send_b(comm, plan, B.local, my_lo, p, diag, all_peers)
+    sections: List[Tuple[str, list]] = []
+    if fused_prologue is not None:
+        sections.extend(fused_prologue.sections(comm))
+    if plan.outgoing_modes is not None:
+        sections.append(("symbolic", plan.outgoing_modes))
+    sections.append(("fetch-B", send_b))
+    meta = None
+    if fused_prologue is None:
+        # Values are resident and final: remote partials can be computed
+        # now and ride the same exchange — FusedMM proper, one round.
+        send_c = _build_send_c(
+            comm, plan, B.local, semiring, d, acc, kname, p, diag, all_peers
+        )
+        sections.append(("send-C", send_c))
+    else:
+        # The prologue will refresh values; partials must wait.  Ship an
+        # uncharged header flag so every rank learns whether *any* rank
+        # will have remote partials — the follow-up send-C round is then
+        # skipped everywhere or run everywhere (collectively consistent).
+        meta = any(
+            s.mode == REMOTE for infos in plan.produced.values() for s in infos
+        )
+
+    with comm.phase("fused-round"):
+        received, metas = comm.alltoall_fused(sections, meta=meta)
+
+    if plan.outgoing_modes is not None:
+        plan.consumed_modes = dict(enumerate(received["symbolic"]))
+        plan.outgoing_modes = None
+    recv_b = received["fetch-B"]
+
+    if fused_prologue is not None:
+        fused_prologue.finish(comm, received)
+        if getattr(fused_prologue, "values_refreshed", False):
+            # The prologue changed the operand's values after replan
+            # captured its block references.  Re-read them so every
+            # value-dependent product (diagonal, remote partials, strip
+            # consumption) sees the refreshed operand — this is what
+            # keeps the fused path bit-identical to the unfused order
+            # (prologue first, then plan + multiply).
+            if sync_prepared is None:
+                raise RuntimeError(
+                    "a value-refreshing fused prologue needs a prepared "
+                    "plan to re-sync numeric state through"
+                )
+            if sync_prepared is not getattr(
+                fused_prologue, "refreshed_prepared", None
+            ):
+                # Fresh-plan path: the throwaway's blocks/strips were
+                # extracted before the refreshed values existed.
+                sync_prepared.refresh_values(A)
+            _sync_plan_values(plan, sync_prepared)
+
+    # Diagonal tile after any value refresh, like the unfused order
+    # (there the prologue runs entirely before the multiply).
+    partials = _diagonal_partials(
+        comm, plan, B.local, semiring, d, acc, kname, diag, my_nrows
+    )
+
+    # ---- remote partials + the follow-up round (prologue case only) ---
+    if fused_prologue is None:
+        recv_c = received["send-C"]
+    elif any(metas):
+        send_c = _build_send_c(
+            comm, plan, B.local, semiring, d, acc, kname, p, diag, all_peers
+        )
+        with comm.phase("send-C"):
+            recv_c = comm.alltoall(send_c)
+    else:
+        recv_c = [None] * p
+
+    # ---- consumer side: replay the rotated rounds from the coalesced
+    # buffers (identical partial order and merge cadence → identical C) -
+    # Fused arrival: every round's B rows are resident at once — the
+    # honest footprint of trading rounds for latency (Fig 5 end point).
+    diag.peak_recv_b_bytes = max(
+        diag.peak_recv_b_bytes, _recv_b_bytes(comm, recv_b)
+    )
+
+    for rnd in range(n_rounds):
+        cons_group = (comm.rank + rnd) % n_rounds
+        active = range(cons_group * width, min((cons_group + 1) * width, p))
+        with comm.phase("local-compute"):
+            _consume_round(
+                comm, active, recv_b, recv_c, strips, A, config, semiring,
+                d, acc, kname, diag, my_nrows, partials,
+            )
+        partials = _merge_round(comm, partials, semiring)
 
     with comm.phase("merge"):
         if partials:

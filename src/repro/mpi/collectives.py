@@ -156,6 +156,7 @@ class CollectivesMixin:
         sent_bytes = sum(sz for j, sz in enumerate(sizes) if j != self.rank)
         recv_bytes = sum(b[1][self.rank] for i, b in enumerate(board) if i != self.rank)
         self._stats.record_collective(sent_bytes, recv_bytes)
+        self._stats.record_alltoall_round()
         self._sync_exit(
             entries, self.machine.alltoallv(self.size, sent_bytes, recv_bytes)
         )
@@ -163,6 +164,71 @@ class CollectivesMixin:
 
     #: Alias — the implementation is inherently "v" (variable-size).
     alltoallv = alltoall
+
+    # ------------------------------------------------------------------
+    def alltoall_fused(self, sections, meta: Any = None):
+        """One combined all-to-all carrying several *tagged sections*.
+
+        ``sections`` is a sequence of ``(name, sendlist)`` pairs, each
+        ``sendlist`` shaped like :meth:`alltoall`'s argument.  All the
+        payloads bound for one peer travel as a single combined message,
+        so the rank pays the exchange's latency (α plus per-partner γ)
+        **once** instead of once per section — the FusedMM lever against
+        the α·rounds term of iterative multiplies.
+
+        Accounting keeps every section auditable: each section's bytes
+        are recorded under its *own* name (as if it had been a separate
+        exchange inside ``comm.phase(name)``), so per-phase byte totals
+        are conserved exactly; the single round and its time land under
+        the phase active at the call site.  Section names must agree
+        across ranks (checked, like any collective's metadata).
+
+        ``meta`` is a small control value that rides the message
+        envelope — uncharged, like a flag bit in an MPI header that is
+        transmitted anyway — and is delivered to every rank.  It exists
+        for collectively-consistent control decisions (e.g. "does any
+        rank have remote partials to exchange?" → skip the follow-up
+        round everywhere or nowhere).
+
+        Returns ``(received, metas)``: ``received[name][i]`` is the
+        section payload rank ``i`` addressed to this rank, ``metas[i]``
+        rank ``i``'s ``meta``.
+        """
+        sections = list(sections)
+        if not sections:
+            raise CommMismatchError("alltoall_fused needs at least one section")
+        names = tuple(name for name, _ in sections)
+        if len(set(names)) != len(names):
+            raise CommMismatchError(f"duplicate fused section names: {names!r}")
+        for name, sendlist in sections:
+            if len(sendlist) != self.size:
+                raise CommMismatchError(
+                    f"fused section {name!r} requires {self.size} payloads, "
+                    f"got {len(sendlist)}"
+                )
+        sizes = [[payload_nbytes(x) for x in sl] for _, sl in sections]
+        board = self._ctx.exchange(
+            self.rank,
+            (self._clock.now, names, sizes, [list(sl) for _, sl in sections], meta),
+        )
+        entries = [b[0] for b in board]
+        _check_consistent([b[1] for b in board], "fused section names")
+        pairs = []
+        for s, name in enumerate(names):
+            sent = sum(sz for j, sz in enumerate(sizes[s]) if j != self.rank)
+            recv = sum(
+                b[2][s][self.rank] for i, b in enumerate(board) if i != self.rank
+            )
+            self._stats.record_section_bytes(name, sent, recv)
+            pairs.append((sent, recv))
+        self._stats.record_collective(0, 0)  # bytes live on the sections
+        self._stats.record_alltoall_round()
+        self._sync_exit(entries, self.machine.alltoallv_fused(self.size, pairs))
+        received = {
+            name: [b[3][s][self.rank] for b in board]
+            for s, name in enumerate(names)
+        }
+        return received, [b[4] for b in board]
 
     # ------------------------------------------------------------------
     def reduce(

@@ -256,6 +256,24 @@ class MachineProfile:
             + self.beta * max(sent_nbytes, recv_nbytes, 0)
         )
 
+    def alltoallv_fused(self, q: int, sections) -> float:
+        """One *fused* exchange carrying several tagged sections.
+
+        ``sections`` is an iterable of per-section ``(sent, recv)`` byte
+        pairs.  The rank pays the wire latency α once and one γ injection
+        per partner — the payloads to a given peer travel as a single
+        combined message — while each section keeps its own
+        ``β·max(sent, recv)`` bandwidth term.  Summing the per-section β
+        terms (rather than taking the max of the sums) means fusion is
+        never charged *cheaper in volume* than the separate exchanges it
+        replaces: only the α·rounds and γ·partners·rounds latency terms
+        shrink, which is exactly the fused communication layer's claim.
+        """
+        if q <= 1:
+            return 0.0
+        bandwidth = sum(self.beta * max(s, r, 0) for s, r in sections)
+        return self.alpha + (q - 1) * self.gamma + bandwidth
+
     def with_overrides(self, **kwargs) -> "MachineProfile":
         """Return a copy with selected constants replaced."""
         return replace(self, **kwargs)

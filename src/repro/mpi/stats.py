@@ -23,6 +23,12 @@ class PhaseStats:
     messages_sent: int = 0
     messages_recv: int = 0
     collectives: int = 0
+    #: All-to-all exchanges entered inside this phase.  A *fused*
+    #: multi-section exchange counts as one round no matter how many
+    #: sections it carries — this is the α·rounds term the fused
+    #: communication layer shrinks, surfaced per task by
+    #: :meth:`SpmdReport.alltoall_rounds`.
+    alltoall_rounds: int = 0
     comm_time: float = 0.0
     compute_time: float = 0.0
 
@@ -33,6 +39,7 @@ class PhaseStats:
         self.messages_sent += other.messages_sent
         self.messages_recv += other.messages_recv
         self.collectives += other.collectives
+        self.alltoall_rounds += other.alltoall_rounds
         self.comm_time += other.comm_time
         self.compute_time += other.compute_time
 
@@ -84,6 +91,22 @@ class RankStats:
     def record_collective(self, sent: int, recv: int) -> None:
         stats = self.phase_stats()
         stats.collectives += 1
+        stats.bytes_sent += sent
+        stats.bytes_recv += recv
+
+    def record_alltoall_round(self) -> None:
+        """Count one all-to-all exchange under the current phase."""
+        self.phase_stats().alltoall_rounds += 1
+
+    def record_section_bytes(self, name: str, sent: int, recv: int) -> None:
+        """Record one fused-exchange section's traffic under ``name``.
+
+        Sections of a fused all-to-all are booked under their *own* phase
+        names — exactly where the same bytes would have landed had each
+        section been a separate exchange — so per-phase byte totals are
+        conserved while the round count (and its latency) drops.
+        """
+        stats = self.phase_stats(name)
         stats.bytes_sent += sent
         stats.bytes_recv += recv
 
@@ -157,3 +180,25 @@ class SpmdReport:
         """Largest per-rank received volume — the memory-pressure proxy
         used by Fig 5(a)'s tile-width/memory study."""
         return max((rs.totals().bytes_recv for rs in self.rank_stats), default=0)
+
+    def alltoall_rounds(self) -> int:
+        """All-to-all exchanges this task performed (max over ranks).
+
+        All ranks of a communicator enter every all-to-all together, so
+        per-rank counts agree on collective-clean programs; the max makes
+        the metric robust should a rank sit out via a sub-communicator.
+        A fused multi-section exchange counts once — the round count is
+        the α-term lever the fused communication layer pulls.
+        """
+        return max(
+            (rs.totals().alltoall_rounds for rs in self.rank_stats), default=0
+        )
+
+    def phase_rounds(self) -> Dict[str, int]:
+        """All-to-all rounds per phase name (max over ranks)."""
+        out: Dict[str, int] = {}
+        for rs in self.rank_stats:
+            for name, stats in rs.phases.items():
+                if stats.alltoall_rounds:
+                    out[name] = max(out.get(name, 0), stats.alltoall_rounds)
+        return out

@@ -69,6 +69,26 @@ def sddmm(
     )
 
 
+def compact_pattern(local: CsrMatrix, needed: np.ndarray) -> CsrMatrix:
+    """Re-index ``local``'s columns into the compact space of ``needed``.
+
+    ``needed`` is the sorted array of global column ids ``local`` actually
+    references (``local.nonzero_columns()``); the result shares
+    ``local``'s row structure and data but its column ids index into
+    ``needed``.  This is the distributed SDDMM's receive-side trick: the
+    dense ``Y`` buffer an SDDMM multiplies against only needs one row per
+    *referenced* column — O(referenced rows · d) instead of O(n · d) —
+    and fetched rows land in it at ``searchsorted(needed, global_ids)``.
+    """
+    return CsrMatrix(
+        (local.nrows, len(needed)),
+        local.indptr,
+        np.searchsorted(needed, local.indices),
+        local.data,
+        check=False,
+    )
+
+
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function (Force2Vec's force map)."""
     out = np.empty_like(x, dtype=np.float64)
