@@ -38,4 +38,9 @@ setup(
     extras_require={
         "test": ["pytest>=7", "pytest-benchmark", "hypothesis"],
     },
+    entry_points={
+        "console_scripts": [
+            "spmdlint=repro.analysis.lint.cli:main",
+        ],
+    },
 )

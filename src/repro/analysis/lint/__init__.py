@@ -1,0 +1,30 @@
+"""``spmdlint`` — static collective-consistency checker for rank programs.
+
+Two entry points:
+
+* ``python -m repro.analysis.lint src/`` (or the ``spmdlint`` console
+  script) — lint a tree, exit 1 on findings;
+* :func:`lint_source` / :func:`collect_findings` — the library API used
+  by the tests.
+
+The rule catalogue (S1–S6) lives in :mod:`repro.analysis.lint.rules` and
+is documented in ``docs/spmdlint.md``.  The companion *runtime* checker —
+the SimComm sanitizer (``REPRO_SANITIZE=1``) — lives in
+:mod:`repro.mpi.sanitize`; together they are the two layers of the SPMD
+correctness tooling.
+"""
+
+from .checker import Finding, index_module, lint_source
+from .cli import collect_findings, main
+from .rules import ALL_RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "RULES_BY_ID",
+    "Rule",
+    "collect_findings",
+    "index_module",
+    "lint_source",
+    "main",
+]

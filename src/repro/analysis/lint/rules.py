@@ -1,0 +1,479 @@
+"""The six ``spmdlint`` rules (S1–S6).
+
+Each rule is a small object with an ``id``, a one-line ``title`` and a
+``check(module)`` generator yielding :class:`~.checker.Finding`s.  The
+rules work off the :class:`~.checker.ModuleIndex` produced by the
+framework — see ``docs/spmdlint.md`` for the catalogue with examples and
+the rationale behind every exclusion.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .checker import (
+    BOOKING_METHODS,
+    COLLECTIVES,
+    CommCall,
+    Finding,
+    FuncInfo,
+    ModuleIndex,
+    attr_root,
+    comm_method_of,
+    mentions_rank,
+)
+
+#: Container/dict/set methods that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+#: Unseeded-randomness / wall-clock call patterns (dotted suffixes).
+_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+#: RNG constructors that are fine *when given an explicit seed*.
+_SEEDABLE_RNGS = {"default_rng", "RandomState", "SeedSequence", "Generator", "Random"}
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    title: str
+    check: Callable[[ModuleIndex], Iterator[Finding]]
+
+
+def _finding(
+    rule: str, module: ModuleIndex, func: FuncInfo, node: ast.AST, message: str
+) -> Finding:
+    return Finding(
+        rule=rule,
+        path=module.path,
+        line=getattr(node, "lineno", func.node.lineno),
+        col=getattr(node, "col_offset", 0),
+        qualname=func.qualname,
+        message=message,
+    )
+
+
+def walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Yield descendants of ``root`` without entering nested scopes."""
+    todo = list(ast.iter_child_nodes(root))
+    while todo:
+        node = todo.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def _collectives_in(stmts: Sequence[ast.stmt], comm_names: Set[str]) -> List[Tuple[str, ast.Call]]:
+    out: List[Tuple[str, ast.Call]] = []
+    for stmt in stmts:
+        for node in [stmt, *walk_scope(stmt)]:
+            if isinstance(node, ast.Call):
+                method = comm_method_of(node, comm_names)
+                if method in COLLECTIVES:
+                    out.append((method, node))
+    return out
+
+
+# ----------------------------------------------------------------------
+# S1 — collectives under rank-dependent control flow
+# ----------------------------------------------------------------------
+def check_s1(module: ModuleIndex) -> Iterator[Finding]:
+    for func in module.functions.values():
+        seen: Set[Tuple[int, int]] = set()
+        for node in walk_scope(func.node):
+            if isinstance(node, ast.If) and mentions_rank(node.test, func.rank_tainted):
+                body = _collectives_in(node.body, func.comm_names)
+                orelse = _collectives_in(node.orelse, func.comm_names)
+                body_kinds = sorted(m for m, _ in body)
+                orelse_kinds = sorted(m for m, _ in orelse)
+                if body_kinds == orelse_kinds:
+                    continue
+                for side, other_kinds in ((body, orelse_kinds), (orelse, body_kinds)):
+                    counts: Dict[str, int] = {}
+                    for k in other_kinds:
+                        counts[k] = counts.get(k, 0) + 1
+                    for method, call in side:
+                        if counts.get(method, 0) > 0:
+                            counts[method] -= 1
+                            continue
+                        key = (call.lineno, call.col_offset)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield _finding(
+                            "S1", module, func, call,
+                            f"collective '{method}' inside a rank-dependent "
+                            "branch with no matching collective on the other "
+                            "path — SPMD deadlock hazard",
+                        )
+            elif isinstance(node, ast.While) and mentions_rank(
+                node.test, func.rank_tainted
+            ):
+                for method, call in _collectives_in(node.body, func.comm_names):
+                    key = (call.lineno, call.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield _finding(
+                        "S1", module, func, call,
+                        f"collective '{method}' inside a loop whose trip "
+                        "count depends on the rank — peers may not iterate "
+                        "the same number of times (SPMD deadlock hazard)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# S2 — sends without a reachable matching recv tag class
+# ----------------------------------------------------------------------
+def _tag_class(node: Optional[ast.AST], default) -> Tuple:
+    if node is None:
+        return default
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return ("any",) if node.value == -1 else ("lit", node.value)
+    if isinstance(node, ast.Name) and node.id == "ANY_TAG":
+        return ("any",)
+    if isinstance(node, ast.Attribute) and node.attr == "ANY_TAG":
+        return ("any",)
+    return ("dyn",)
+
+
+def _call_arg(call: ast.Call, kw: str, pos: int) -> Optional[ast.AST]:
+    for k in call.keywords:
+        if k.arg == kw:
+            return k.value
+    if len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+def _tags_match(send: Tuple, recv: Tuple) -> bool:
+    if send[0] == "dyn" or recv[0] in ("any", "dyn"):
+        return True
+    return send == recv
+
+
+def check_s2(module: ModuleIndex) -> Iterator[Finding]:
+    # Module-wide recv pool: a helper may legitimately receive what a
+    # sibling rank function sent (pipelines split across functions).
+    module_recvs: List[Tuple] = []
+    per_func_recvs: Dict[str, List[Tuple]] = {}
+    for func in module.functions.values():
+        recvs = []
+        for cc in func.comm_calls:
+            if cc.method == "recv":
+                recvs.append(_tag_class(_call_arg(cc.node, "tag", 1), ("any",)))
+            elif cc.method == "sendrecv":
+                recvs.append(_tag_class(_call_arg(cc.node, "tag", 3), ("lit", 0)))
+        per_func_recvs[func.qualname] = recvs
+        module_recvs.extend(recvs)
+    for func in module.functions.values():
+        for cc in func.comm_calls:
+            if cc.method != "send":
+                continue
+            tag = _tag_class(_call_arg(cc.node, "tag", 2), ("lit", 0))
+            local = per_func_recvs[func.qualname]
+            if any(_tags_match(tag, r) for r in local):
+                continue
+            if any(_tags_match(tag, r) for r in module_recvs):
+                continue
+            label = (
+                f"tag {tag[1]}" if tag[0] == "lit" else f"a {tag[0]} tag"
+            )
+            yield _finding(
+                "S2", module, func, cc.node,
+                f"comm.send with {label} has no reachable matching recv "
+                "tag class in this module — the message can never be "
+                "consumed (receiver hangs or bytes leak)",
+            )
+
+
+# ----------------------------------------------------------------------
+# S3 — mutation of closure-captured / global shared objects
+# ----------------------------------------------------------------------
+def _rank_indexed(chain: ast.AST, tainted: Set[str]) -> bool:
+    """True when the attr/subscript chain indexes by this rank's id
+    (the per-rank-slot idiom ``results[comm.rank] = ...`` is safe)."""
+    node = chain
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Subscript) and mentions_rank(node.slice, tainted):
+            return True
+        node = node.value
+    return False
+
+
+def _shared_mutation_base(
+    target: ast.AST, func: FuncInfo
+) -> Optional[str]:
+    """Free-name base of a mutation target, or None when it is local."""
+    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+        return None
+    root = attr_root(target)
+    if root is None:
+        return None
+    name = root.id
+    if name in func.bound_names or name in func.comm_names:
+        return None
+    if _rank_indexed(target, func.rank_tainted):
+        return None
+    return name
+
+
+def check_s3(module: ModuleIndex) -> Iterator[Finding]:
+    for func in module.functions.values():
+        for node in walk_scope(func.node):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.Nonlocal, ast.Global)):
+                kind = "nonlocal" if isinstance(node, ast.Nonlocal) else "global"
+                yield _finding(
+                    "S3", module, func, node,
+                    f"rebinds {kind} name(s) {', '.join(node.names)} from "
+                    "inside a rank program — every rank writes the same "
+                    "shared cell (cross-rank race)",
+                )
+                continue
+            elif isinstance(node, ast.Call):
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr in MUTATOR_METHODS
+                    and comm_method_of(node, func.comm_names) is None
+                ):
+                    name = _shared_mutation_base(f, func)
+                    if name is not None:
+                        yield _finding(
+                            "S3", module, func, node,
+                            f"calls mutating method '.{f.attr}()' on "
+                            f"closure-captured/shared object '{name}' from "
+                            "inside a rank program — all ranks mutate one "
+                            "object concurrently (cross-rank race)",
+                        )
+                continue
+            for target in targets:
+                name = _shared_mutation_base(target, func)
+                if name is not None:
+                    yield _finding(
+                        "S3", module, func, node,
+                        f"writes into closure-captured/shared object "
+                        f"'{name}' from inside a rank program — all ranks "
+                        "write the same object concurrently (cross-rank "
+                        "race); index by comm.rank for per-rank slots",
+                    )
+
+
+# ----------------------------------------------------------------------
+# S4 — comm bytes/time booked outside any comm.phase(...) block
+# ----------------------------------------------------------------------
+def check_s4(module: ModuleIndex) -> Iterator[Finding]:
+    funcs = module.functions
+    by_name: Dict[str, List[FuncInfo]] = {}
+    for f in funcs.values():
+        by_name.setdefault(f.name, []).append(f)
+
+    direct: Dict[str, List[CommCall]] = {
+        q: [
+            cc
+            for cc in f.comm_calls
+            if cc.method in BOOKING_METHODS and not cc.in_phase
+        ]
+        for q, f in funcs.items()
+    }
+
+    # books[q]: an unphased booking is reachable from q's entry without
+    # crossing a phase block (directly or through unphased local calls).
+    books: Dict[str, bool] = {q: bool(direct[q]) for q in funcs}
+    changed = True
+    while changed:
+        changed = False
+        for q, f in funcs.items():
+            if books[q]:
+                continue
+            for callee_name, _node, in_phase in f.local_calls:
+                if in_phase:
+                    continue
+                if any(books[g.qualname] for g in by_name.get(callee_name, ())):
+                    books[q] = True
+                    changed = True
+                    break
+
+    # callers[q]: analyzed call sites of q, with phase coverage.
+    callers: Dict[str, List[Tuple[str, bool]]] = {q: [] for q in funcs}
+    for q, f in funcs.items():
+        for callee_name, _node, in_phase in f.local_calls:
+            for g in by_name.get(callee_name, ()):
+                callers[g.qualname].append((q, in_phase))
+
+    # reachable[q]: q can be *entered* with no phase active — true for
+    # roots and module entry points (no analyzed callers), and for any
+    # helper called outside a phase from a reachable function.  Helpers
+    # only ever called inside phase blocks are covered by their callers.
+    reachable: Dict[str, bool] = {
+        q: f.is_root or not callers[q] for q, f in funcs.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for q in funcs:
+            if reachable[q]:
+                continue
+            if any(not in_phase and reachable[c] for c, in_phase in callers[q]):
+                reachable[q] = True
+                changed = True
+    for q, f in funcs.items():
+        if not reachable[q]:
+            continue
+        for cc in direct[q]:
+            yield _finding(
+                "S4", module, f, cc.node,
+                f"'{cc.method}' books communication bytes/time outside any "
+                "comm.phase(...) block — traffic lands in the catch-all "
+                "'total' phase and per-phase reports undercount",
+            )
+
+
+# ----------------------------------------------------------------------
+# S5 — nondeterminism sources inside rank programs
+# ----------------------------------------------------------------------
+def _dotted(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def check_s5(module: ModuleIndex) -> Iterator[Finding]:
+    for func in module.functions.values():
+        for node in walk_scope(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _dotted(node.func)
+            if path is None:
+                continue
+            tail2 = path[-2:] if len(path) >= 2 else None
+            if tail2 in _CLOCK_CALLS:
+                yield _finding(
+                    "S5", module, func, node,
+                    f"wall-clock call '{'.'.join(path)}()' inside a rank "
+                    "program — ranks observe different values; use "
+                    "comm.time (the virtual clock) instead",
+                )
+                continue
+            if "random" not in path:
+                continue
+            # random.x(...), np.random.x(...), numpy.random.x(...)
+            leaf = path[-1]
+            if leaf in _SEEDABLE_RNGS:
+                if not node.args and not node.keywords:
+                    yield _finding(
+                        "S5", module, func, node,
+                        f"'{'.'.join(path)}()' without an explicit seed "
+                        "inside a rank program — ranks draw different "
+                        "streams; pass a seed (derived from the rank for "
+                        "per-rank streams)",
+                    )
+                continue
+            yield _finding(
+                "S5", module, func, node,
+                f"global-state randomness '{'.'.join(path)}()' inside a "
+                "rank program — nondeterministic across ranks and runs; "
+                "use a seeded Generator instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# S6 — dynamic fused-exchange tag sets without a meta header
+# ----------------------------------------------------------------------
+def _is_static_sections(node: ast.AST, func: FuncInfo) -> bool:
+    if isinstance(node, (ast.List, ast.Tuple)):
+        for elt in node.elts:
+            if not (
+                isinstance(elt, (ast.Tuple, ast.List))
+                and elt.elts
+                and isinstance(elt.elts[0], ast.Constant)
+                and isinstance(elt.elts[0].value, str)
+            ):
+                return False
+        return True
+    if isinstance(node, ast.Name):
+        assigns = [
+            n
+            for n in walk_scope(func.node)
+            if isinstance(n, ast.Assign)
+            and len(n.targets) == 1
+            and isinstance(n.targets[0], ast.Name)
+            and n.targets[0].id == node.id
+        ]
+        if len(assigns) == 1:
+            return _is_static_sections(assigns[0].value, func)
+    return False
+
+
+def check_s6(module: ModuleIndex) -> Iterator[Finding]:
+    for func in module.functions.values():
+        for cc in func.comm_calls:
+            if cc.method != "alltoall_fused":
+                continue
+            sections = _call_arg(cc.node, "sections", 0)
+            if sections is None or _is_static_sections(sections, func):
+                continue
+            meta = _call_arg(cc.node, "meta", 1)
+            if meta is not None and not (
+                isinstance(meta, ast.Constant) and meta.value is None
+            ):
+                continue
+            yield _finding(
+                "S6", module, func, cc.node,
+                "fused-exchange section set is built dynamically (possibly "
+                "from rank-dependent data) without a meta header — peers "
+                "cannot agree on the tag set; pass meta=... so the "
+                "sanitizer/receivers can check collective consistency",
+            )
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    Rule("S1", "collectives under rank-dependent control flow", check_s1),
+    Rule("S2", "send without a reachable matching recv tag class", check_s2),
+    Rule("S3", "mutation of closure-captured shared state", check_s3),
+    Rule("S4", "comm bytes booked outside a comm.phase block", check_s4),
+    Rule("S5", "nondeterminism source inside a rank program", check_s5),
+    Rule("S6", "dynamic fused section tags without meta agreement", check_s6),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in ALL_RULES}

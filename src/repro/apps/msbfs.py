@@ -330,7 +330,8 @@ def msbfs_spmd(
         trace = []
         level = 0
         while True:
-            frontier_nnz = comm.allreduce(frontier.nnz)
+            with comm.phase("frontier-sync"):
+                frontier_nnz = comm.allreduce(frontier.nnz)
             if frontier_nnz == 0:
                 break
             if max_levels is not None and level >= max_levels:
@@ -359,7 +360,9 @@ def msbfs_spmd(
             level += 1
         return visited, trace
 
-    result = run_spmd(p, program, machine=machine)
+    result = run_spmd(
+        p, program, machine=machine, sanitize=config.sanitize or None
+    )
     from ..partition.distmat import _vstack_blocks
 
     visited = _vstack_blocks([v[0] for v in result.values], f_global.ncols)

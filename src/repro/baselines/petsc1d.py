@@ -47,7 +47,10 @@ def petsc1d(
     """Run the PETSc-style 1-D SpGEMM on ``p`` ranks."""
     if A.ncols != B.nrows or A.nrows != A.ncols:
         raise ValueError(f"need square A and matching B: {A.shape} x {B.shape}")
-    result = run_spmd(p, petsc1d_rank, A, B, semiring, config, machine=machine)
+    result = run_spmd(
+        p, petsc1d_rank, A, B, semiring, config,
+        machine=machine, sanitize=config.sanitize or None,
+    )
     blocks = [v[0] for v in result.values]
     fetched = sum(v[1]["fetched_b_nnz"] for v in result.values)
     return BaselineResult(

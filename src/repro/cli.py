@@ -78,6 +78,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "paper's separate per-round exchanges, for ablation; output is "
         "bit-identical either way)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the collective sanitizer on: cross-validate every "
+        "collective call site across ranks and check per-phase byte "
+        "conservation (same switch as REPRO_SANITIZE=1)",
+    )
 
 
 def _add_kernel(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +103,7 @@ def _config(args, **overrides) -> TsConfig:
         kernel=getattr(args, "kernel", "auto"),
         reuse_plan=args.reuse_plan == "on",
         fuse_comm=getattr(args, "fuse_comm", "on") == "on",
+        sanitize=getattr(args, "sanitize", False),
         **overrides,
     )
 

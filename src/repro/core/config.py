@@ -80,6 +80,13 @@ class TsConfig:
         Table IV experiment defaults, exported for the benchmark harness.
     batch_size / learning_rate:
         Embedding defaults (Table IV).
+    sanitize:
+        When ``True``, sessions built from this config run with the
+        collective sanitizer on (:mod:`repro.mpi.sanitize`): every
+        collective is cross-validated across ranks at the call site and
+        per-phase byte conservation is checked at task end.  ``False``
+        (default) defers to the ``REPRO_SANITIZE`` environment variable,
+        so CI can switch the whole suite without touching configs.
     """
 
     tile_width_factor: int = 16
@@ -93,6 +100,7 @@ class TsConfig:
     default_b_sparsity: float = 0.80
     batch_size: int = 256
     learning_rate: float = 0.02
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.tile_width_factor < 1:

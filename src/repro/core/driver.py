@@ -176,7 +176,9 @@ def ts_spgemm(
             dist_c, diag_dict = naive_multiply(dist_a, dist_b, semiring, config)
         return dist_c.local, diag_dict
 
-    result = run_spmd(p, program, machine=machine)
+    result = run_spmd(
+        p, program, machine=machine, sanitize=config.sanitize or None
+    )
     blocks = [v[0] for v in result.values]
     diagnostics = _merge_diag(v[1] for v in result.values)
     return MultiplyResult(
@@ -413,7 +415,8 @@ class TsSession(ResidentSession):
             raise ValueError(f"unknown algorithm {algorithm!r}")
         if A.nrows != A.ncols:
             raise ValueError(f"need a square A, got {A.shape}")
-        super().__init__(p, machine)
+        # config.sanitize=False defers to the REPRO_SANITIZE env switch.
+        super().__init__(p, machine, sanitize=config.sanitize or None)
         self.semiring = semiring
         self.config = config
         self.algorithm = algorithm
@@ -1014,8 +1017,12 @@ class TsSession(ResidentSession):
                         ]
                         for peer in range(comm.size)
                     ]
+                    # The guard above is rank-invariant in practice:
+                    # prepared-ness is decided collectively at session
+                    # construction and ``config.mode_policy`` is
+                    # config-wide, so every rank takes the same side.
                     with comm.phase("symbolic"):
-                        incoming = comm.alltoall(outgoing)
+                        incoming = comm.alltoall(outgoing)  # spmdlint: disable=S1
                     new_prepared.static_consumed_modes = dict(
                         enumerate(incoming)
                     )
@@ -1108,7 +1115,9 @@ def ts_spmm(
         dist_c, diag = spmm_multiply(dist_a, dist_b, config)
         return dist_c.local, diag.as_dict()
 
-    result = run_spmd(p, program, machine=machine)
+    result = run_spmd(
+        p, program, machine=machine, sanitize=config.sanitize or None
+    )
     dense = np.vstack([v[0] for v in result.values])
     return MultiplyResult(
         C=dense,

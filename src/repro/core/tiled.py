@@ -275,7 +275,8 @@ def _build_send_b(
             local_ids, rows = packed
             tile_payloads.append((info.row_tile, my_lo + local_ids, rows))
             diag.sent_b_nnz += rows.nnz
-            comm.charge_touch(rows.nbytes_estimate())
+            with comm.phase("fetch-B"):
+                comm.charge_touch(rows.nbytes_estimate())
         if tile_payloads:
             send_b[peer] = tile_payloads
     return send_b
@@ -529,7 +530,8 @@ def _compute_remote_partial(
     rows_acc, cols_acc, vals_acc = [], [], []
     for info in remote_infos:
         c_part, flops = dispatch_spgemm(info.block, b_local, semiring, kernel)
-        comm.charge_spgemm(flops, d=d, accumulator=acc, kernel=kernel)
+        with comm.phase("send-C"):
+            comm.charge_spgemm(flops, d=d, accumulator=acc, kernel=kernel)
         diag.flops += flops
         if c_part.nnz:
             rows_acc.append(c_part.row_ids() + info.row_range[0])

@@ -37,21 +37,34 @@ from .costmodel import (
     get_profile,
 )
 from .errors import (
+    ByteConservationError,
+    CollectiveMismatchError,
+    CollectiveStallError,
     CommMismatchError,
     DeadlockError,
+    DeadSessionError,
     RankError,
+    SanitizerError,
     SpmdAbort,
+    SpmdDiagnosticError,
     SpmdError,
 )
 from .executor import ResidentSession, SpmdResult, SpmdSession, run_spmd
+from .marker import is_rank_program, rank_program
 from .payload import payload_nbytes
 from .runtime import ANY_SOURCE, ANY_TAG
-from .stats import PhaseStats, RankStats, SpmdReport
+from .sanitize import sanitize_enabled
+from .stats import CollectiveEvent, PhaseStats, RankStats, SpmdReport
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "ByteConservationError",
+    "CollectiveEvent",
+    "CollectiveMismatchError",
+    "CollectiveStallError",
     "CommMismatchError",
+    "DeadSessionError",
     "DeadlockError",
     "ETHERNET_CLUSTER",
     "Grid2D",
@@ -64,18 +77,23 @@ __all__ = [
     "RankStats",
     "ResidentSession",
     "SCALED_PERLMUTTER",
+    "SanitizerError",
     "SimComm",
     "SpmdAbort",
+    "SpmdDiagnosticError",
     "SpmdError",
     "SpmdReport",
     "SpmdResult",
     "SpmdSession",
     "VirtualClock",
     "get_profile",
+    "is_rank_program",
     "layered_grid_dims",
     "make_grid2d",
     "make_grid3d",
     "payload_nbytes",
+    "rank_program",
     "run_spmd",
+    "sanitize_enabled",
     "square_grid_dims",
 ]

@@ -27,6 +27,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .errors import CommMismatchError
 from .payload import payload_nbytes
+from .sanitize import meta_structure
 
 
 def _check_consistent(values: Sequence[Any], what: str) -> Any:
@@ -58,6 +59,7 @@ class CollectivesMixin:
 
     def barrier(self) -> None:
         """Synchronize all ranks of this communicator."""
+        self._sanitize("barrier")
         board = self._ctx.exchange(self.rank, self._clock.now)
         self._stats.record_collective(0, 0)
         self._sync_exit(board, self.machine.barrier(self.size))
@@ -65,6 +67,7 @@ class CollectivesMixin:
     # ------------------------------------------------------------------
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; returns the object on all ranks."""
+        self._sanitize("bcast", payload=obj)
         self._check_rank(root, "root")
         payload = obj if self.rank == root else None
         board = self._ctx.exchange(self.rank, (self._clock.now, root, payload))
@@ -82,6 +85,7 @@ class CollectivesMixin:
     # ------------------------------------------------------------------
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         """Gather one object per rank to ``root`` (None elsewhere)."""
+        self._sanitize("gather", payload=obj)
         self._check_rank(root, "root")
         nbytes = payload_nbytes(obj)
         board = self._ctx.exchange(self.rank, (self._clock.now, root, nbytes, obj))
@@ -99,6 +103,7 @@ class CollectivesMixin:
 
     def allgather(self, obj: Any) -> List[Any]:
         """Gather one object per rank onto every rank."""
+        self._sanitize("allgather", payload=obj)
         nbytes = payload_nbytes(obj)
         board = self._ctx.exchange(self.rank, (self._clock.now, nbytes, obj))
         entries = [b[0] for b in board]
@@ -110,6 +115,7 @@ class CollectivesMixin:
     # ------------------------------------------------------------------
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
         """Scatter ``objs[i]`` from ``root`` to rank ``i``."""
+        self._sanitize("scatter")
         self._check_rank(root, "root")
         if self.rank == root:
             if objs is None or len(objs) != self.size:
@@ -143,6 +149,7 @@ class CollectivesMixin:
         entry came from rank ``i``.  Per-rank cost follows the
         pairwise-exchange model of §III-E.
         """
+        self._sanitize("alltoall")
         if len(sendlist) != self.size:
             raise CommMismatchError(
                 f"alltoall requires {self.size} payloads, got {len(sendlist)}"
@@ -206,6 +213,10 @@ class CollectivesMixin:
                     f"fused section {name!r} requires {self.size} payloads, "
                     f"got {len(sendlist)}"
                 )
+        self._sanitize(
+            "alltoall_fused",
+            detail=("sections:" + ",".join(names), "meta:" + meta_structure(meta)),
+        )
         sizes = [[payload_nbytes(x) for x in sl] for _, sl in sections]
         board = self._ctx.exchange(
             self.rank,
@@ -238,6 +249,7 @@ class CollectivesMixin:
         root: int = 0,
     ) -> Optional[Any]:
         """Reduce with ``op`` (folded in rank order) onto ``root``."""
+        self._sanitize("reduce", payload=obj)
         self._check_rank(root, "root")
         nbytes = payload_nbytes(obj)
         board = self._ctx.exchange(self.rank, (self._clock.now, root, nbytes, obj))
@@ -257,6 +269,7 @@ class CollectivesMixin:
 
     def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = operator.add) -> Any:
         """Reduce with ``op`` and deliver the result to every rank."""
+        self._sanitize("allreduce", payload=obj)
         nbytes = payload_nbytes(obj)
         board = self._ctx.exchange(self.rank, (self._clock.now, nbytes, obj))
         entries = [b[0] for b in board]
@@ -269,6 +282,7 @@ class CollectivesMixin:
 
     def scan(self, obj: Any, op: Callable[[Any, Any], Any] = operator.add) -> Any:
         """Inclusive prefix reduction in rank order."""
+        self._sanitize("scan", payload=obj)
         nbytes = payload_nbytes(obj)
         board = self._ctx.exchange(self.rank, (self._clock.now, nbytes, obj))
         entries = [b[0] for b in board]
@@ -288,6 +302,7 @@ class CollectivesMixin:
         returns ``None``.
         """
         site = self._next_split_site()
+        self._sanitize("split")
         board = self._ctx.exchange(self.rank, (self._clock.now, color, key))
         entries = [b[0] for b in board]
         self._sync_exit(entries, self.machine.barrier(self.size))

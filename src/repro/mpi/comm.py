@@ -25,6 +25,12 @@ from .collectives import CollectivesMixin
 from .costmodel import MachineProfile
 from .payload import payload_nbytes
 from .runtime import ANY_SOURCE, ANY_TAG, GroupContext, Message
+from .sanitize import (
+    CollectiveRecord,
+    TaskSanitizer,
+    call_site,
+    validate_snapshot,
+)
 from .stats import RankStats
 
 
@@ -38,12 +44,14 @@ class SimComm(CollectivesMixin):
         machine: MachineProfile,
         clock: VirtualClock,
         stats: RankStats,
+        sanitizer: Optional[TaskSanitizer] = None,
     ):
         self._ctx = ctx
         self.rank = rank
         self.machine = machine
         self._clock = clock
         self._stats = stats
+        self._sanitizer = sanitizer
         self._split_sites = 0
 
     # ------------------------------------------------------------------
@@ -167,5 +175,41 @@ class SimComm(CollectivesMixin):
         self._split_sites += 1
         return site
 
+    def _sanitize(self, kind: str, detail: Tuple = (), payload: Any = None) -> None:
+        """Sanitizer pre-collective hook (no-op unless sanitize mode).
+
+        Exchanges a :class:`~repro.mpi.sanitize.CollectiveRecord` with the
+        other members of this communicator *before* the real collective
+        and raises a structured
+        :class:`~repro.mpi.errors.CollectiveMismatchError` /
+        :class:`~repro.mpi.errors.CollectiveStallError` on divergence —
+        instead of the hang or silent garbage the bug would otherwise
+        produce.  The record also lands on ``stats.events`` so watchdog
+        diagnostics can name each rank's last known collective.
+        """
+        san = self._sanitizer
+        if san is None:
+            return
+        from .sanitize import payload_summary
+
+        site = call_site()
+        seq = san.next_seq(self.global_rank)
+        summary = "" if payload is None else payload_summary(payload)
+        self._stats.record_collective_event(kind, site, seq, summary)
+        record = CollectiveRecord(
+            global_rank=self.global_rank,
+            kind=kind,
+            site=site,
+            phase=self._stats.current_phase,
+            seq=seq,
+            detail=detail,
+            payload=summary,
+        )
+        board = san.board_for(self._ctx)
+        snapshot = board.exchange(self.rank, record, self._ctx.abort)
+        validate_snapshot(snapshot)
+
     def _make_sibling(self, ctx: GroupContext, rank: int) -> "SimComm":
-        return SimComm(ctx, rank, self.machine, self._clock, self._stats)
+        return SimComm(
+            ctx, rank, self.machine, self._clock, self._stats, self._sanitizer
+        )

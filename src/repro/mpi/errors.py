@@ -5,16 +5,50 @@ raises, the executor aborts every synchronization primitive so the peer
 ranks unwind instead of deadlocking; those peers observe :class:`SpmdAbort`
 while the original exception is re-raised (wrapped in :class:`RankError`)
 from :func:`repro.mpi.executor.run_spmd`.
+
+Diagnostic errors — everything the runtime can say about *which ranks* and
+*which call sites* were involved — share the :class:`SpmdDiagnosticError`
+base so tooling can extract ``ranks``/``call_sites`` uniformly.  The
+sanitizer-mode checks (``REPRO_SANITIZE=1``) raise the
+:class:`SanitizerError` family: these are structured cross-rank findings
+and are surfaced *directly* by :meth:`repro.mpi.executor.SpmdSession.run`
+rather than wrapped in :class:`RankError`.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 
 class SpmdError(RuntimeError):
     """Base class for all simulated-MPI runtime errors."""
 
 
-class SpmdAbort(SpmdError):
+class SpmdDiagnosticError(SpmdError):
+    """Base for errors that can name the ranks and call sites involved.
+
+    Attributes
+    ----------
+    ranks:
+        Global ranks involved in the failure (possibly empty when the
+        error predates rank attribution, e.g. a closed-session refusal).
+    call_sites:
+        ``"path:line"`` strings of the user-code frames involved.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        ranks: Sequence[int] = (),
+        call_sites: Sequence[str] = (),
+    ):
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+        self.call_sites = tuple(call_sites)
+
+
+class SpmdAbort(SpmdDiagnosticError):
     """Raised inside surviving ranks after some other rank failed.
 
     This mirrors how a real MPI job is torn down by ``MPI_Abort``: ranks
@@ -23,7 +57,7 @@ class SpmdAbort(SpmdError):
     """
 
 
-class RankError(SpmdError):
+class RankError(SpmdDiagnosticError):
     """Wraps the first exception raised by a rank program.
 
     Attributes
@@ -37,21 +71,79 @@ class RankError(SpmdError):
     def __init__(self, rank: int, original: BaseException):
         self.rank = rank
         self.original = original
-        super().__init__(f"rank {rank} failed: {type(original).__name__}: {original}")
+        super().__init__(
+            f"rank {rank} failed: {type(original).__name__}: {original}",
+            ranks=(rank,),
+        )
 
 
-class CommMismatchError(SpmdError):
+class CommMismatchError(SpmdDiagnosticError):
     """A collective was called with inconsistent arguments across ranks.
 
     Examples: differing ``root`` in a broadcast, or an ``alltoallv`` where a
-    rank supplied the wrong number of per-destination buffers.
+    rank supplied the wrong number of per-destination buffers.  Raised
+    *inside* the offending rank program (and therefore reaches the caller
+    wrapped in :class:`RankError`).
     """
 
 
-class DeadlockError(SpmdError):
+class DeadlockError(SpmdDiagnosticError):
     """The executor's watchdog timeout expired while ranks were blocked.
 
     In a correct SPMD program this indicates a communication-pattern bug
     (e.g. a receive with no matching send); the timeout converts an
     infinite hang into a test failure.
+    """
+
+
+class DeadSessionError(SpmdDiagnosticError):
+    """A task was submitted to a session that already died or was closed.
+
+    ``reason`` round-trips whatever :meth:`SpmdSession._kill` recorded when
+    the session transitioned to dead — the original failure is named in
+    every subsequent refusal instead of a bare "session is closed".
+    """
+
+    def __init__(self, message: str, *, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
+class SanitizerError(SpmdDiagnosticError):
+    """Base for findings of the runtime collective sanitizer.
+
+    Unlike ordinary rank exceptions these are *cross-rank* findings: the
+    executor re-raises them as-is (not wrapped in :class:`RankError`) so
+    callers see the structured diagnostic directly.
+    """
+
+
+class CollectiveMismatchError(SanitizerError):
+    """Sanitizer: ranks issued diverging collectives at a sync point.
+
+    Names the operation kind, call site, phase and sequence number each
+    group of ranks presented, e.g. rank 0 calling ``bcast`` at one line
+    while the others sit in ``allreduce`` at another — the class of bug
+    that hangs a real MPI job.
+    """
+
+
+class CollectiveStallError(SanitizerError):
+    """Sanitizer: a collective can never complete because members left.
+
+    Some ranks arrived at the collective while at least one member of the
+    same communicator already finished its rank program — the collective
+    would wait forever.  Lists the waiting ranks with their call sites and
+    the ranks that already returned.
+    """
+
+
+class ByteConservationError(SanitizerError):
+    """Sanitizer: per-phase sent and received bytes do not balance.
+
+    Checked at task end: every byte booked as sent in a phase must be
+    booked as received in the same phase by its destination (collectives
+    guarantee this by construction; point-to-point traffic breaks it when
+    a message is never received or the receiver books it under a
+    different phase than the sender).
     """

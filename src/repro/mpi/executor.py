@@ -38,8 +38,15 @@ from typing import Any, Callable, List, Optional, Tuple
 from .clock import VirtualClock
 from .comm import SimComm
 from .costmodel import PERLMUTTER, MachineProfile
-from .errors import DeadlockError, RankError, SpmdAbort
+from .errors import (
+    DeadlockError,
+    DeadSessionError,
+    RankError,
+    SanitizerError,
+    SpmdAbort,
+)
 from .runtime import AbortController, GroupContext
+from .sanitize import TaskSanitizer, check_byte_conservation, sanitize_enabled
 from .stats import RankStats, SpmdReport
 
 
@@ -78,11 +85,13 @@ class _SpmdTask:
     """
 
     def __init__(self, size: int, fn: Callable, args: tuple, kwargs: dict,
-                 machine: MachineProfile):
+                 machine: MachineProfile,
+                 sanitizer: Optional[TaskSanitizer] = None):
         self.fn = fn
         self.args = args
         self.kwargs = kwargs
         self.machine = machine
+        self.sanitizer = sanitizer
         self.abort = AbortController()
         self.ctx = GroupContext(size, self.abort, list(range(size)))
         self.clocks = [VirtualClock() for _ in range(size)]
@@ -95,7 +104,8 @@ class _SpmdTask:
 
     def execute(self, rank: int) -> None:
         comm = SimComm(
-            self.ctx, rank, self.machine, self.clocks[rank], self.stats[rank]
+            self.ctx, rank, self.machine, self.clocks[rank], self.stats[rank],
+            self.sanitizer,
         )
         try:
             self.results[rank] = self.fn(comm, *self.args, **self.kwargs)
@@ -107,6 +117,11 @@ class _SpmdTask:
                     self.error = (rank, exc)
             self.abort.abort()
         finally:
+            if self.sanitizer is not None:
+                # Wakes peers waiting on a sanitizer board for this rank:
+                # a collective it can no longer join becomes a
+                # CollectiveStallError diagnostic instead of a hang.
+                self.sanitizer.mark_finished(self.ctx.global_ranks[rank])
             with self.cond:
                 self.done += 1
                 self.completed[rank] = True
@@ -155,12 +170,16 @@ class SpmdSession:
         *,
         machine: MachineProfile = PERLMUTTER,
         timeout: float = 600.0,
+        sanitize: Optional[bool] = None,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
         self.size = size
         self.machine = machine
         self.timeout = timeout
+        #: Resolved sanitize setting: an explicit True wins, otherwise
+        #: the REPRO_SANITIZE environment variable decides.
+        self.sanitize = sanitize_enabled(sanitize)
         self._queues: List[queue.Queue] = [queue.Queue() for _ in range(size)]
         self._closed = False
         self._dead_reason: Optional[str] = None
@@ -231,17 +250,21 @@ class SpmdSession:
         (one task in flight at a time).
         """
         with self._run_lock:
-            task = _SpmdTask(self.size, fn, args, kwargs, self.machine)
+            sanitizer = TaskSanitizer(self.size) if self.sanitize else None
+            task = _SpmdTask(
+                self.size, fn, args, kwargs, self.machine, sanitizer
+            )
             with self._queue_lock:
                 if self._closed:
-                    raise RuntimeError(
+                    raise DeadSessionError(
                         "SPMD session is closed"
                         + (
                             f" (aborted: {self._dead_reason})"
                             if self._dead_reason
                             else ""
                         )
-                        + "; create a new session"
+                        + "; create a new session",
+                        reason=self._dead_reason or "",
                     )
                 for q in self._queues:
                     q.put(task)
@@ -257,7 +280,15 @@ class SpmdSession:
                         timed_out = True
                         break
                     task.cond.wait(remaining)
+            stuck_ranks: List[int] = []
             if timed_out:
+                # Snapshot who is blocked *now* — the abort below releases
+                # abort-aware waits, so a post-grace reading would show an
+                # empty set and lose the diagnostic.
+                with task.cond:
+                    stuck_ranks = [
+                        r for r in range(self.size) if not task.completed[r]
+                    ]
                 task.abort.abort()
                 grace = _time.monotonic() + 5.0
                 with task.cond:
@@ -266,19 +297,36 @@ class SpmdSession:
 
             if task.error is not None:
                 rank, exc = task.error
-                self._kill(f"rank {rank} raised {type(exc).__name__}")
+                if isinstance(exc, SanitizerError):
+                    # A cross-rank structured finding, not one rank's bug:
+                    # surface it directly instead of wrapping in RankError.
+                    self._kill(f"sanitizer: {type(exc).__name__}: {exc}")
+                    raise exc
+                self._kill(
+                    f"rank {rank} raised {type(exc).__name__}: {exc}"
+                )
                 raise RankError(rank, exc) from exc
             if timed_out:
-                stuck = [
-                    f"spmd-rank-{r}" for r in range(self.size)
-                    if not task.completed[r]
-                ]
+                stuck = [f"spmd-rank-{r}" for r in stuck_ranks]
+                detail = ""
+                if task.sanitizer is not None:
+                    last = [
+                        f"rank {r} last issued "
+                        f"{task.stats[r].events[-1].kind} at "
+                        f"{task.stats[r].events[-1].site}"
+                        for r in stuck_ranks
+                        if task.stats[r].events
+                    ]
+                    if last:
+                        detail = "; " + "; ".join(last)
                 self._kill("watchdog timeout")
                 raise DeadlockError(
                     f"SPMD run exceeded "
                     f"{self.timeout if timeout is None else timeout}s "
-                    f"watchdog; blocked threads: {stuck}"
+                    f"watchdog; blocked threads: {stuck}" + detail
                 )
+            if task.sanitizer is not None:
+                check_byte_conservation(task.stats)
             return SpmdResult(list(task.results), task.report())
 
 
@@ -297,10 +345,15 @@ class ResidentSession:
 
     _owns_exec = True
 
-    def __init__(self, p: int, machine: MachineProfile = PERLMUTTER):
+    def __init__(
+        self,
+        p: int,
+        machine: MachineProfile = PERLMUTTER,
+        sanitize: Optional[bool] = None,
+    ):
         self.p = p
         self.machine = machine
-        self._exec = SpmdSession(p, machine=machine)
+        self._exec = SpmdSession(p, machine=machine, sanitize=sanitize)
 
     def _run_setup(self, setup: Callable) -> List[Any]:
         """Run the one-time distribution task; record its report."""
@@ -331,6 +384,7 @@ def run_spmd(
     *args: Any,
     machine: MachineProfile = PERLMUTTER,
     timeout: float = 600.0,
+    sanitize: Optional[bool] = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -356,7 +410,9 @@ def run_spmd(
     SpmdResult
         Per-rank return values plus the :class:`SpmdReport`.
     """
-    session = SpmdSession(size, machine=machine, timeout=timeout)
+    session = SpmdSession(
+        size, machine=machine, timeout=timeout, sanitize=sanitize
+    )
     try:
         return session.run(fn, *args, **kwargs)
     finally:

@@ -45,11 +45,31 @@ class PhaseStats:
 
 
 @dataclass
+class CollectiveEvent:
+    """One collective call as observed by the runtime sanitizer.
+
+    Recorded (only in sanitize mode) in rank order of execution, so a
+    diverging rank's history can be laid side by side with its peers':
+    operation kind, user-code call site, the phase it was booked under,
+    this rank's collective sequence number and a coarse payload summary
+    (type/dtype/shape — diagnostics, never compared across ranks).
+    """
+
+    kind: str
+    site: str
+    phase: str
+    seq: int
+    payload: str = ""
+
+
+@dataclass
 class RankStats:
     """All statistics gathered by one rank during one SPMD run."""
 
     rank: int
     phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    #: Per-collective call-site trace; populated only in sanitize mode.
+    events: List[CollectiveEvent] = field(default_factory=list)
     _stack: List[str] = field(default_factory=lambda: ["total"])
 
     @property
@@ -109,6 +129,14 @@ class RankStats:
         stats = self.phase_stats(name)
         stats.bytes_sent += sent
         stats.bytes_recv += recv
+
+    def record_collective_event(
+        self, kind: str, site: str, seq: int, payload: str = ""
+    ) -> None:
+        """Append one sanitizer trace entry under the current phase."""
+        self.events.append(
+            CollectiveEvent(kind, site, self.current_phase, seq, payload)
+        )
 
     def record_comm_time(self, dt: float) -> None:
         self.phase_stats().comm_time += dt

@@ -1,0 +1,23 @@
+"""S1 fixture: collectives under rank-dependent control flow.
+
+Lines carrying ``# EXPECT: <rule>`` are asserted (rule id + line
+number) by ``tests/analysis/test_spmdlint.py``; the ``*_clean.py`` twin
+is the minimal fix and must lint silent.
+"""
+
+
+def program_branch(comm):
+    rank = comm.rank
+    if rank == 0:
+        with comm.phase("sync"):
+            total = comm.allreduce(1)  # EXPECT: S1
+    else:
+        total = None
+    return total
+
+
+def program_loop(comm):
+    steps = comm.rank + 1
+    while steps > 0:
+        comm.barrier()  # EXPECT: S1
+        steps -= 1

@@ -1,0 +1,18 @@
+"""S1 clean twin: every path calls the same collectives, loop trip
+counts are rank-invariant."""
+
+
+def program_branch(comm):
+    rank = comm.rank
+    if rank == 0:
+        with comm.phase("sync"):
+            total = comm.allreduce(1)
+    else:
+        with comm.phase("sync"):
+            total = comm.allreduce(0)
+    return total
+
+
+def program_loop(comm):
+    for _ in range(comm.size):
+        comm.barrier()

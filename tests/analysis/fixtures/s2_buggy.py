@@ -1,0 +1,9 @@
+"""S2 fixture: send whose tag class no recv in the module can match."""
+
+
+def program(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    with comm.phase("ring"):
+        comm.send(b"payload", dest=right, tag=7)  # EXPECT: S2
+        return comm.recv(source=left, tag=3)

@@ -1,0 +1,16 @@
+"""S2 clean twin: the recv's tag class matches the send's."""
+
+
+def program(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    with comm.phase("ring"):
+        comm.send(b"payload", dest=right, tag=7)
+        return comm.recv(source=left, tag=7)
+
+
+def program_wildcard(comm):
+    right = (comm.rank + 1) % comm.size
+    with comm.phase("ring"):
+        comm.send(b"payload", dest=right, tag=42)
+        return comm.recv(source=comm.ANY_SOURCE, tag=comm.ANY_TAG)

@@ -1,0 +1,14 @@
+"""S3 fixture: rank program mutating closure-captured / global state."""
+
+RESULTS = {}
+
+
+def make_program(shared):
+    def program(comm):
+        with comm.phase("work"):
+            local = comm.allreduce(comm.rank)
+        shared.append(local)  # EXPECT: S3
+        RESULTS["last"] = local  # EXPECT: S3
+        return local
+
+    return program

@@ -1,0 +1,14 @@
+"""S3 clean twin: per-rank slot writes (indexed by ``comm.rank``) and
+purely local mutation are fine."""
+
+
+def make_program(shared):
+    def program(comm):
+        with comm.phase("work"):
+            local = comm.allreduce(comm.rank)
+        acc = []
+        acc.append(local)
+        shared[comm.rank] = acc
+        return local
+
+    return program

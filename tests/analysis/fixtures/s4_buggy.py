@@ -1,0 +1,13 @@
+"""S4 fixture: bytes/time booked outside any ``comm.phase`` block —
+directly in a root, and in a helper reached without phase coverage."""
+
+
+def _merge(comm, payload):
+    comm.charge_touch(len(payload))  # EXPECT: S4
+
+
+def program(comm):
+    comm.charge_touch(1024)  # EXPECT: S4
+    _merge(comm, b"xx")
+    with comm.phase("sync"):
+        return comm.allreduce(comm.rank)

@@ -1,0 +1,14 @@
+"""S4 clean twin: every booking happens under a phase — the helper's
+direct charge is covered because its only call site is phased."""
+
+
+def _merge(comm, payload):
+    comm.charge_touch(len(payload))
+
+
+def program(comm):
+    with comm.phase("merge"):
+        comm.charge_touch(1024)
+        _merge(comm, b"xx")
+    with comm.phase("sync"):
+        return comm.allreduce(comm.rank)

@@ -1,0 +1,16 @@
+"""S5 fixture: wall clocks and unseeded randomness inside a rank
+program."""
+
+import random
+import time
+
+import numpy as np
+
+
+def program(comm):
+    t0 = time.time()  # EXPECT: S5
+    jitter = random.random()  # EXPECT: S5
+    rng = np.random.default_rng()  # EXPECT: S5
+    sample = rng.standard_normal()
+    with comm.phase("sync"):
+        return comm.allreduce(t0 + jitter + sample)

@@ -1,0 +1,12 @@
+"""S5 clean twin: the virtual clock and explicitly seeded per-rank
+streams."""
+
+import numpy as np
+
+
+def program(comm):
+    t0 = comm.time
+    rng = np.random.default_rng(42 + comm.rank)
+    sample = rng.standard_normal()
+    with comm.phase("sync"):
+        return comm.allreduce(t0 + sample)

@@ -1,0 +1,10 @@
+"""S6 fixture: fused-exchange section set built from rank-dependent
+data with no ``meta`` header for the peers to agree on."""
+
+
+def program(comm):
+    sections = [
+        ("tile-%d" % t, [None] * comm.size) for t in range(comm.rank + 1)
+    ]
+    with comm.phase("fused"):
+        return comm.alltoall_fused(sections)  # EXPECT: S6

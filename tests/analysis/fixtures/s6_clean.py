@@ -1,0 +1,17 @@
+"""S6 clean twins: a statically known section set, or a dynamic one
+published through ``meta``."""
+
+
+def program_static(comm):
+    sections = [
+        ("fetch-B", [None] * comm.size),
+        ("send-C", [None] * comm.size),
+    ]
+    with comm.phase("fused"):
+        return comm.alltoall_fused(sections)
+
+
+def program_meta(comm):
+    sections = [("tile-%d" % t, [None] * comm.size) for t in range(3)]
+    with comm.phase("fused"):
+        return comm.alltoall_fused(sections, meta={"tiles": 3})

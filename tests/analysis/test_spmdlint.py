@@ -1,0 +1,201 @@
+"""Tier-1 tests of the ``spmdlint`` static checker (rules S1–S6).
+
+Each rule has a pair of fixtures under ``tests/analysis/fixtures/``:
+``sN_buggy.py`` carries ``# EXPECT: <rule>`` markers on every line the
+linter must flag (rule id *and* line number are asserted, nothing
+else may fire), and ``sN_clean.py`` is the minimal fix, asserted
+silent under the full rule set.
+"""
+
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES_BY_ID, collect_findings, lint_source, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+RULE_IDS = sorted(RULES_BY_ID)
+
+
+def _expected_markers(source):
+    """(rule, lineno) pairs declared via ``# EXPECT: S1[, S2]`` comments."""
+    out = []
+    for lineno, line in enumerate(source.splitlines(), 1):
+        match = re.search(r"#\s*EXPECT:\s*([A-Z0-9, ]+)$", line)
+        if match:
+            for rule in match.group(1).split(","):
+                out.append((rule.strip(), lineno))
+    return sorted(out)
+
+
+def _lint_fixture(name):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return source, lint_source(name, source)
+
+
+# ----------------------------------------------------------------------
+# fixture pairs: exact rule ids + line numbers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rule", RULE_IDS)
+def test_buggy_fixture_fires_exact_rule_and_lines(rule):
+    source, findings = _lint_fixture(f"{rule.lower()}_buggy.py")
+    expected = _expected_markers(source)
+    assert expected, "fixture must declare EXPECT markers"
+    assert sorted((f.rule, f.line) for f in findings) == expected
+    # No *other* rule may fire on the fixture.
+    assert {f.rule for f in findings} == {rule}
+
+
+@pytest.mark.parametrize("rule", RULE_IDS)
+def test_clean_twin_is_silent(rule):
+    _, findings = _lint_fixture(f"{rule.lower()}_clean.py")
+    assert findings == []
+
+
+def test_findings_carry_location_and_function():
+    _, findings = _lint_fixture("s1_buggy.py")
+    branch = [f for f in findings if f.qualname == "program_branch"]
+    loop = [f for f in findings if f.qualname == "program_loop"]
+    assert len(branch) == 1 and len(loop) == 1
+    assert "deadlock" in branch[0].message
+    assert branch[0].render().startswith(
+        f"s1_buggy.py:{branch[0].line}:{branch[0].col}: S1 [program_branch]"
+    )
+
+
+# ----------------------------------------------------------------------
+# discovery + suppression mechanics
+# ----------------------------------------------------------------------
+def test_decorated_function_is_a_rank_program():
+    source = textwrap.dedent(
+        """
+        from repro.mpi import rank_program
+
+
+        @rank_program
+        def worker(c):
+            c.charge_touch(16)
+        """
+    )
+    findings = lint_source("deco.py", source)
+    assert [(f.rule, f.qualname) for f in findings] == [("S4", "worker")]
+
+
+def test_methods_are_not_rank_programs():
+    source = textwrap.dedent(
+        """
+        class Driver:
+            def step(self, comm):
+                comm.charge_touch(16)
+        """
+    )
+    assert lint_source("method.py", source) == []
+
+
+def test_inline_suppression_on_flagged_line():
+    source = textwrap.dedent(
+        """
+        def program(comm):
+            comm.charge_touch(16)  # spmdlint: disable=S4
+            with comm.phase("sync"):
+                return comm.allreduce(1)
+        """
+    )
+    assert lint_source("supp.py", source) == []
+
+
+def test_suppression_on_def_line_covers_the_function():
+    source = textwrap.dedent(
+        """
+        def program(comm):  # spmdlint: disable=all
+            comm.charge_touch(16)
+            rank = comm.rank
+            if rank == 0:
+                comm.barrier()
+        """
+    )
+    assert lint_source("supp_def.py", source) == []
+
+
+def test_suppression_is_rule_specific():
+    source = textwrap.dedent(
+        """
+        def program(comm):
+            comm.charge_touch(16)  # spmdlint: disable=S1
+            with comm.phase("sync"):
+                return comm.allreduce(1)
+        """
+    )
+    assert [f.rule for f in lint_source("supp_other.py", source)] == ["S4"]
+
+
+# ----------------------------------------------------------------------
+# CLI: select / exit codes / baseline
+# ----------------------------------------------------------------------
+def test_repo_src_is_lint_clean():
+    assert REPO_SRC.is_dir()
+    findings = collect_findings([str(REPO_SRC)])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "prog.py"
+    bad.write_text(
+        "def program(comm):\n    comm.charge_touch(4)\n", encoding="utf-8"
+    )
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "S4" in out and "prog.py:2" in out
+    # Selecting a rule that does not fire: clean exit.
+    assert main([str(bad), "--select", "S1"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_select_rejects_unknown_rule(tmp_path, capsys):
+    target = tmp_path / "empty.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    with pytest.raises(SystemExit) as exc:
+        main([str(target), "--select", "S99"])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_cli_baseline_grandfathers_then_catches_growth(tmp_path, capsys):
+    target = tmp_path / "prog.py"
+    target.write_text(
+        "def program(comm):\n    comm.charge_touch(4)\n", encoding="utf-8"
+    )
+    baseline = tmp_path / "baseline.json"
+    assert main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+    recorded = json.loads(baseline.read_text(encoding="utf-8"))
+    assert list(recorded.values()) == [1]
+    # Same findings: grandfathered, exit 0.
+    assert main([str(target), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "grandfathered" in out
+    # A *new* unphased booking in the same function grows past the budget.
+    target.write_text(
+        "def program(comm):\n"
+        "    comm.charge_touch(4)\n"
+        "    comm.charge_seconds(1.0)\n",
+        encoding="utf-8",
+    )
+    assert main([str(target), "--baseline", str(baseline)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_json_format(tmp_path, capsys):
+    target = tmp_path / "prog.py"
+    target.write_text(
+        "def program(comm):\n    comm.charge_touch(4)\n", encoding="utf-8"
+    )
+    assert main([str(target), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "S4"
+    assert payload[0]["line"] == 2
+    assert payload[0]["function"] == "program"

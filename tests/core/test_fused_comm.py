@@ -24,7 +24,7 @@ from repro.core import (
 )
 from repro.mpi import run_spmd
 from repro.mpi.costmodel import PERLMUTTER
-from repro.mpi.errors import CommMismatchError, RankError
+from repro.mpi.errors import CollectiveMismatchError, CommMismatchError, RankError
 from repro.sparse import BOOL_AND_OR, MIN_PLUS, PLUS_TIMES, CsrMatrix
 
 from ..conftest import csr_from_dense, random_dense
@@ -118,7 +118,10 @@ class TestAlltoallFused:
             name = "x" if comm.rank == 0 else "y"
             comm.alltoall_fused([(name, [None] * comm.size)])
 
-        with pytest.raises(RankError):
+        # Plain mode: the in-collective name check raises inside the rank
+        # (RankError).  Sanitize mode catches the divergence one step
+        # earlier as a structured cross-rank CollectiveMismatchError.
+        with pytest.raises((RankError, CollectiveMismatchError)):
             run_spmd(P, program)
 
     def test_bad_section_shape_raises(self):
