@@ -1,4 +1,4 @@
-"""The six ``spmdlint`` rules (S1–S6).
+"""The seven ``spmdlint`` rules (S1–S7).
 
 Each rule is a small object with an ``id``, a one-line ``title`` and a
 ``check(module)`` generator yielding :class:`~.checker.Finding`s.  The
@@ -467,6 +467,70 @@ def check_s6(module: ModuleIndex) -> Iterator[Finding]:
             )
 
 
+# ----------------------------------------------------------------------
+# S7 — resident-state mutation bypassing the checkpoint layer
+# ----------------------------------------------------------------------
+#: Attribute names that mark an operand-handle chain as resident state
+#: the checkpoint layer snapshots (docs/resilience.md): ``operand.aux``
+#: is the per-rank scratch dict, ``operand.prepared`` the shared plan.
+#: A bare local *named* ``prepared`` (the plan-cache parameter of the
+#: multiply kernels) is deliberately out of scope — the driver manages
+#: those caches itself (snapshot by reference + invalidation on
+#: restore); only handle-rooted ``.aux`` / ``.prepared`` chains must go
+#: through ``operand.cache(...)``.
+_RESIDENT_ATTRS = {"aux", "prepared"}
+
+
+def _resident_attr_of(node: ast.AST) -> Optional[str]:
+    """The first ``.aux``/``.prepared`` attribute access in a chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr in _RESIDENT_ATTRS:
+            return node.attr
+        node = node.value
+    return None
+
+
+def check_s7(module: ModuleIndex) -> Iterator[Finding]:
+    for func in module.functions.values():
+        for node in walk_scope(func.node):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, ast.Call):
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr in MUTATOR_METHODS
+                    and comm_method_of(node, func.comm_names) is None
+                ):
+                    attr = _resident_attr_of(f.value)
+                    if attr is not None:
+                        yield _finding(
+                            "S7", module, func, node,
+                            f"calls mutating method '.{f.attr}()' on a "
+                            f"'.{attr}' chain inside a rank program — the "
+                            "write bypasses the checkpoint layer, so a "
+                            "recovery restores stale state; register it "
+                            "with operand.cache(key, value) instead",
+                        )
+                continue
+            for target in targets:
+                attr = _resident_attr_of(target)
+                if attr is not None:
+                    yield _finding(
+                        "S7", module, func, node,
+                        f"writes resident per-rank state through '.{attr}' "
+                        "inside a rank program without registering it with "
+                        "the checkpoint layer — a post-fault recovery "
+                        "restores stale state; use "
+                        "operand.cache(key, value) instead",
+                    )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     Rule("S1", "collectives under rank-dependent control flow", check_s1),
     Rule("S2", "send without a reachable matching recv tag class", check_s2),
@@ -474,6 +538,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     Rule("S4", "comm bytes booked outside a comm.phase block", check_s4),
     Rule("S5", "nondeterminism source inside a rank program", check_s5),
     Rule("S6", "dynamic fused section tags without meta agreement", check_s6),
+    Rule("S7", "resident-state mutation bypassing the checkpoint layer", check_s7),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in ALL_RULES}

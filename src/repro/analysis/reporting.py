@@ -63,6 +63,19 @@ def multiply_summary_rows(result) -> List[List[str]]:
     report = getattr(result, "report", None)
     if report is not None and hasattr(report, "alltoall_rounds"):
         rows.append(["all-to-all rounds", fmt_count(report.alltoall_rounds())])
+    # Resilience trace (recoverable sessions only, docs/resilience.md):
+    # the diagnostics carry retry/recovery counts, and the report's
+    # checkpoint/recover phases carry the replica traffic those cost.
+    diagnostics = getattr(result, "diagnostics", None) or {}
+    if "retries" in diagnostics:
+        rows.append(["fault retries", fmt_count(diagnostics["retries"])])
+        rows.append(["rank recoveries", fmt_count(diagnostics.get("recoveries", 0))])
+    if report is not None and hasattr(report, "phase_bytes"):
+        per_phase = report.phase_bytes()
+        for phase, label in (("checkpoint", "checkpoint bytes"),
+                             ("recover", "recovery bytes")):
+            if per_phase.get(phase):
+                rows.append([label, fmt_bytes(per_phase[phase])])
     return rows
 
 

@@ -81,6 +81,11 @@ class EmbeddingEpoch:
     #: All-to-all exchanges this epoch performed — the α·rounds term
     #: ``fuse_comm`` collapses (2-3 fused vs ``3 + 2·ceil(p/w)`` unfused).
     rounds: int = 0
+    #: Resilience trace (recoverable sessions only, docs/resilience.md):
+    #: multiply retries after injected faults, and rank recoveries those
+    #: retries performed.
+    retries: int = 0
+    recoveries: int = 0
 
     @property
     def remote_fraction(self) -> float:
@@ -154,9 +159,9 @@ class _SddmmPrologue(FusedPrologue):
             comm.charge_touch(
                 p * dist.col_copy.indices.nbytes + 2 * local.indices.nbytes
             )
-        cached = (send_rows, needed, compact)
-        operand.aux["sddmm_plan"] = cached
-        return cached
+        # Registered via cache() so the checkpoint layer snapshots the
+        # plan with the rank's blocks (spmdlint rule S7).
+        return operand.cache("sddmm_plan", (send_rows, needed, compact))
 
     def sections(self, comm, operand, z_sp_local, z_dn_local, labels_local):
         send_rows, _, _ = self._plan(comm, operand)
@@ -393,6 +398,8 @@ def train_sparse_embedding(
                     ),
                     driver_gather_bytes=int(diag.get("driver_gather_bytes", 0)),
                     rounds=mult.rounds,
+                    retries=int(diag.get("retries", 0)),
+                    recoveries=int(diag.get("recoveries", 0)),
                 )
             )
         if z_sp_h is not None:

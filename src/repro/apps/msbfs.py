@@ -55,6 +55,11 @@ class BfsIteration:
     #: All-to-all exchanges this level performed — the α·rounds term
     #: ``fuse_comm`` collapses to one fused exchange per multiply.
     rounds: int = 0
+    #: Resilience trace (recoverable sessions only, docs/resilience.md):
+    #: how many times this level's multiply was retried after an injected
+    #: fault, and how many rank recoveries those retries performed.
+    retries: int = 0
+    recoveries: int = 0
 
 
 @dataclass
@@ -222,6 +227,8 @@ def _msbfs_driver_loop(
                     diagnostics.get("driver_gather_bytes", 0)
                 ),
                 rounds=mult.report.alltoall_rounds(),
+                retries=int(diagnostics.get("retries", 0)),
+                recoveries=int(diagnostics.get("recoveries", 0)),
             )
         )
         level += 1
@@ -274,6 +281,8 @@ def _msbfs_handles(
                 runtime=mult.multiply_time,
                 comm_time=mult.comm_time,
                 rounds=mult.rounds,
+                retries=int(diagnostics.get("retries", 0)),
+                recoveries=int(diagnostics.get("recoveries", 0)),
             )
         )
         level += 1

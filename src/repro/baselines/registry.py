@@ -93,6 +93,7 @@ def _summa2d_session(A, p, *, semiring, machine, config):
         machine=machine,
         spa_threshold=cfg.spa_threshold,
         kernel=cfg.kernel,
+        timeout=cfg.spmd_timeout,
     )
 
 
@@ -105,6 +106,7 @@ def _summa3d_session(A, p, *, semiring, machine, config):
         machine=machine,
         spa_threshold=cfg.spa_threshold,
         kernel=cfg.kernel,
+        timeout=cfg.spmd_timeout,
     )
 
 

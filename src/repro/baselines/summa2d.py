@@ -135,10 +135,11 @@ class Summa2dSession(ResidentSession):
         machine: MachineProfile = PERLMUTTER,
         spa_threshold: int = 1024,
         kernel: str = "auto",
+        timeout: Optional[float] = None,
     ):
         if A.nrows != A.ncols:
             raise ValueError(f"need a square A, got {A.shape}")
-        super().__init__(p, machine)
+        super().__init__(p, machine, timeout=timeout)
         self.semiring = semiring
         self.spa_threshold = spa_threshold
         self.kernel = kernel

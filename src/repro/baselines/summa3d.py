@@ -155,10 +155,11 @@ class Summa3dSession(ResidentSession):
         machine: MachineProfile = PERLMUTTER,
         spa_threshold: int = 1024,
         kernel: str = "auto",
+        timeout: Optional[float] = None,
     ):
         if A.nrows != A.ncols:
             raise ValueError(f"need a square A, got {A.shape}")
-        super().__init__(p, machine)
+        super().__init__(p, machine, timeout=timeout)
         self.layers = layers
         self.semiring = semiring
         self.spa_threshold = spa_threshold

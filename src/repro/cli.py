@@ -41,7 +41,7 @@ from .baselines import ALGORITHMS
 from .core import TsConfig
 from .data import DATASETS, load, random_sources, tall_skinny
 from .model import COST_MODELS, Workload
-from .mpi import PROFILES, SCALED_PERLMUTTER, get_profile
+from .mpi import PROFILES, SCALED_PERLMUTTER, DeadSessionError, get_profile
 from .sparse import DEFAULT_KERNEL, available_kernels, read_matrix_market
 
 
@@ -85,6 +85,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "collective call site across ranks and check per-phase byte "
         "conservation (same switch as REPRO_SANITIZE=1)",
     )
+    parser.add_argument(
+        "--faults",
+        default="",
+        metavar="SPEC",
+        help="deterministic fault-injection spec, e.g. "
+        "'crash@2,task=2,seq=0;transient@1,task=4' (grammar in "
+        "docs/resilience.md); a non-empty spec turns on recoverable "
+        "sessions with checkpoint/recovery and retry-with-backoff",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default="neighbor",
+        choices=("neighbor", "driver", "off"),
+        help="replica placement for recoverable sessions: neighbor "
+        "(ring-shift to rank r+1), driver (root gather), or off "
+        "(no replicas; a lost rank forces a full re-prepare — the "
+        "recovery-cost ablation)",
+    )
 
 
 def _add_kernel(parser: argparse.ArgumentParser) -> None:
@@ -99,12 +117,36 @@ def _add_kernel(parser: argparse.ArgumentParser) -> None:
 
 
 def _config(args, **overrides) -> TsConfig:
+    faults = getattr(args, "faults", "")
     return TsConfig(
         kernel=getattr(args, "kernel", "auto"),
         reuse_plan=args.reuse_plan == "on",
         fuse_comm=getattr(args, "fuse_comm", "on") == "on",
         sanitize=getattr(args, "sanitize", False),
+        faults=faults,
+        checkpoint=getattr(args, "checkpoint", "neighbor"),
+        # A non-empty fault spec implies recoverable sessions — injecting
+        # faults into a non-recoverable session just kills it.
+        recoverable=bool(faults),
         **overrides,
+    )
+
+
+def _print_resilience_summary(steps, args) -> None:
+    """One line of fault-recovery totals after a per-step table.
+
+    Silent unless fault injection was on — the common path's output is
+    unchanged.  ``steps`` are the per-level/per-epoch records, which
+    carry ``retries``/``recoveries`` on recoverable sessions.
+    """
+    if not getattr(args, "faults", ""):
+        return
+    retries = sum(getattr(s, "retries", 0) for s in steps)
+    recoveries = sum(getattr(s, "recoveries", 0) for s in steps)
+    print(
+        f"faults injected ({args.faults!r}): {retries} retries, "
+        f"{recoveries} rank recoveries, checkpoint={args.checkpoint}; "
+        "output is bit-identical to the fault-free run"
     )
 
 
@@ -177,6 +219,7 @@ def _cmd_bfs(args) -> int:
     )
     counts = result.reachable_counts()
     print(f"\nmean vertices reached per source: {counts.mean():.1f}")
+    _print_resilience_summary(result.iterations, args)
     return 0
 
 
@@ -214,6 +257,7 @@ def _cmd_embed(args) -> int:
         rows,
     )
     print(f"\nlink-prediction accuracy: {result.accuracy:.3f}")
+    _print_resilience_summary(result.epochs, args)
     return 0
 
 
@@ -339,7 +383,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DeadSessionError as exc:
+        # A fault exhausted the retry budget (or hit a non-recoverable
+        # session): surface the original abort reason instead of a
+        # traceback, with a distinct exit code for scripting.
+        print(f"session died: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,13 @@ from ..sparse.kernels import available_kernels
 #: ablation compares hybrid against local-only).
 MODE_POLICIES = ("hybrid", "local", "remote")
 
+#: Checkpoint placement policies of the resilience layer
+#: (docs/resilience.md): ``"neighbor"`` replicates each rank's blocks on
+#: rank ``(r+1) mod p`` over the interconnect, ``"driver"`` shadows them
+#: on the driver via a root gather, ``"off"`` keeps no replicas — a lost
+#: rank forces a full re-prepare (the recovery-cost ablation baseline).
+CHECKPOINT_POLICIES = ("neighbor", "driver", "off")
+
 
 @dataclass(frozen=True)
 class TsConfig:
@@ -87,6 +94,34 @@ class TsConfig:
         per-phase byte conservation is checked at task end.  ``False``
         (default) defers to the ``REPRO_SANITIZE`` environment variable,
         so CI can switch the whole suite without touching configs.
+    recoverable:
+        When ``True``, sessions built from this config run in recoverable
+        mode (docs/resilience.md): an injected environment fault degrades
+        the session instead of killing it, rank-block checkpoints are
+        kept per ``checkpoint`` policy, and
+        :meth:`~repro.core.driver.TsSession.multiply` retries with
+        bounded exponential backoff after restoring the lost rank's
+        state.  Implied by a non-empty ``faults`` spec on the CLI.
+    checkpoint:
+        Replica placement: ``"neighbor"`` (default), ``"driver"`` or
+        ``"off"`` (no replicas; recovery re-runs the full setup — the
+        ablation behind the CLI's ``--checkpoint off``).
+    max_retries:
+        Task retry budget per multiply/setup call in recoverable mode.
+    retry_backoff:
+        Base of the bounded exponential backoff between retries, in real
+        seconds (delay = ``retry_backoff · 2^(attempt-1)``, capped at 1 s).
+    spmd_timeout:
+        Watchdog timeout for the underlying :class:`SpmdSession`;
+        ``None`` defers to ``REPRO_SPMD_TIMEOUT`` (default 600 s).
+    checksum:
+        When ``True``, all-to-all payloads carry CRC-32 checksums
+        verified on receipt — the opt-in detector for injected payload
+        corruption.
+    faults:
+        Fault-injection spec string (see :mod:`repro.mpi.faults` for the
+        grammar), threaded into every session built from this config.
+        Empty (default) disables injection.
     """
 
     tile_width_factor: int = 16
@@ -101,6 +136,13 @@ class TsConfig:
     batch_size: int = 256
     learning_rate: float = 0.02
     sanitize: bool = False
+    recoverable: bool = False
+    checkpoint: str = "neighbor"
+    max_retries: int = 2
+    retry_backoff: float = 0.01
+    spmd_timeout: Optional[float] = None
+    checksum: bool = False
+    faults: str = ""
 
     def __post_init__(self) -> None:
         if self.tile_width_factor < 1:
@@ -118,6 +160,24 @@ class TsConfig:
             )
         if self.spa_threshold < 1:
             raise ValueError("spa_threshold must be >= 1")
+        if self.checkpoint not in CHECKPOINT_POLICIES:
+            raise ValueError(
+                f"checkpoint must be one of {CHECKPOINT_POLICIES}, "
+                f"got {self.checkpoint!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.spmd_timeout is not None and self.spmd_timeout <= 0:
+            raise ValueError("spmd_timeout must be positive when given")
+        if self.faults:
+            # Validate the spec grammar eagerly so a typo fails at config
+            # construction, not mid-run.  faults.py only imports
+            # repro.mpi.errors, so this import cannot cycle.
+            from ..mpi.faults import FaultPlan
+
+            FaultPlan.parse(self.faults)
 
     def accumulator_for(self, d: int) -> str:
         """The accumulator the cost model charges for output width ``d``."""

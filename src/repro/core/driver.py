@@ -16,14 +16,17 @@ paper's timers do; ``result.multiply_time`` excludes setup.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
-from ..mpi.executor import ResidentSession, run_spmd
-from ..mpi.stats import SpmdReport
+from ..mpi.errors import RankError
+from ..mpi.executor import ResidentSession, SpmdResult, run_spmd
+from ..mpi.faults import FaultInjector, FaultPlan, RankFailure
+from ..mpi.stats import SpmdReport, merge_reports
 from ..partition.block1d import Block1D
 from ..partition.distmat import (
     DistDenseHandle,
@@ -66,6 +69,13 @@ FUSED_SECTION_PHASES = (
     "sddmm-fetch",
     "refresh-values",
 )
+
+#: Phases charged by the resilience layer (docs/resilience.md):
+#: ``checkpoint`` books the replica traffic + serialization after every
+#: state-committing task, ``recover`` the replica fetch that rebuilds a
+#: lost rank's blocks.  Both count as multiply time, not setup — an
+#: iterative loop pays them while it runs.
+RESILIENCE_PHASES = ("checkpoint", "recover")
 
 
 @dataclass
@@ -220,6 +230,18 @@ class ResidentOperand:
     def rows(self) -> Block1D:
         return self.dist.rows
 
+    def cache(self, key: str, value: Any) -> Any:
+        """Register a pattern-derived cache entry on the per-rank scratch.
+
+        The registered write is the one sanctioned way (spmdlint S7) for
+        rank programs to stash derived state on the resident operand:
+        entries registered here are part of the checkpointed resident
+        state, so a recovered rank sees the same caches it would have
+        rebuilt.  Returns ``value`` for call-site chaining.
+        """
+        self.aux[key] = value
+        return value
+
     def refresh_values(self, new_data: np.ndarray, *, phase: str = "refresh-values") -> None:
         """Replace the resident block's values; pattern must be unchanged.
 
@@ -250,11 +272,15 @@ class ResidentOperand:
                 # Pattern-determined: which of my entries land in each
                 # peer's column strip, in strip order (= data order of the
                 # strips build_column_copy shipped).
-                sels = [
-                    np.flatnonzero((local.indices >= c0) & (local.indices < c1))
-                    for c0, c1 in self.dist.rows.ranges
-                ]
-                self.aux["value_strip_selections"] = sels
+                sels = self.cache(
+                    "value_strip_selections",
+                    [
+                        np.flatnonzero(
+                            (local.indices >= c0) & (local.indices < c1)
+                        )
+                        for c0, c1 in self.dist.rows.ranges
+                    ],
+                )
             with comm.phase(phase):
                 received = comm.alltoall([new_data[sel] for sel in sels])
                 cc = self.dist.col_copy
@@ -415,8 +441,21 @@ class TsSession(ResidentSession):
             raise ValueError(f"unknown algorithm {algorithm!r}")
         if A.nrows != A.ncols:
             raise ValueError(f"need a square A, got {A.shape}")
+        injector = (
+            FaultInjector(FaultPlan.parse(config.faults))
+            if config.faults
+            else None
+        )
         # config.sanitize=False defers to the REPRO_SANITIZE env switch.
-        super().__init__(p, machine, sanitize=config.sanitize or None)
+        super().__init__(
+            p,
+            machine,
+            sanitize=config.sanitize or None,
+            timeout=config.spmd_timeout,
+            recoverable=config.recoverable,
+            injector=injector,
+            checksum=config.checksum,
+        )
         self.semiring = semiring
         self.config = config
         self.algorithm = algorithm
@@ -424,9 +463,24 @@ class TsSession(ResidentSession):
         self._state: Optional[list] = None
         self._pattern: Optional[tuple] = None
         self._edge_ids: Optional[list] = None
+        # Resilience bookkeeping (docs/resilience.md).  ``_input`` keeps
+        # the driver's copy of the operand alive only in recoverable mode:
+        # it is the rebuild source of the checkpoint="off" ablation.
+        self._recoverable = config.recoverable
+        self._injector = injector
+        self._input: Optional[CsrMatrix] = A if config.recoverable else None
+        self._ckpt: Optional[list] = None
+        self.retries = 0
+        self.recoveries = 0
+        self.checkpoint_bytes = 0
+        self.recover_bytes = 0
+        self.recovery_events: List[RankFailure] = []
         self.ncols = A.ncols
         self._rows = Block1D(A.nrows, p)
         self.setup_report: SpmdReport = self._setup(A)
+        ckpt_report = self._checkpoint()
+        if ckpt_report is not None:
+            self.setup_report = merge_reports([self.setup_report, ckpt_report])
 
     #: Registry session-contract capability: this session accepts and
     #: mints rank-resident DistHandles (scatter / gather=False /
@@ -456,10 +510,245 @@ class TsSession(ResidentSession):
             # pattern; it survives same-pattern value refreshes.
             return dist_a.rows, dist_a.local, dist_a.col_copy, prepared, {}
 
-        result = self._exec.run(program)
+        result = self._run_resilient(program)
         self._state = list(result.values)
         self._pattern = (A.indptr, A.indices)
         self._edge_ids = None
+        self._ckpt = None  # replicas of any previous pattern are stale
+        return result.report
+
+    # ------------------------------------------------------------------
+    # resilience: retry, checkpoint, recover (docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _run_resilient(self, program: Callable) -> SpmdResult:
+        """Run one session task, retrying recoverable environment faults.
+
+        Non-recoverable sessions pass straight through.  In recoverable
+        mode an injected fault (or checksum-detected corruption) degrades
+        the session instead of killing it; this loop restores the lost
+        rank's resident state from the last checkpoint
+        (:meth:`_recover`), sleeps a bounded exponential backoff, and
+        re-submits — up to ``config.max_retries`` times.  Reports of
+        failed attempts and recovery tasks are merged into the returned
+        result so aborted work is charged honestly.
+        """
+        if not self._recoverable:
+            return self._exec.run(program)
+        attempt = 0
+        extra_reports: List[SpmdReport] = []
+        while True:
+            try:
+                result = self._exec.run(program)
+            except RankError as err:
+                failure = getattr(err, "failure", None)
+                if failure is None:
+                    raise  # a program bug, not an environment fault
+                attempt += 1
+                if attempt > self.config.max_retries:
+                    raise
+                self.retries += 1
+                self.recovery_events.append(failure)
+                failed_report = getattr(err, "report", None)
+                if failed_report is not None:
+                    extra_reports.append(failed_report)
+                recover_report = self._recover(failure)
+                if recover_report is not None:
+                    extra_reports.append(recover_report)
+                _time.sleep(
+                    min(self.config.retry_backoff * 2 ** (attempt - 1), 1.0)
+                )
+                continue
+            if extra_reports:
+                result = SpmdResult(
+                    result.values,
+                    merge_reports(extra_reports + [result.report]),
+                )
+            return result
+
+    def _suspended_run(self, program: Callable) -> SpmdResult:
+        """Run a checkpoint/recovery task with fault injection suspended,
+        so a recovery cannot be re-killed by the fault it is healing."""
+        if self._injector is not None:
+            with self._injector.suspend():
+                return self._exec.run(program)
+        return self._exec.run(program)
+
+    def _snapshot_state(self, state: tuple, *, full: bool) -> Dict[str, Any]:
+        """Deep-copy the mutable half of one rank's resident state.
+
+        Pattern arrays (``indptr``/``indices``) are immutable for the
+        session's lifetime — a pattern change forces a full re-setup,
+        which drops the replicas — so only the value arrays need copying;
+        the :class:`~repro.core.plan.PreparedA` object itself is shared
+        by reference and its numeric state restored from the copies.
+        ``wire`` is what the checkpoint collective actually ships:
+        values-only for incremental checkpoints, plus the pattern arrays
+        on the first (``full``) one.
+        """
+        rows, local, col_copy, prepared, aux = state
+        wire: List[np.ndarray] = []
+
+        def _copy_csr(mat: CsrMatrix) -> CsrMatrix:
+            data = mat.data.copy()
+            wire.append(data)
+            if full:
+                wire.append(mat.indptr)
+                wire.append(mat.indices)
+            return CsrMatrix(
+                mat.shape, mat.indptr, mat.indices, data, check=False
+            )
+
+        local_copy = _copy_csr(local)
+        col_copy_copy = None if col_copy is None else _copy_csr(col_copy)
+        values: Dict[Tuple[int, int], np.ndarray] = {}
+        strip_values = None
+        if prepared is not None:
+            for peer, subs in prepared.subtiles.items():
+                for i, ps in enumerate(subs):
+                    if ps.block is None:
+                        continue
+                    data = ps.block.data.copy()
+                    wire.append(data)
+                    if full:
+                        wire.append(ps.block.indptr)
+                        wire.append(ps.block.indices)
+                    values[(peer, i)] = data
+            if prepared.strips is not None:
+                strip_values = [s.data.copy() for s in prepared.strips.strips]
+                wire.extend(strip_values)
+        return {
+            "rows": rows,
+            "local": local_copy,
+            "col": col_copy_copy,
+            "prepared": prepared,
+            "values": values,
+            "strips": strip_values,
+            "aux": dict(aux),
+            "wire": wire,
+            "nbytes": int(sum(a.nbytes for a in wire)),
+        }
+
+    def _checkpoint(self) -> Optional[SpmdReport]:
+        """Replicate every rank's resident blocks per the checkpoint policy.
+
+        Called after every state-committing task (setup, prologue
+        multiplies, operand updates).  The replica traffic rides a real
+        collective under the ``checkpoint`` phase — a ring neighbor
+        exchange (``"neighbor"``) or a root gather (``"driver"``) — plus
+        the profile's ``checkpoint_time`` serialization charge, so the
+        overhead shows up in reports like any other phase.  The first
+        checkpoint of a pattern ships pattern + values; later ones are
+        values-only (the pattern already sits on the replica holder).
+        """
+        if not self._recoverable or self.config.checkpoint == "off":
+            return None
+        full = self._ckpt is None
+        blobs = [self._snapshot_state(s, full=full) for s in self._state]
+        policy = self.config.checkpoint
+        machine = self.machine
+
+        def program(comm):
+            blob = blobs[comm.rank]
+            with comm.phase("checkpoint"):
+                if policy == "neighbor":
+                    comm.send(blob["wire"], (comm.rank + 1) % comm.size, tag=78)
+                    comm.recv(source=(comm.rank - 1) % comm.size, tag=78)
+                else:  # driver shadow: every blob lands on the root
+                    comm.gather(blob["wire"], root=0)
+                comm.charge_seconds(machine.checkpoint_time(blob["nbytes"]))
+            return blob["nbytes"]
+
+        result = self._suspended_run(program)
+        self._ckpt = blobs
+        self.checkpoint_bytes += sum(b["nbytes"] for b in blobs)
+        return result.report
+
+    def _recover(self, failure: RankFailure) -> Optional[SpmdReport]:
+        """Restore the failed rank's resident state before a retry.
+
+        A ``crash`` lost the simulated process, so its entry in
+        ``_state`` is clobbered first — recovery must genuinely rebuild
+        it, there is no silent survival.  Transient faults take the same
+        restore path: a failed task may have refreshed prepared values
+        in place before aborting, and the checkpoint copy rolls that
+        back.  With replicas the rebuild is :meth:`_restore_from_checkpoint`;
+        under the ``"off"`` ablation it is a full re-setup from the
+        driver-held input.
+        """
+        self.recoveries += 1
+        if failure.kind == "crash" and self._state is not None:
+            self._state[failure.rank] = None
+        if self._ckpt is not None:
+            return self._restore_from_checkpoint(failure.rank)
+        if self._state is None:
+            # The failing task was the setup itself: nothing was ever
+            # committed, so the retry rebuilds everything from scratch.
+            return None
+        if self._input is None:
+            raise RuntimeError(
+                "cannot recover: no checkpoint replicas and no driver-held "
+                "input (derived sessions need checkpoint != 'off')"
+            )
+        if self._injector is not None:
+            with self._injector.suspend():
+                return self._setup(self._input)
+        return self._setup(self._input)
+
+    def _restore_from_checkpoint(self, rank: int) -> SpmdReport:
+        """Rebuild one rank's blocks from its replica (``recover`` phase).
+
+        The replica holder — ring neighbor or driver root, by policy —
+        ships the blob to the recovering rank, which is charged the
+        profile's ``recover_time`` deserialization on top of the wire
+        cost; the other ranks only synchronize.  The driver then rebinds
+        the rank's state tuple to the snapshot copies and rolls the
+        shared :class:`~repro.core.plan.PreparedA`'s numeric arrays back
+        to checkpoint values.
+        """
+        blob = self._ckpt[rank]
+        holder = 0 if self.config.checkpoint == "driver" else (rank + 1) % self.p
+        nbytes = blob["nbytes"]
+        machine = self.machine
+
+        def program(comm):
+            with comm.phase("recover"):
+                if comm.rank == holder and holder != rank:
+                    comm.send(blob["wire"], rank, tag=77)
+                if comm.rank == rank:
+                    if holder != rank:
+                        comm.recv(source=holder, tag=77)
+                    comm.charge_seconds(machine.recover_time(nbytes))
+                comm.barrier()
+            return None
+
+        result = self._suspended_run(program)
+        prepared = blob["prepared"]
+        if prepared is not None:
+            for (peer, i), data in blob["values"].items():
+                ps = prepared.subtiles[peer][i]
+                blk = ps.block
+                restored = CsrMatrix(
+                    blk.shape, blk.indptr, blk.indices, data.copy(), check=False
+                )
+                ps.block = restored
+                if ps.block_bool is not None:
+                    ps.block_bool = restored.astype(np.bool_)
+            if prepared.strips is not None and blob["strips"] is not None:
+                strips = prepared.strips
+                for j, data in enumerate(blob["strips"]):
+                    s = strips.strips[j]
+                    strips.strips[j] = CsrMatrix(
+                        s.shape, s.indptr, s.indices, data.copy(), check=False
+                    )
+            prepared.spmm_cache = None  # numeric; rebuilt lazily
+        self._state[rank] = (
+            blob["rows"],
+            blob["local"],
+            blob["col"],
+            prepared,
+            dict(blob["aux"]),
+        )
+        self.recover_bytes += nbytes
         return result.report
 
     # ------------------------------------------------------------------
@@ -686,12 +975,22 @@ class TsSession(ResidentSession):
                 )
             return dist_c.local, diag_dict, extra, new_state
 
-        result = self._exec.run(program)
+        retries_before, recoveries_before = self.retries, self.recoveries
+        result = self._run_resilient(program)
         self.multiplies += 1
+        report = result.report
         if prologue is not None:
+            # The prologue may have refreshed resident values: commit the
+            # new state, then re-checkpoint so replicas track the commit.
             self._state = [v[3] for v in result.values]
+            ckpt_report = self._checkpoint()
+            if ckpt_report is not None:
+                report = merge_reports([report, ckpt_report])
         diagnostics = _merge_diag(v[1] for v in result.values)
-        per_phase = result.report.phase_bytes()
+        if self._recoverable:
+            diagnostics["retries"] = self.retries - retries_before
+            diagnostics["recoveries"] = self.recoveries - recoveries_before
+        per_phase = report.phase_bytes()
         diagnostics["driver_scatter_bytes"] = per_phase.get("scatter-B", 0)
         diagnostics["driver_gather_bytes"] = per_phase.get("gather-C", 0)
         blocks = [v[0] for v in result.values]
@@ -714,7 +1013,7 @@ class TsSession(ResidentSession):
             extra_out = self._wrap_local_outputs([v[2] for v in result.values])
         return MultiplyResult(
             C=c_out,
-            report=result.report,
+            report=report,
             diagnostics=diagnostics,
             extra=extra_out,
         )
@@ -771,7 +1070,7 @@ class TsSession(ResidentSession):
         def program(comm):
             return fn(comm, *[h.blocks[comm.rank] for h in operands])
 
-        result = self._exec.run(program)
+        result = self._run_resilient(program)
         return self._wrap_local_outputs(list(result.values)), result.report
 
     # ------------------------------------------------------------------
@@ -794,8 +1093,13 @@ class TsSession(ResidentSession):
         same_pattern = self._pattern is not None and np.array_equal(
             self._pattern[0], A.indptr
         ) and np.array_equal(self._pattern[1], A.indices)
+        if self._recoverable:
+            self._input = A  # the checkpoint="off" rebuild source
         if not same_pattern:
             report = self._setup(A)
+            ckpt_report = self._checkpoint()
+            if ckpt_report is not None:
+                report = merge_reports([report, ckpt_report])
             return report
 
         def program(comm):
@@ -807,9 +1111,13 @@ class TsSession(ResidentSession):
             # aux holds only pattern-derived caches, still valid here.
             return dist_a.rows, dist_a.local, dist_a.col_copy, prepared, aux
 
-        result = self._exec.run(program)
+        result = self._run_resilient(program)
         self._state = list(result.values)
-        return result.report
+        report = result.report
+        ckpt_report = self._checkpoint()
+        if ckpt_report is not None:
+            report = merge_reports([report, ckpt_report])
+        return report
 
     # ------------------------------------------------------------------
     # edge-subset derivation (influence maximization's live-edge samples)
@@ -1028,11 +1336,16 @@ class TsSession(ResidentSession):
                     )
             return rows, new_local, new_col, new_prepared, {}
 
-        result = self._exec.run(program)
+        result = self._run_resilient(program)
         child = self._derived_shell()
         child._state = list(result.values)
         child._pattern = mask_pattern(indptr, indices, keep)
         child.setup_report = result.report
+        ckpt_report = child._checkpoint()
+        if ckpt_report is not None:
+            child.setup_report = merge_reports(
+                [child.setup_report, ckpt_report]
+            )
         return child
 
     def _derived_shell(self) -> "TsSession":
@@ -1056,6 +1369,18 @@ class TsSession(ResidentSession):
         child._state = None
         child._pattern = None
         child.setup_report = None
+        # Resilience: a derived session shares the executor (and hence the
+        # injector) but keeps its own replicas; it has no driver-held
+        # input, so recovery needs checkpoint != "off".
+        child._recoverable = self._recoverable
+        child._injector = self._injector
+        child._input = None
+        child._ckpt = None
+        child.retries = 0
+        child.recoveries = 0
+        child.checkpoint_bytes = 0
+        child.recover_bytes = 0
+        child.recovery_events = []
         return child
 
 

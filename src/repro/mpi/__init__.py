@@ -43,6 +43,10 @@ from .errors import (
     CommMismatchError,
     DeadlockError,
     DeadSessionError,
+    InjectedCrashFault,
+    InjectedFault,
+    InjectedTransientFault,
+    PayloadCorruptionError,
     RankError,
     SanitizerError,
     SpmdAbort,
@@ -50,11 +54,21 @@ from .errors import (
     SpmdError,
 )
 from .executor import ResidentSession, SpmdResult, SpmdSession, run_spmd
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RankFailure,
+    default_timeout,
+    fault_env_seeds,
+    is_recoverable_failure,
+    payload_checksum,
+)
 from .marker import is_rank_program, rank_program
 from .payload import payload_nbytes
 from .runtime import ANY_SOURCE, ANY_TAG
 from .sanitize import sanitize_enabled
-from .stats import CollectiveEvent, PhaseStats, RankStats, SpmdReport
+from .stats import CollectiveEvent, PhaseStats, RankStats, SpmdReport, merge_reports
 
 __all__ = [
     "ANY_SOURCE",
@@ -67,13 +81,21 @@ __all__ = [
     "DeadSessionError",
     "DeadlockError",
     "ETHERNET_CLUSTER",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "Grid2D",
     "Grid3D",
+    "InjectedCrashFault",
+    "InjectedFault",
+    "InjectedTransientFault",
     "MachineProfile",
     "PERLMUTTER",
     "PROFILES",
+    "PayloadCorruptionError",
     "PhaseStats",
     "RankError",
+    "RankFailure",
     "RankStats",
     "ResidentSession",
     "SCALED_PERLMUTTER",
@@ -86,11 +108,16 @@ __all__ = [
     "SpmdResult",
     "SpmdSession",
     "VirtualClock",
+    "default_timeout",
+    "fault_env_seeds",
     "get_profile",
     "is_rank_program",
+    "is_recoverable_failure",
     "layered_grid_dims",
     "make_grid2d",
     "make_grid3d",
+    "merge_reports",
+    "payload_checksum",
     "payload_nbytes",
     "rank_program",
     "run_spmd",

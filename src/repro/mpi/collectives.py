@@ -26,6 +26,7 @@ import operator
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .errors import CommMismatchError
+from .faults import payload_checksum
 from .payload import payload_nbytes
 from .sanitize import meta_structure
 
@@ -155,11 +156,22 @@ class CollectivesMixin:
                 f"alltoall requires {self.size} payloads, got {len(sendlist)}"
             )
         sizes = [payload_nbytes(x) for x in sendlist]
+        # Checksums (opt-in) are computed *before* the payload probe: an
+        # injected corruption models bytes flipped on the wire, so the
+        # receiver's recomputation disagrees with the sender's digest.
+        checks = (
+            [payload_checksum(x) for x in sendlist] if self._checksum else None
+        )
+        sendlist = self._fault_payload(list(sendlist))
         board = self._ctx.exchange(
-            self.rank, (self._clock.now, sizes, list(sendlist))
+            self.rank, (self._clock.now, sizes, list(sendlist), checks)
         )
         entries = [b[0] for b in board]
         recv = [b[2][self.rank] for b in board]
+        if self._checksum:
+            for i, b in enumerate(board):
+                expected = b[3][self.rank] if b[3] is not None else None
+                self._verify_checksum(expected, recv[i], i)
         sent_bytes = sum(sz for j, sz in enumerate(sizes) if j != self.rank)
         recv_bytes = sum(b[1][self.rank] for i, b in enumerate(board) if i != self.rank)
         self._stats.record_collective(sent_bytes, recv_bytes)
@@ -218,12 +230,28 @@ class CollectivesMixin:
             detail=("sections:" + ",".join(names), "meta:" + meta_structure(meta)),
         )
         sizes = [[payload_nbytes(x) for x in sl] for _, sl in sections]
+        payloads = [list(sl) for _, sl in sections]
+        checks = (
+            [
+                payload_checksum([sl[j] for sl in payloads])
+                for j in range(self.size)
+            ]
+            if self._checksum
+            else None
+        )
+        payloads = self._fault_payload(payloads)
         board = self._ctx.exchange(
             self.rank,
-            (self._clock.now, names, sizes, [list(sl) for _, sl in sections], meta),
+            (self._clock.now, names, sizes, payloads, meta, checks),
         )
         entries = [b[0] for b in board]
         _check_consistent([b[1] for b in board], "fused section names")
+        if self._checksum:
+            for i, b in enumerate(board):
+                expected = b[5][self.rank] if b[5] is not None else None
+                self._verify_checksum(
+                    expected, [sl[self.rank] for sl in b[3]], i
+                )
         pairs = []
         for s, name in enumerate(names):
             sent = sum(sz for j, sz in enumerate(sizes[s]) if j != self.rank)

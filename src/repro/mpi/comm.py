@@ -23,6 +23,8 @@ from typing import Any, Iterator, Optional, Tuple
 from .clock import VirtualClock
 from .collectives import CollectivesMixin
 from .costmodel import MachineProfile
+from .errors import PayloadCorruptionError
+from .faults import FaultInjector, corrupt_payload, payload_checksum
 from .payload import payload_nbytes
 from .runtime import ANY_SOURCE, ANY_TAG, GroupContext, Message
 from .sanitize import (
@@ -45,6 +47,8 @@ class SimComm(CollectivesMixin):
         clock: VirtualClock,
         stats: RankStats,
         sanitizer: Optional[TaskSanitizer] = None,
+        injector: Optional[FaultInjector] = None,
+        checksum: bool = False,
     ):
         self._ctx = ctx
         self.rank = rank
@@ -52,6 +56,8 @@ class SimComm(CollectivesMixin):
         self._clock = clock
         self._stats = stats
         self._sanitizer = sanitizer
+        self._injector = injector
+        self._checksum = checksum
         self._split_sites = 0
 
     # ------------------------------------------------------------------
@@ -175,6 +181,56 @@ class SimComm(CollectivesMixin):
         self._split_sites += 1
         return site
 
+    def _fault_point(self, kind: str) -> None:
+        """Fault-injection probe at the entry of every collective.
+
+        Colocated with the sanitizer hook so every collective of every
+        rank is a deterministic probe point without per-collective edits;
+        active independently of sanitize mode.  ``slow`` specs charge
+        their delay on this rank's clock; ``crash``/``transient`` specs
+        raise the corresponding :class:`~repro.mpi.errors.InjectedFault`.
+        """
+        inj = self._injector
+        if inj is None:
+            return
+        spec = inj.fire(self.global_rank, self._stats.current_phase, "collective")
+        if spec is None:
+            return
+        if spec.kind == "slow":
+            self._charge_compute(spec.delay)
+        else:
+            inj.raise_for(spec, self.global_rank)
+
+    def _fault_payload(self, payload: Any) -> Any:
+        """Payload probe: return ``payload``, possibly corrupted on-wire.
+
+        Called by the all-to-all variants on the outgoing send list after
+        any checksums were computed.  Corruption copies the affected
+        containers, so the sender's resident data stays intact — only the
+        receiver observes flipped bytes.
+        """
+        inj = self._injector
+        if inj is None:
+            return payload
+        spec = inj.fire(self.global_rank, self._stats.current_phase, "payload")
+        if spec is None:
+            return payload
+        corrupted, done = corrupt_payload(payload)
+        return corrupted if done else payload
+
+    def _verify_checksum(self, expected: Any, payload: Any, source: int) -> None:
+        """Receiver-side checksum check (only when ``checksum=True``)."""
+        if expected is None:
+            return
+        actual = payload_checksum(payload)
+        if actual != expected:
+            raise PayloadCorruptionError(
+                f"checksum mismatch on payload from rank {source} in phase "
+                f"{self._stats.current_phase!r}: expected {expected:#010x}, "
+                f"got {actual:#010x}",
+                ranks=(source, self.global_rank),
+            )
+
     def _sanitize(self, kind: str, detail: Tuple = (), payload: Any = None) -> None:
         """Sanitizer pre-collective hook (no-op unless sanitize mode).
 
@@ -187,6 +243,7 @@ class SimComm(CollectivesMixin):
         produce.  The record also lands on ``stats.events`` so watchdog
         diagnostics can name each rank's last known collective.
         """
+        self._fault_point(kind)
         san = self._sanitizer
         if san is None:
             return
@@ -211,5 +268,6 @@ class SimComm(CollectivesMixin):
 
     def _make_sibling(self, ctx: GroupContext, rank: int) -> "SimComm":
         return SimComm(
-            ctx, rank, self.machine, self._clock, self._stats, self._sanitizer
+            ctx, rank, self.machine, self._clock, self._stats, self._sanitizer,
+            self._injector, self._checksum,
         )

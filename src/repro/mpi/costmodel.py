@@ -139,6 +139,17 @@ class MachineProfile:
     mem_time: float = 1.0 / 100.0e9
     cache_bytes: float = 4.0e7
     threads: int = 16
+    #: Checkpoint/recovery constants (the resilience layer,
+    #: docs/resilience.md).  A checkpoint streams one rank's block payload
+    #: to its replica home (neighbor ring or driver shadow) at roughly
+    #: NIC bandwidth plus a small fixed cost for initiating the replica
+    #: write; recovery streams it back and reinstalls it.  Charged under
+    #: the dedicated ``checkpoint``/``recover`` phases so the overhead is
+    #: visible in every report instead of silently free.
+    checkpoint_alpha: float = 2.0e-5
+    checkpoint_beta: float = 1.0 / 10.0e9
+    recover_alpha: float = 5.0e-5
+    recover_beta: float = 1.0 / 10.0e9
 
     # ------------------------------------------------------------------
     # compute costs
@@ -213,6 +224,14 @@ class MachineProfile:
     def touch_time(self, nbytes: int) -> float:
         """Virtual seconds to stream ``nbytes`` through memory (merge/pack)."""
         return max(nbytes, 0) * self.mem_time
+
+    def checkpoint_time(self, nbytes: int) -> float:
+        """Virtual seconds to write one rank's ``nbytes`` checkpoint."""
+        return self.checkpoint_alpha + self.checkpoint_beta * max(nbytes, 0)
+
+    def recover_time(self, nbytes: int) -> float:
+        """Virtual seconds to restore one rank's ``nbytes`` from a replica."""
+        return self.recover_alpha + self.recover_beta * max(nbytes, 0)
 
     # ------------------------------------------------------------------
     # communication costs (per rank)

@@ -109,6 +109,53 @@ class DeadSessionError(SpmdDiagnosticError):
         self.reason = reason
 
 
+class InjectedFault(SpmdDiagnosticError):
+    """Base for failures raised by the deterministic fault injector.
+
+    These model *environment* failures (a dying node, a flaky link), not
+    program bugs: in a session with ``recoverable=True`` they transition
+    the session to *degraded* instead of *dead* so the driver can restore
+    state from a checkpoint and retry (see ``docs/resilience.md``).
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.mpi.faults.FaultSpec` that fired, when known.
+    """
+
+    def __init__(self, message, *, ranks=(), call_sites=(), spec=None):
+        super().__init__(message, ranks=ranks, call_sites=call_sites)
+        self.spec = spec
+
+
+class InjectedCrashFault(InjectedFault):
+    """Injected rank crash: the rank's worker dies with its resident state.
+
+    Models a node failure.  The executor treats the worker thread as a
+    dead process — a recoverable session respawns it and the driver must
+    rebuild the lost rank's resident blocks (from a checkpoint replica,
+    or from scratch under ``checkpoint="off"``).
+    """
+
+
+class InjectedTransientFault(InjectedFault):
+    """Injected transient collective failure (flaky link / timeout).
+
+    The rank and its state survive; the task fails and is simply retried
+    after restoring the failed rank's operands from the last checkpoint.
+    """
+
+
+class PayloadCorruptionError(SpmdDiagnosticError):
+    """A receiver's checksum did not match the sender's payload.
+
+    Raised inside the receiving rank program when the session runs with
+    ``checksum=True`` and an injected ``corrupt`` fault flipped bytes on
+    the wire.  Recoverable: the payload is re-derivable from resident
+    state, so the driver retries the task.
+    """
+
+
 class SanitizerError(SpmdDiagnosticError):
     """Base for findings of the runtime collective sanitizer.
 

@@ -41,9 +41,17 @@ from .costmodel import PERLMUTTER, MachineProfile
 from .errors import (
     DeadlockError,
     DeadSessionError,
+    InjectedCrashFault,
     RankError,
     SanitizerError,
     SpmdAbort,
+)
+from .faults import (
+    FaultInjector,
+    RankFailure,
+    default_timeout,
+    failure_kind,
+    is_recoverable_failure,
 )
 from .runtime import AbortController, GroupContext
 from .sanitize import TaskSanitizer, check_byte_conservation, sanitize_enabled
@@ -86,18 +94,25 @@ class _SpmdTask:
 
     def __init__(self, size: int, fn: Callable, args: tuple, kwargs: dict,
                  machine: MachineProfile,
-                 sanitizer: Optional[TaskSanitizer] = None):
+                 sanitizer: Optional[TaskSanitizer] = None,
+                 injector: Optional[FaultInjector] = None,
+                 checksum: bool = False):
         self.fn = fn
         self.args = args
         self.kwargs = kwargs
         self.machine = machine
         self.sanitizer = sanitizer
+        self.injector = injector
+        self.checksum = checksum
         self.abort = AbortController()
         self.ctx = GroupContext(size, self.abort, list(range(size)))
         self.clocks = [VirtualClock() for _ in range(size)]
         self.stats = [RankStats(rank=r) for r in range(size)]
         self.results: List[Any] = [None] * size
         self.completed = [False] * size
+        #: Ranks whose worker thread must exit after this task — an
+        #: injected crash simulates process death, not just a task error.
+        self.worker_exit = [False] * size
         self.error: Optional[Tuple[int, BaseException]] = None
         self.cond = threading.Condition()
         self.done = 0
@@ -105,13 +120,15 @@ class _SpmdTask:
     def execute(self, rank: int) -> None:
         comm = SimComm(
             self.ctx, rank, self.machine, self.clocks[rank], self.stats[rank],
-            self.sanitizer,
+            self.sanitizer, self.injector, self.checksum,
         )
         try:
             self.results[rank] = self.fn(comm, *self.args, **self.kwargs)
         except SpmdAbort:
             pass  # collateral of another rank's failure
         except BaseException as exc:  # noqa: BLE001 - must catch everything
+            if isinstance(exc, InjectedCrashFault):
+                self.worker_exit[rank] = True
             with self.cond:
                 if self.error is None:
                     self.error = (rank, exc)
@@ -150,6 +167,11 @@ def _session_worker(rank: int, tasks: "queue.Queue") -> None:
         if task is None:
             return
         task.execute(rank)
+        if task.worker_exit[rank]:
+            # Injected crash: this worker is a dead process.  A
+            # recoverable session respawns a fresh thread on the same
+            # queue (safe: every task carries a fresh GroupContext).
+            return
 
 
 class SpmdSession:
@@ -169,17 +191,36 @@ class SpmdSession:
         size: int,
         *,
         machine: MachineProfile = PERLMUTTER,
-        timeout: float = 600.0,
+        timeout: Optional[float] = None,
         sanitize: Optional[bool] = None,
+        recoverable: bool = False,
+        injector: Optional[FaultInjector] = None,
+        checksum: bool = False,
+        join_timeout: float = 2.0,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
         self.size = size
         self.machine = machine
-        self.timeout = timeout
+        #: Watchdog timeout: explicit argument, else REPRO_SPMD_TIMEOUT,
+        #: else 600 s.
+        self.timeout = default_timeout() if timeout is None else timeout
+        self.join_timeout = join_timeout
         #: Resolved sanitize setting: an explicit True wins, otherwise
         #: the REPRO_SANITIZE environment variable decides.
         self.sanitize = sanitize_enabled(sanitize)
+        #: Recoverable mode: a task failing with an *environment* fault
+        #: (see :func:`~repro.mpi.faults.is_recoverable_failure`) leaves
+        #: the session *degraded* instead of dead — crashed workers are
+        #: respawned and the caller may retry after restoring state.
+        self.recoverable = recoverable
+        self.injector = injector
+        self.checksum = checksum
+        #: Structured records of recoverable failures, in order.
+        self.failures: List[RankFailure] = []
+        #: True between a recoverable failure and the next successful task.
+        self.degraded = False
+        self._tasks_run = 0
         self._queues: List[queue.Queue] = [queue.Queue() for _ in range(size)]
         self._closed = False
         self._dead_reason: Optional[str] = None
@@ -192,22 +233,27 @@ class SpmdSession:
         # some rank queues (which would strand the task's collectives).
         # Held only around enqueues — close() never waits on a task.
         self._queue_lock = threading.Lock()
-        self._threads = [
-            threading.Thread(
-                target=_session_worker,
-                args=(r, self._queues[r]),
-                name=f"spmd-rank-{r}",
-                daemon=True,
-            )
-            for r in range(size)
-        ]
-        for t in self._threads:
-            t.start()
+        self._threads = [self._spawn_worker(r) for r in range(size)]
+
+    def _spawn_worker(self, rank: int) -> threading.Thread:
+        t = threading.Thread(
+            target=_session_worker,
+            args=(rank, self._queues[rank]),
+            name=f"spmd-rank-{rank}",
+            daemon=True,
+        )
+        t.start()
+        return t
 
     # ------------------------------------------------------------------
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def dead_reason(self) -> Optional[str]:
+        """Why the session died (``None`` while alive or merely closed)."""
+        return self._dead_reason
 
     def close(self, *, join: bool = True) -> None:
         """Shut the workers down (idempotent).  Safe to call on a dead
@@ -221,7 +267,7 @@ class SpmdSession:
                 q.put(None)
         if join:
             for t in self._threads:
-                t.join(timeout=2.0)
+                t.join(timeout=self.join_timeout)
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
@@ -251,8 +297,12 @@ class SpmdSession:
         """
         with self._run_lock:
             sanitizer = TaskSanitizer(self.size) if self.sanitize else None
+            if self.injector is not None:
+                self.injector.begin_task()
+            self._tasks_run += 1
             task = _SpmdTask(
-                self.size, fn, args, kwargs, self.machine, sanitizer
+                self.size, fn, args, kwargs, self.machine, sanitizer,
+                self.injector, self.checksum,
             )
             with self._queue_lock:
                 if self._closed:
@@ -302,6 +352,29 @@ class SpmdSession:
                     # surface it directly instead of wrapping in RankError.
                     self._kill(f"sanitizer: {type(exc).__name__}: {exc}")
                     raise exc
+                if self.recoverable and is_recoverable_failure(exc):
+                    # Environment fault in a recoverable session: degrade
+                    # instead of die.  Crashed workers are respawned on
+                    # the same queues; the caller restores state from its
+                    # checkpoints and retries.
+                    failure = RankFailure(
+                        task=self._tasks_run - 1,
+                        rank=rank,
+                        kind=failure_kind(exc),
+                        error=exc,
+                        phase=task.stats[rank].current_phase,
+                    )
+                    self.failures.append(failure)
+                    self.degraded = True
+                    for r in range(self.size):
+                        if task.worker_exit[r]:
+                            self._threads[r] = self._spawn_worker(r)
+                    err = RankError(rank, exc)
+                    err.failure = failure
+                    # Partial report of the failed attempt: the retry
+                    # loop merges it so aborted work is still charged.
+                    err.report = task.report()
+                    raise err from exc
                 self._kill(
                     f"rank {rank} raised {type(exc).__name__}: {exc}"
                 )
@@ -327,6 +400,7 @@ class SpmdSession:
                 )
             if task.sanitizer is not None:
                 check_byte_conservation(task.stats)
+            self.degraded = False
             return SpmdResult(list(task.results), task.report())
 
 
@@ -350,10 +424,25 @@ class ResidentSession:
         p: int,
         machine: MachineProfile = PERLMUTTER,
         sanitize: Optional[bool] = None,
+        *,
+        timeout: Optional[float] = None,
+        recoverable: bool = False,
+        injector: Optional[FaultInjector] = None,
+        checksum: bool = False,
+        join_timeout: float = 2.0,
     ):
         self.p = p
         self.machine = machine
-        self._exec = SpmdSession(p, machine=machine, sanitize=sanitize)
+        self._exec = SpmdSession(
+            p,
+            machine=machine,
+            sanitize=sanitize,
+            timeout=timeout,
+            recoverable=recoverable,
+            injector=injector,
+            checksum=checksum,
+            join_timeout=join_timeout,
+        )
 
     def _run_setup(self, setup: Callable) -> List[Any]:
         """Run the one-time distribution task; record its report."""
@@ -383,7 +472,7 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     machine: MachineProfile = PERLMUTTER,
-    timeout: float = 600.0,
+    timeout: Optional[float] = None,
     sanitize: Optional[bool] = None,
     **kwargs: Any,
 ) -> SpmdResult:
@@ -403,7 +492,9 @@ def run_spmd(
         The α–β/compute cost profile to charge against.
     timeout:
         Watchdog in *real* seconds; on expiry the run is aborted and
-        :class:`DeadlockError` raised.
+        :class:`DeadlockError` raised.  ``None`` (default) resolves from
+        the ``REPRO_SPMD_TIMEOUT`` environment variable, falling back
+        to 600 s.
 
     Returns
     -------

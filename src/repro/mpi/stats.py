@@ -230,3 +230,39 @@ class SpmdReport:
                 if stats.alltoall_rounds:
                     out[name] = max(out.get(name, 0), stats.alltoall_rounds)
         return out
+
+
+def merge_reports(reports: List["SpmdReport"]) -> "SpmdReport":
+    """Combine several same-size task reports into one aggregate.
+
+    Used by the driver's retry loop to charge failed attempts and
+    recovery tasks honestly: virtual clocks add elementwise (the rank
+    lived through every attempt in sequence), per-phase counters merge,
+    and event traces concatenate.  The inputs are not mutated.
+    """
+    if not reports:
+        raise ValueError("merge_reports needs at least one report")
+    size = reports[0].size
+    for r in reports[1:]:
+        if r.size != size:
+            raise ValueError(
+                f"cannot merge reports of sizes {size} and {r.size}"
+            )
+    merged_stats: List[RankStats] = []
+    for rank in range(size):
+        out = RankStats(rank=rank)
+        for r in reports:
+            rs = r.rank_stats[rank]
+            for name, stats in rs.phases.items():
+                out.phase_stats(name).merge(stats)
+            out.events.extend(rs.events)
+        merged_stats.append(out)
+    return SpmdReport(
+        size=size,
+        rank_stats=merged_stats,
+        clocks=[sum(r.clocks[i] for r in reports) for i in range(size)],
+        comm_times=[sum(r.comm_times[i] for r in reports) for i in range(size)],
+        compute_times=[
+            sum(r.compute_times[i] for r in reports) for i in range(size)
+        ],
+    )

@@ -22,11 +22,33 @@ from typing import List, Optional
 import numpy as np
 
 from ..mpi.comm import SimComm
+from ..mpi.errors import DeadSessionError
 from ..sparse.csr import CsrMatrix
 from ..sparse.merge import merge_csrs
 from ..sparse.ops import extract_col_range, extract_row_range
 from ..sparse.semiring import PLUS_TIMES, Semiring
 from .block1d import Block1D
+
+
+def _check_owner_alive(handle) -> None:
+    """Refuse to read a handle whose owning session was aborted.
+
+    A handle's blocks are rank-resident state; once the owning session
+    died (``MPI_Abort`` semantics — watchdog, unrecovered fault, rank
+    error), those blocks are in an unknown state on the real machine.
+    Gathering them would silently hand the driver stale data, so the
+    follow-on call surfaces the original kill reason instead.  A cleanly
+    :meth:`closed <repro.mpi.executor.SpmdSession.close>` session keeps
+    its handles readable — iterative drivers gather before closing.
+    """
+    exec_ = getattr(handle.owner, "_exec", None)
+    reason = getattr(exec_, "dead_reason", None)
+    if reason:
+        raise DeadSessionError(
+            "cannot gather from a handle whose owning session died "
+            f"(aborted: {reason}); re-create the session and recompute",
+            reason=reason,
+        )
 
 
 @dataclass
@@ -205,7 +227,12 @@ class DistHandle:
         return self.blocks[rank]
 
     def gather(self) -> CsrMatrix:
-        """Materialize the global matrix on the driver (ends the chain)."""
+        """Materialize the global matrix on the driver (ends the chain).
+
+        Raises :class:`~repro.mpi.errors.DeadSessionError` — carrying the
+        original kill reason — when the owning session was aborted.
+        """
+        _check_owner_alive(self)
         return _vstack_blocks(self.blocks, self.ncols)
 
 
@@ -238,7 +265,12 @@ class DistDenseHandle:
         return self.blocks[rank]
 
     def gather(self) -> np.ndarray:
-        """Materialize the global dense matrix on the driver."""
+        """Materialize the global dense matrix on the driver.
+
+        Raises :class:`~repro.mpi.errors.DeadSessionError` — carrying the
+        original kill reason — when the owning session was aborted.
+        """
+        _check_owner_alive(self)
         return np.vstack(self.blocks)
 
 

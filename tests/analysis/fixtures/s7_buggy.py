@@ -1,0 +1,16 @@
+"""S7 fixture: rank program mutating resident operand state directly.
+
+The operand handle's ``.aux`` dict and ``.prepared`` plan are
+checkpointed by the resilience layer; writing them directly (instead of
+through ``operand.cache(...)``) means a post-fault recovery restores
+stale state.
+"""
+
+
+def sddmm_prologue(comm, operand, z_local):
+    with comm.phase("prepare"):
+        rows = comm.alltoall([z_local] * comm.size)
+    operand.aux["plan"] = rows  # EXPECT: S7
+    operand.aux.update(planned=True)  # EXPECT: S7
+    operand.prepared.spmm_cache = None  # EXPECT: S7
+    return rows

@@ -1,0 +1,339 @@
+"""Checkpoint/recovery: bit-identical results under injected faults.
+
+The acceptance matrix of the resilience layer (docs/resilience.md): for
+every fault point × checkpoint policy × communication-fusion setting the
+application-level outputs (MS-BFS visited set, embedding Z) must be
+**bit-identical** to the fault-free run — recovery restores exact state,
+never approximately-equal state.
+
+Fault-point indexing (see docs/resilience.md): task indices count every
+session task including checkpoint tasks, so with checkpointing on the
+first multiply is task 2 (0 = setup, 1 = setup-checkpoint); with
+``checkpoint="off"`` (or a non-recoverable session) it is task 1.  A
+fused multiply has exactly one collective probe per rank (``seq=0``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import msbfs, train_sparse_embedding
+from repro.core import TsConfig
+from repro.core.driver import TsSession
+from repro.data import erdos_renyi, random_sources
+from repro.mpi import DeadSessionError, FaultPlan, RankError, fault_env_seeds
+from repro.sparse import CsrMatrix
+
+P = 4
+N = 48
+
+
+def bitwise_equal(a: CsrMatrix, b: CsrMatrix) -> bool:
+    return (
+        a.shape == b.shape
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.data, b.data)
+    )
+
+
+def _graph(seed=5):
+    return erdos_renyi(N, 4, seed=seed)
+
+
+def _A(seed=5):
+    """Square sparse A with distinct per-edge values (value-refresh tests
+    need values the identity-pattern graph weights would hide)."""
+    adj = erdos_renyi(N, 4, seed=seed)
+    rng = np.random.default_rng(seed + 100)
+    data = rng.random(adj.nnz) + 0.5
+    return CsrMatrix(adj.shape, adj.indptr, adj.indices, data, check=False)
+
+
+def _operand(seed=7):
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((N, 6)) < 0.3, rng.random((N, 6)), 0.0)
+    return CsrMatrix.from_dense(dense)
+
+
+def _recoverable(**overrides) -> TsConfig:
+    overrides.setdefault("retry_backoff", 0.0)
+    return TsConfig(recoverable=True, **overrides)
+
+
+def _fault_seeds():
+    """CI sweep seeds: ``REPRO_FAULTS`` when set, else a small default."""
+    return fault_env_seeds(default=(0, 1))
+
+
+# ----------------------------------------------------------------------
+# the acceptance matrix: MS-BFS bit-identity
+# ----------------------------------------------------------------------
+class TestMsbfsBitIdentity:
+    @pytest.mark.parametrize("checkpoint", ["neighbor", "driver", "off"])
+    @pytest.mark.parametrize("fuse", [True, False])
+    @pytest.mark.parametrize("kind", ["transient", "crash"])
+    def test_fault_matrix(self, checkpoint, fuse, kind):
+        adj = _graph()
+        sources = random_sources(N, 4, seed=1)
+        mult_task = 1 if checkpoint == "off" else 2
+        clean = msbfs(adj, sources, P, config=TsConfig(fuse_comm=fuse))
+        faulted = msbfs(
+            adj,
+            sources,
+            P,
+            config=_recoverable(
+                fuse_comm=fuse,
+                checkpoint=checkpoint,
+                faults=f"{kind}@1,task={mult_task},seq=0",
+            ),
+        )
+        assert bitwise_equal(clean.visited, faulted.visited)
+        assert sum(it.retries for it in faulted.iterations) == 1
+        assert sum(it.recoveries for it in faulted.iterations) == 1
+        # The clean run's trace shows no resilience activity.
+        assert sum(it.retries for it in clean.iterations) == 0
+
+    def test_setup_crash_retries_clean(self):
+        """A crash during setup (task 0) has no state to restore — the
+        retry rebuilds from the driver-held input."""
+        adj = _graph()
+        sources = random_sources(N, 4, seed=1)
+        clean = msbfs(adj, sources, P)
+        faulted = msbfs(
+            adj, sources, P,
+            config=_recoverable(faults="crash@0,task=0,seq=0"),
+        )
+        assert bitwise_equal(clean.visited, faulted.visited)
+
+    @pytest.mark.parametrize("seed", _fault_seeds())
+    def test_seeded_fault_sweep(self, seed):
+        """Randomized plans (the CI ``REPRO_FAULTS`` sweep): a drawn point
+        the program never reaches simply does not fire, so every seed is
+        a legal member — bit-identity must hold regardless."""
+        adj = _graph()
+        sources = random_sources(N, 4, seed=2)
+        plan = FaultPlan.seeded(
+            seed, P, kinds=("transient", "crash"), n=2, max_task=5, max_seq=2
+        )
+        clean = msbfs(adj, sources, P)
+        faulted = msbfs(
+            adj, sources, P, config=_recoverable(faults=plan.render())
+        )
+        assert bitwise_equal(clean.visited, faulted.visited)
+
+
+# ----------------------------------------------------------------------
+# embedding bit-identity (prologue + epilogue + value refresh path)
+# ----------------------------------------------------------------------
+class TestEmbeddingBitIdentity:
+    @pytest.mark.parametrize("checkpoint", ["neighbor", "driver"])
+    @pytest.mark.parametrize("kind", ["transient", "crash"])
+    def test_fault_in_first_epoch(self, checkpoint, kind):
+        adj = _graph(seed=9)
+        kwargs = dict(d=8, sparsity=0.5, epochs=3, seed=1)
+        clean = train_sparse_embedding(adj, P, **kwargs)
+        faulted = train_sparse_embedding(
+            adj,
+            P,
+            config=_recoverable(
+                checkpoint=checkpoint, faults=f"{kind}@1,task=2,seq=0"
+            ),
+            **kwargs,
+        )
+        assert bitwise_equal(clean.Z, faulted.Z)
+        assert clean.accuracy == faulted.accuracy
+        assert sum(e.retries for e in faulted.epochs) == 1
+
+
+# ----------------------------------------------------------------------
+# session-level mechanics
+# ----------------------------------------------------------------------
+class TestSessionRecovery:
+    def test_checkpoint_and_recover_phase_accounting(self):
+        """Replica traffic is charged under its own phases, conserved
+        under the sanitizer, and a recovery ships one rank's blocks —
+        strictly less than the full-session checkpoint."""
+        config = _recoverable(
+            checkpoint="neighbor",
+            faults="transient@2,task=2,seq=0",
+            sanitize=True,
+        )
+        session = TsSession(_A(), P, config=config)
+        try:
+            assert session.setup_report.phase_bytes().get("checkpoint", 0) > 0
+            result = session.multiply(_operand(seed=8))
+            assert result.report.phase_bytes().get("recover", 0) > 0
+            assert result.diagnostics["retries"] == 1
+            assert result.diagnostics["recoveries"] == 1
+            assert session.checkpoint_bytes > 0
+            assert 0 < session.recover_bytes < session.checkpoint_bytes
+            assert [f.describe() for f in session.recovery_events]
+        finally:
+            session.close()
+
+    def test_checkpoint_off_rebuilds_from_input(self):
+        config = _recoverable(checkpoint="off", faults="crash@1,task=1,seq=0")
+        session = TsSession(_A(), P, config=config)
+        plain = TsSession(_A(), P, config=TsConfig())
+        try:
+            B = _operand(seed=8)
+            want = plain.multiply(B).C
+            got = session.multiply(B)
+            assert bitwise_equal(want, got.C)
+            assert got.diagnostics["recoveries"] == 1
+            assert session.checkpoint_bytes == 0
+        finally:
+            session.close()
+            plain.close()
+
+    def test_recovered_session_keeps_working(self):
+        """Post-recovery multiplies stay bit-identical — the restored
+        state is not subtly stale."""
+        config = _recoverable(faults="crash@3,task=2,seq=0")
+        session = TsSession(_A(), P, config=config)
+        plain = TsSession(_A(), P, config=TsConfig())
+        try:
+            for seed in (8, 11, 12):
+                B = _operand(seed=seed)
+                assert bitwise_equal(
+                    plain.multiply(B).C, session.multiply(B).C
+                )
+            assert session.retries == 1
+        finally:
+            session.close()
+            plain.close()
+
+    def test_update_operand_then_recovery_uses_fresh_values(self):
+        """A recovery after ``update_operand`` must restore the *updated*
+        values, not the construction-time ones."""
+        A = _A()
+        A2 = CsrMatrix(A.shape, A.indptr, A.indices, A.data * 2.0, check=False)
+        B = _operand(seed=8)
+
+        clean = TsSession(A, P, config=_recoverable())
+        try:
+            clean.multiply(B)
+            clean.update_operand(A2)
+            next_task = clean._exec._tasks_run  # the faulted run's target
+            want = clean.multiply(B).C
+        finally:
+            clean.close()
+
+        faulted = TsSession(
+            A, P,
+            config=_recoverable(faults=f"crash@2,task={next_task},seq=0"),
+        )
+        try:
+            faulted.multiply(B)
+            faulted.update_operand(A2)
+            got = faulted.multiply(B)
+            assert bitwise_equal(want, got.C)
+            assert got.diagnostics["retries"] == 1
+        finally:
+            faulted.close()
+
+    def test_retry_budget_exhaustion_raises(self):
+        config = _recoverable(max_retries=0, faults="crash@1,task=2,seq=0")
+        session = TsSession(_A(), P, config=config)
+        try:
+            with pytest.raises(RankError):
+                session.multiply(_operand(seed=8))
+        finally:
+            session.close()
+
+    def test_diagnostics_only_on_recoverable_sessions(self):
+        B = _operand(seed=8)
+        plain = TsSession(_A(), P, config=TsConfig())
+        rec = TsSession(_A(), P, config=_recoverable())
+        try:
+            base = plain.multiply(B)
+            assert "retries" not in base.diagnostics
+            result = rec.multiply(B)
+            assert result.diagnostics["retries"] == 0
+            assert result.diagnostics["recoveries"] == 0
+            # Recoverable mode alone changes no numbers.
+            assert bitwise_equal(base.C, result.C)
+        finally:
+            plain.close()
+            rec.close()
+
+
+# ----------------------------------------------------------------------
+# derived sessions
+# ----------------------------------------------------------------------
+class TestDerivedSessions:
+    def _keep_mask(self, A, seed=3):
+        rng = np.random.default_rng(seed)
+        return rng.random(A.nnz) < 0.7
+
+    def test_derived_session_recovers_from_its_own_checkpoint(self):
+        A = _A()
+        B = _operand(seed=8)
+        keep = self._keep_mask(A)
+
+        clean_parent = TsSession(A, P, config=_recoverable())
+        try:
+            clean_child = clean_parent.derive_edge_subset(keep)
+            next_task = clean_parent._exec._tasks_run
+            want = clean_child.multiply(B).C
+        finally:
+            clean_parent.close()
+
+        parent = TsSession(
+            A, P,
+            config=_recoverable(faults=f"crash@2,task={next_task},seq=0"),
+        )
+        try:
+            child = parent.derive_edge_subset(keep)
+            got = child.multiply(B)
+            assert bitwise_equal(want, got.C)
+            assert got.diagnostics["recoveries"] == 1
+        finally:
+            parent.close()
+
+    def test_derived_session_without_checkpoint_cannot_recover(self):
+        """checkpoint='off' recovery re-runs setup from the driver-held
+        input — which a derived session does not have."""
+        A = _A()
+        keep = self._keep_mask(A)
+
+        probe = TsSession(A, P, config=_recoverable(checkpoint="off"))
+        try:
+            probe.derive_edge_subset(keep)
+            next_task = probe._exec._tasks_run
+        finally:
+            probe.close()
+
+        parent = TsSession(
+            A, P,
+            config=_recoverable(
+                checkpoint="off", faults=f"crash@2,task={next_task},seq=0"
+            ),
+        )
+        try:
+            child = parent.derive_edge_subset(keep)
+            with pytest.raises(RuntimeError, match="derived"):
+                child.multiply(_operand(seed=8))
+        finally:
+            parent.close()
+
+
+# ----------------------------------------------------------------------
+# dead-session follow-on UX
+# ----------------------------------------------------------------------
+class TestDeadSessionUx:
+    def test_gather_after_abort_names_the_original_fault(self):
+        # recoverable=False: injection kills the session (task 1 is the
+        # first multiply — no checkpoint tasks without recoverable mode).
+        config = TsConfig(faults="crash@1,task=1,seq=0")
+        session = TsSession(_A(), P, config=config)
+        try:
+            handle = session.scatter(_operand(seed=8))
+            with pytest.raises(RankError):
+                session.multiply(handle, gather=False)
+            with pytest.raises(DeadSessionError) as ei:
+                handle.gather()
+            assert "InjectedCrashFault" in ei.value.reason
+            assert "re-create the session" in str(ei.value)
+        finally:
+            session.close()
