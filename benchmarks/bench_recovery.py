@@ -167,6 +167,28 @@ def bench_recovery(benchmark, sink):
             f"values-only checkpoint ({incremental}) not below the full "
             f"snapshot ({full_ck})"
         )
+
+        # 6. resident checkpoint memory is bounded: committing a new
+        # replica generation drops the superseded one, so the gauge
+        # stays flat round after round while the cumulative traffic
+        # counter keeps growing — a long-lived serving session never
+        # accumulates checkpoint generations.
+        resident = faulted.checkpoint_resident_bytes
+        assert 0 < resident <= faulted.checkpoint_bytes
+        for step in range(3):
+            scaled = CsrMatrix(
+                A.shape, A.indptr, A.indices, A.data * (3.0 + step),
+                check=False,
+            )
+            before_traffic = faulted.checkpoint_bytes
+            faulted.update_operand(scaled)
+            assert faulted.checkpoint_bytes > before_traffic
+            assert faulted.checkpoint_resident_bytes == resident, (
+                f"resident checkpoint memory grew on refresh {step}: "
+                f"{faulted.checkpoint_resident_bytes} != {resident} "
+                "(superseded replica generation not dropped)"
+            )
+        assert faulted.checkpoint_resident_bytes < faulted.checkpoint_bytes
     finally:
         ref.close()
         faulted.close()

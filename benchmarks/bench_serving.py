@@ -1,0 +1,232 @@
+"""Benchmark: the multi-tenant resident query service under load.
+
+Three phases over one deterministic mixed workload (BFS source batches,
+influence samples, embedding lookups — :func:`repro.serve.make_queries`):
+
+1. **Batching throughput** — thousands of queries through a wide-batch
+   service vs the same stream served one query at a time.  Coalescing
+   compatible queries into shared multiplies amortizes the per-level
+   session round trips, so the gate requires **>= 3x** queries/second —
+   with bit-identical answers on the common prefix (the (∧,∨) semiring
+   never mixes frontier columns, per-sample RNG pins influence masks).
+2. **Admission control and shedding** — a saturated small-capacity queue
+   rejects with structured :class:`OverloadError`\\ s (depth, capacity,
+   retry-after), the watermark sheds the lowest-priority entries, and
+   every *admitted* query still resolves: no producer ever hangs.
+3. **Fault-tolerant serving** — the identical stream replayed against a
+   service whose config injects a rank crash mid-multiply
+   (``crash@1,phase=fused-round``): every answer must be bit-identical
+   to the fault-free run, delivered exactly once, with the recovery
+   visible as retries/recoveries and a degraded-width serving window.
+
+Results land in ``benchmarks/results/serving.txt``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import fmt_rate, print_table, service_summary_rows
+from repro.core import TsConfig
+from repro.data import erdos_renyi
+from repro.serve import (
+    QueryService,
+    TrafficMix,
+    collect_results,
+    make_queries,
+    run_traffic,
+)
+
+N = 300
+P = 4
+N_QUERIES = 1500  # batched stream
+N_SOLO = 60  # one-at-a-time subset (same prefix of the same stream)
+MIN_SPEEDUP = 3.0
+MIX = TrafficMix(bfs=0.7, influence=0.2, embedding=0.1)
+
+FAULT_CONFIG = TsConfig(
+    recoverable=True,
+    checkpoint="neighbor",
+    faults="crash@1,phase=fused-round",
+    retry_backoff=0.0,
+)
+
+
+def _graph():
+    return erdos_renyi(N, 6.0, seed=21)
+
+
+def _embedding():
+    return np.random.default_rng(5).standard_normal((N, 8))
+
+
+def _workload(n):
+    return make_queries(
+        n, N, mix=MIX, seed=3, sample_pool=4, probability=0.3, priorities=3
+    )
+
+
+def _serve(graph, queries, *, config=None, batch_width=64, slots=1):
+    """Run ``queries`` through a fresh service; returns
+    (results-in-submit-order, snapshot, serve-seconds)."""
+    svc = QueryService(
+        graph,
+        P,
+        config=config,
+        slots=slots,
+        capacity=max(64, 2 * len(queries)),
+        batch_width=batch_width,
+        embedding=_embedding(),
+    )
+    try:
+        t0 = time.monotonic()
+        report = run_traffic(svc, queries, backpressure=True)
+        results = collect_results(report, timeout=600.0)
+        elapsed = time.monotonic() - t0
+        ordered = [results[t.qid] for t in report.tickets]
+    finally:
+        svc.stop()
+    return ordered, svc.metrics.snapshot(), elapsed
+
+
+def _assert_same_answers(a, b, label):
+    assert len(a) == len(b)
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        assert ra.ok and rb.ok, f"{label}: query {i} not ok"
+        assert ra.kind == rb.kind
+        if ra.kind == "bfs":
+            assert len(ra.value) == len(rb.value)
+            for col_a, col_b in zip(ra.value, rb.value):
+                assert np.array_equal(col_a, col_b), (
+                    f"{label}: BFS answer {i} differs"
+                )
+        else:
+            assert np.array_equal(ra.value, rb.value), (
+                f"{label}: {ra.kind} answer {i} differs"
+            )
+
+
+def bench_serving(benchmark, sink):
+    """Throughput, overload behaviour and fault-tolerant serving, gated."""
+    graph = _graph()
+    queries = _workload(N_QUERIES)
+
+    # ---- phase 1: batched vs one-query-at-a-time --------------------
+    batched, snap_batched, t_batched = _serve(
+        graph, queries, batch_width=64
+    )
+    solo, snap_solo, t_solo = _serve(
+        graph, queries[:N_SOLO], batch_width=1
+    )
+    thr_batched = len(batched) / t_batched
+    thr_solo = len(solo) / t_solo
+    speedup = thr_batched / thr_solo
+
+    print_table(
+        f"Serving throughput (n={N}, p={P}, mix "
+        f"{MIX.bfs:.0%}/{MIX.influence:.0%}/{MIX.embedding:.0%})",
+        ["path", "queries", "wall s", "throughput"],
+        [
+            ["batched (width 64)", str(len(batched)),
+             f"{t_batched:.2f}", fmt_rate(thr_batched)],
+            ["one at a time (width 1)", str(len(solo)),
+             f"{t_solo:.2f}", fmt_rate(thr_solo)],
+            ["speedup", "", "", f"{speedup:.1f}x"],
+        ],
+        file=sink,
+    )
+    print_table(
+        f"Batched service metrics ({N_QUERIES} queries)",
+        ["metric", "value"],
+        service_summary_rows(snap_batched),
+        file=sink,
+    )
+
+    _assert_same_answers(batched[:N_SOLO], solo, "batched vs solo")
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched serving only {speedup:.2f}x one-at-a-time "
+        f"({thr_batched:.0f}/s vs {thr_solo:.0f}/s); need "
+        f">= {MIN_SPEEDUP}x"
+    )
+    assert snap_batched["accepted"] == snap_batched["delivered"] == N_QUERIES
+    assert snap_batched["duplicates"] == 0
+    assert snap_batched["mean_batch_size"] > 4.0
+    assert snap_batched["p99_latency"] >= snap_batched["p50_latency"] > 0
+
+    # ---- phase 2: saturation — structured rejection + shedding ------
+    capacity = 32
+    svc = QueryService(
+        graph,
+        P,
+        start=False,
+        capacity=capacity,
+        batch_width=8,
+        shed_watermark=0.5,
+        embedding=_embedding(),
+    )
+    svc._accepting = True  # stage the full burst before dispatch starts
+    burst = _workload(400)
+    report = run_traffic(svc, burst, backpressure=False)
+    svc.start()
+    try:
+        admitted = collect_results(report, timeout=300.0)  # never hangs
+    finally:
+        svc.stop()
+    snap_over = svc.metrics.snapshot()
+
+    print_table(
+        f"Saturation burst (400 queries into capacity {capacity}, "
+        f"shed watermark 0.5)",
+        ["metric", "value"],
+        service_summary_rows(snap_over),
+        file=sink,
+    )
+
+    assert len(report.rejected) == 400 - capacity
+    for err in report.overload_errors:
+        assert err.capacity == capacity
+        assert err.queue_depth == capacity
+        assert err.retry_after > 0
+    assert snap_over["shed"] > 0, "watermark never shed"
+    assert len(admitted) == capacity  # every admitted query resolved
+    assert snap_over["accepted"] == snap_over["delivered"] == capacity
+    assert snap_over["ok"] + snap_over["shed"] == capacity
+
+    # ---- phase 3: crash mid-stream, bit-identical exactly-once ------
+    stream = _workload(300)
+    clean, snap_clean, _ = _serve(graph, stream, batch_width=16)
+    faulted, snap_fault, _ = _serve(
+        graph, stream, config=FAULT_CONFIG, batch_width=16
+    )
+
+    print_table(
+        "Fault-injected serving (crash@1 in the first fused exchange)",
+        ["metric", "value"],
+        service_summary_rows(snap_fault),
+        file=sink,
+    )
+
+    _assert_same_answers(clean, faulted, "fault-free vs crash-injected")
+    assert snap_fault["retries"] >= 1, "injected crash never fired"
+    assert snap_fault["recoveries"] >= 1
+    assert snap_fault["degraded_batches"] >= 1, (
+        "no degraded-width serving window during recovery"
+    )
+    assert snap_fault["accepted"] == snap_fault["delivered"] == len(stream)
+    assert snap_fault["duplicates"] == 0
+    assert snap_fault["failed"] == 0
+    assert snap_clean["duplicates"] == 0
+
+    # ---- representative wall-clock cycle for pytest-benchmark -------
+    small = erdos_renyi(100, 4.0, seed=1)
+    cycle_queries = make_queries(
+        16, 100, mix=TrafficMix(bfs=1.0, influence=0.0, embedding=0.0),
+        seed=9,
+    )
+
+    def _serving_cycle():
+        with QueryService(small, 2, batch_width=16) as s:
+            r = run_traffic(s, cycle_queries, backpressure=True)
+            return collect_results(r, timeout=120.0)
+
+    benchmark(_serving_cycle)

@@ -4,21 +4,25 @@ from .metrics import RunRecord, geometric_mean, parallel_efficiency, speedups
 from .reporting import (
     fmt_bytes,
     fmt_count,
+    fmt_rate,
     fmt_seconds,
     multiply_summary_rows,
     print_series,
     print_table,
+    service_summary_rows,
 )
 
 __all__ = [
     "RunRecord",
     "fmt_bytes",
     "fmt_count",
+    "fmt_rate",
     "fmt_seconds",
     "geometric_mean",
     "multiply_summary_rows",
     "parallel_efficiency",
     "print_series",
     "print_table",
+    "service_summary_rows",
     "speedups",
 ]

@@ -79,6 +79,57 @@ def multiply_summary_rows(result) -> List[List[str]]:
     return rows
 
 
+def fmt_rate(x: float) -> str:
+    """Engineering-format a per-second rate."""
+    return f"{fmt_count(x)}/s"
+
+
+def service_summary_rows(snapshot: dict) -> List[List[str]]:
+    """Standard ``[metric, value]`` rows for a serving-metrics snapshot
+    (:meth:`repro.serve.metrics.ServiceMetrics.snapshot`).
+
+    Shared by ``repro serve`` and ``bench_serving.py`` so every serving
+    report decomposes the same way: the outcome ledger (the exactly-once
+    invariant is visible as accepted = delivered, duplicates = 0),
+    latency percentiles, queue pressure, batching effectiveness and the
+    resilience trail.
+    """
+    rows = [
+        ["accepted", fmt_count(snapshot["accepted"])],
+        ["served ok", fmt_count(snapshot["ok"])],
+        ["rejected (overload)", fmt_count(snapshot["rejected"])],
+        ["expired (deadline)", fmt_count(snapshot["expired"])],
+        ["shed (watermark)", fmt_count(snapshot["shed"])],
+        ["failed", fmt_count(snapshot["failed"])],
+        ["duplicate deliveries", fmt_count(snapshot["duplicates"])],
+        ["p50 latency", fmt_seconds(snapshot["p50_latency"])],
+        ["p99 latency", fmt_seconds(snapshot["p99_latency"])],
+        ["p50 queue wait", fmt_seconds(snapshot["p50_queue_wait"])],
+        ["max queue depth", fmt_count(snapshot["max_queue_depth"])],
+        ["mean queue depth", fmt_count(snapshot["mean_queue_depth"])],
+        ["batches", fmt_count(snapshot["batches"])],
+        ["mean batch width", fmt_count(snapshot["mean_batch_size"])],
+        ["throughput", fmt_rate(snapshot["throughput"])],
+        ["modelled SPMD time", fmt_seconds(snapshot["modelled_seconds"])],
+    ]
+    resilience = (
+        snapshot["retries"]
+        or snapshot["recoveries"]
+        or snapshot["respawns"]
+        or snapshot["degraded_batches"]
+    )
+    if resilience:
+        rows.extend(
+            [
+                ["fault retries", fmt_count(snapshot["retries"])],
+                ["rank recoveries", fmt_count(snapshot["recoveries"])],
+                ["session respawns", fmt_count(snapshot["respawns"])],
+                ["degraded-width batches", fmt_count(snapshot["degraded_batches"])],
+            ]
+        )
+    return rows
+
+
 def print_table(
     title: str,
     headers: Sequence[str],

@@ -3,10 +3,17 @@ parent trees), closeness centrality and sparse embedding."""
 
 from .bfs_tree import BfsTreeResult, msbfs_tree, validate_forest
 from .centrality import ClosenessResult, closeness_centrality
-from .influence import InfluenceResult, influence_maximization, sample_live_edges
+from .influence import (
+    InfluenceResult,
+    influence_maximization,
+    sample_keep_mask,
+    sample_live_edges,
+    sample_rng,
+)
 from .embedding import (
     EmbeddingEpoch,
     EmbeddingResult,
+    embedding_rows,
     link_prediction_accuracy,
     train_sparse_embedding,
 )
@@ -14,6 +21,7 @@ from .msbfs import (
     BfsIteration,
     BfsResult,
     msbfs,
+    msbfs_on_session,
     msbfs_spmd,
     reference_reachability,
 )
@@ -27,13 +35,17 @@ __all__ = [
     "EmbeddingResult",
     "InfluenceResult",
     "closeness_centrality",
+    "embedding_rows",
     "influence_maximization",
     "link_prediction_accuracy",
     "msbfs",
+    "msbfs_on_session",
     "msbfs_spmd",
     "msbfs_tree",
     "reference_reachability",
+    "sample_keep_mask",
     "sample_live_edges",
+    "sample_rng",
     "train_sparse_embedding",
     "validate_forest",
 ]

@@ -415,6 +415,29 @@ def train_sparse_embedding(
     return result
 
 
+def embedding_rows(Z, vertices: np.ndarray) -> np.ndarray:
+    """Dense embedding vectors for a batch of ``vertices``.
+
+    The serving tier's embedding-lookup primitive: the service holds a
+    trained (gathered) embedding — sparse :class:`CsrMatrix` or dense
+    array — and a lookup query is a pure row extraction, so any grouping
+    of lookups returns bit-identical per-vertex rows.  Out-of-range
+    vertex ids raise rather than wrap.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    n = Z.nrows if isinstance(Z, CsrMatrix) else np.asarray(Z).shape[0]
+    if vertices.size and (vertices.min() < 0 or vertices.max() >= n):
+        raise ValueError(
+            f"vertex ids must be in [0, {n}), got range "
+            f"[{vertices.min()}, {vertices.max()}]"
+        )
+    if isinstance(Z, CsrMatrix):
+        from ..sparse.ops import extract_rows
+
+        return extract_rows(Z, vertices).to_dense()
+    return np.asarray(Z)[vertices].copy()
+
+
 def link_prediction_accuracy(
     Z: CsrMatrix,
     test_u: np.ndarray,

@@ -68,6 +68,22 @@ def sample_live_edges(
     return mask_entries(A, sample_keep_mask(A, probability, rng))
 
 
+def sample_rng(seed: int, sample: int) -> np.random.Generator:
+    """Independent generator for Monte-Carlo ``sample`` of base ``seed``.
+
+    Derived through :class:`numpy.random.SeedSequence` spawn keys, so the
+    stream for sample ``r`` depends only on ``(seed, r)`` — never on how
+    many samples were drawn before it or in what order.  This is what
+    makes live-edge masks **bit-identical no matter how a serving batcher
+    groups influence queries**: sample 3 computed alone, first, or last
+    in a batch draws the same edges as sample 3 inside a sequential
+    :func:`influence_maximization` run with the same base seed.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(sample,))
+    )
+
+
 def influence_maximization(
     A: CsrMatrix,
     k: int,
@@ -115,7 +131,6 @@ def influence_maximization(
     n = A.nrows
     if k < 1:
         raise ValueError("k must be >= 1")
-    rng = np.random.default_rng(seed)
     m = n_candidates if n_candidates is not None else max(4 * k, 16)
     m = min(m, n)
     degrees = A.row_nnz()
@@ -133,7 +148,11 @@ def influence_maximization(
         )
     try:
         for r in range(samples):
-            keep = sample_keep_mask(A, probability, rng)
+            # Per-sample generator (not one shared stream): sample r's
+            # mask is a pure function of (seed, r), so a serving tier can
+            # recompute any single sample — batched or alone — and land
+            # on exactly this mask.
+            keep = sample_keep_mask(A, probability, sample_rng(seed, r))
             if base_session is not None:
                 # The sampled matrix is never materialized driver-side:
                 # the derived session holds the masked state rank-side,

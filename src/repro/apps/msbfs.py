@@ -158,7 +158,7 @@ def msbfs(
                 "the driver, so the ablation would be a silent no-op"
             )
         if handle_capable and not driver_gather:
-            return _msbfs_handles(A, sources, session, max_levels)
+            return _msbfs_handles(sources, session, max_levels)
         # The per-call fallback is the only path that multiplies against
         # A directly; sessions already hold their own boolean operand.
         a_bool = None
@@ -236,9 +236,37 @@ def _msbfs_driver_loop(
     return result
 
 
+def msbfs_on_session(
+    session: TsSession,
+    sources: np.ndarray,
+    *,
+    max_levels: Optional[int] = None,
+    reports: Optional[list] = None,
+) -> BfsResult:
+    """Multi-source BFS directly on a prepared resident session.
+
+    The serving tier's entry point (:mod:`repro.serve`): a
+    :class:`~repro.core.driver.TsSession` already holds the distributed
+    boolean graph and its multiply plan, so a traversal needs only the
+    source batch — many users' independent BFS queries concatenate into
+    one ``sources`` array and come back as independent columns of the
+    visited matrix (the (∧,∨) semiring never mixes columns, so each
+    query's answer is bit-identical however the batcher groups them).
+    ``reports`` (optional list) receives each level's
+    :class:`~repro.mpi.stats.SpmdReport` for the caller to fold with
+    :func:`~repro.mpi.stats.merge_reports`.
+    """
+    if not getattr(session, "supports_handles", False):
+        raise ValueError(
+            "msbfs_on_session needs a handle-capable resident session"
+        )
+    sources = np.asarray(sources, dtype=np.int64)
+    return _msbfs_handles(sources, session, max_levels, reports=reports)
+
+
 def _msbfs_handles(
-    A: CsrMatrix, sources: np.ndarray, session: TsSession,
-    max_levels: Optional[int],
+    sources: np.ndarray, session: TsSession,
+    max_levels: Optional[int], reports: Optional[list] = None,
 ) -> BfsResult:
     """The resident-handle loop: scatter once, chain on-rank, gather once.
 
@@ -248,7 +276,7 @@ def _msbfs_handles(
     exactly zero, matching the real system's Alg 3 (and
     :func:`msbfs_spmd`'s per-level trace byte-for-byte).
     """
-    frontier = session.scatter(bfs_frontier(A.nrows, sources))
+    frontier = session.scatter(bfs_frontier(session.ncols, sources))
     visited = frontier
     result = BfsResult(visited=None)
     level = 0
@@ -265,6 +293,8 @@ def _msbfs_handles(
             epilogue_operands=(visited,),
         )
         frontier, visited = mult.extra
+        if reports is not None:
+            reports.append(mult.report)
         diagnostics = mult.diagnostics
         comm_nnz = int(
             diagnostics.get("sent_b_nnz", 0) + diagnostics.get("sent_c_nnz", 0)

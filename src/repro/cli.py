@@ -118,7 +118,7 @@ def _add_kernel(parser: argparse.ArgumentParser) -> None:
 
 def _config(args, **overrides) -> TsConfig:
     faults = getattr(args, "faults", "")
-    return TsConfig(
+    fields = dict(
         kernel=getattr(args, "kernel", "auto"),
         reuse_plan=args.reuse_plan == "on",
         fuse_comm=getattr(args, "fuse_comm", "on") == "on",
@@ -126,10 +126,13 @@ def _config(args, **overrides) -> TsConfig:
         faults=faults,
         checkpoint=getattr(args, "checkpoint", "neighbor"),
         # A non-empty fault spec implies recoverable sessions — injecting
-        # faults into a non-recoverable session just kills it.
+        # faults into a non-recoverable session just kills it.  The serve
+        # subcommand overrides recoverable=True unconditionally: a
+        # long-lived service is always resilient.
         recoverable=bool(faults),
-        **overrides,
     )
+    fields.update(overrides)
+    return TsConfig(**fields)
 
 
 def _print_resilience_summary(steps, args) -> None:
@@ -290,6 +293,98 @@ def _cmd_influence(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .analysis import service_summary_rows
+    from .apps import train_sparse_embedding
+    from .serve import (
+        QueryService,
+        TrafficMix,
+        collect_results,
+        make_queries,
+        run_traffic,
+    )
+
+    A = _load_matrix(args)
+    machine = get_profile(args.machine)
+    try:
+        mix = TrafficMix(
+            *(float(x) for x in args.mix.split(","))
+        )
+    except (TypeError, ValueError):
+        print(
+            f"bad --mix {args.mix!r}; expected three comma-separated "
+            "fractions bfs,influence,embedding",
+            file=sys.stderr,
+        )
+        return 2
+    embedding = None
+    if mix.embedding > 0:
+        # The service answers lookup queries against a trained embedding;
+        # a short training run keeps the subcommand self-contained.
+        embedding = train_sparse_embedding(
+            A,
+            args.ranks,
+            d=args.embed_d,
+            sparsity=0.8,
+            epochs=args.embed_epochs,
+            seed=args.seed,
+            config=_config(args, recoverable=True),
+            machine=machine,
+        ).Z
+    service = QueryService(
+        A,
+        args.ranks,
+        config=_config(args, recoverable=True),
+        machine=machine,
+        slots=args.slots,
+        capacity=args.capacity,
+        batch_width=args.batch_width,
+        aging_rate=args.aging_rate,
+        shed_watermark=args.shed_watermark,
+        embedding=embedding,
+        max_levels=args.max_levels,
+    )
+    queries = make_queries(
+        args.queries,
+        A.nrows,
+        mix=mix,
+        seed=args.seed,
+        sources_per_query=args.sources_per_query,
+        probability=args.probability,
+        priorities=args.priorities,
+        deadline=args.deadline,
+        deadline_fraction=args.deadline_fraction,
+    )
+    traffic = run_traffic(
+        service,
+        queries,
+        backpressure=args.backpressure == "on",
+        arrival_rate=args.arrival_rate,
+    )
+    try:
+        collect_results(traffic, timeout=args.collect_timeout)
+    except TimeoutError as exc:
+        print(f"collection timed out: {exc}", file=sys.stderr)
+        return 4
+    finally:
+        service.stop()
+    snapshot = service.metrics.snapshot()
+    print_table(
+        f"Query service on {args.dataset} (p={args.ranks}, "
+        f"{args.slots} session slot(s), width {args.batch_width}, "
+        f"capacity {args.capacity})",
+        ["metric", "value"],
+        service_summary_rows(snapshot),
+    )
+    if args.faults:
+        print(
+            f"\nfaults injected ({args.faults!r}): every accepted query "
+            "was answered exactly once, bit-identically to a fault-free "
+            "run (docs/serving.md)"
+        )
+    return 0
+
+
 def _cmd_model(args) -> int:
     ps = [int(x) for x in args.ps.split(",")]
     w = Workload(n=args.n, kA=args.ka, d=args.d, b_sparsity=args.sparsity)
@@ -369,6 +464,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_inf.add_argument("--probability", type=float, default=0.1)
     p_inf.add_argument("--samples", type=int, default=4)
     p_inf.set_defaults(func=_cmd_influence)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="multi-tenant query service under generated traffic",
+        description="Stand up the resident query service (docs/serving.md) "
+        "on one graph, push a seeded mixed workload through it, and print "
+        "the serving report: latency percentiles, queue pressure, "
+        "admission/shedding counters and the resilience trail.",
+    )
+    _add_common(p_srv)
+    _add_kernel(p_srv)
+    p_srv.add_argument("--queries", type=int, default=400, help="workload size")
+    p_srv.add_argument(
+        "--mix",
+        default="0.7,0.2,0.1",
+        help="traffic fractions bfs,influence,embedding (normalized)",
+    )
+    p_srv.add_argument("--slots", type=int, default=1, help="session pool slots")
+    p_srv.add_argument(
+        "--capacity", type=int, default=512, help="admission queue bound"
+    )
+    p_srv.add_argument(
+        "--batch-width", type=int, default=64,
+        help="max queries coalesced into one shared multiply",
+    )
+    p_srv.add_argument(
+        "--aging-rate", type=float, default=1.0,
+        help="priority units gained per second queued (starvation guard)",
+    )
+    p_srv.add_argument(
+        "--shed-watermark", type=float, default=None,
+        help="shed lowest-priority queries above this fraction of "
+        "capacity (default: no shedding, admission control only)",
+    )
+    p_srv.add_argument(
+        "--backpressure",
+        default="off",
+        choices=("on", "off"),
+        help="on = block the producer when the queue is full; off = "
+        "reject with a structured OverloadError (admission control)",
+    )
+    p_srv.add_argument(
+        "--arrival-rate", type=float, default=None,
+        help="producer pacing in queries/second (default: flat out)",
+    )
+    p_srv.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query deadline seconds for --deadline-fraction of queries",
+    )
+    p_srv.add_argument(
+        "--deadline-fraction", type=float, default=0.0,
+        help="fraction of queries carrying --deadline",
+    )
+    p_srv.add_argument("--priorities", type=int, default=3)
+    p_srv.add_argument("--sources-per-query", type=int, default=1)
+    p_srv.add_argument(
+        "--probability", type=float, default=0.3,
+        help="influence live-edge keep probability",
+    )
+    p_srv.add_argument(
+        "--max-levels", type=int, default=None,
+        help="BFS level cap (default: run to frontier exhaustion)",
+    )
+    p_srv.add_argument("--embed-d", type=int, default=8)
+    p_srv.add_argument("--embed-epochs", type=int, default=2)
+    p_srv.add_argument("--collect-timeout", type=float, default=300.0)
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_model = sub.add_parser("model", help="closed-form cost model sweep")
     p_model.add_argument("--n", type=int, default=18_520_486)

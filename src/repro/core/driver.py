@@ -514,7 +514,7 @@ class TsSession(ResidentSession):
         self._state = list(result.values)
         self._pattern = (A.indptr, A.indices)
         self._edge_ids = None
-        self._ckpt = None  # replicas of any previous pattern are stale
+        self._release_ckpt()  # replicas of any previous pattern are stale
         return result.report
 
     # ------------------------------------------------------------------
@@ -659,9 +659,44 @@ class TsSession(ResidentSession):
             return blob["nbytes"]
 
         result = self._suspended_run(program)
+        superseded = self._ckpt
         self._ckpt = blobs
         self.checkpoint_bytes += sum(b["nbytes"] for b in blobs)
+        if superseded is not None:
+            # Bound resident memory for long-lived (serving) sessions:
+            # once the new replica set is committed, the previous one can
+            # never be restored from again, so drop its value copies now
+            # instead of leaving two generations alive until the next GC.
+            for blob in superseded:
+                blob.clear()
         return result.report
+
+    def _release_ckpt(self) -> None:
+        """Drop checkpoint replicas eagerly (pattern change / teardown)."""
+        if self._ckpt is not None:
+            for blob in self._ckpt:
+                blob.clear()
+        self._ckpt = None
+
+    @property
+    def checkpoint_resident_bytes(self) -> int:
+        """Wire bytes of checkpoint state *currently held alive* by this
+        session — exactly one replica generation (the restorable one), or
+        zero with ``checkpoint="off"``.  Unlike the cumulative
+        ``checkpoint_bytes`` traffic counter, this gauge must stay flat
+        as a long-lived session checkpoints round after round
+        (asserted by ``bench_recovery.py``)."""
+        if not self._ckpt:
+            return 0
+        return sum(int(b.get("nbytes", 0)) for b in self._ckpt)
+
+    def close(self) -> None:
+        """Release checkpoint replicas before shutting the workers down —
+        a closed session can never restore, so holding a generation of
+        value copies alive would leak for as long as the driver keeps the
+        (dead) session object around."""
+        self._release_ckpt()
+        super().close()
 
     def _recover(self, failure: RankFailure) -> Optional[SpmdReport]:
         """Restore the failed rank's resident state before a retry.

@@ -285,6 +285,7 @@ class SpmdSession:
         fn: Callable[..., Any],
         *args: Any,
         timeout: Optional[float] = None,
+        system: bool = False,
         **kwargs: Any,
     ) -> SpmdResult:
         """Execute ``fn(comm, *args, **kwargs)`` on every resident rank.
@@ -294,12 +295,36 @@ class SpmdSession:
         ``MPI_Abort``, a session with ranks in an unknown state must not
         accept further collectives.  Concurrent callers are serialized
         (one task in flight at a time).
+
+        ``system=True`` marks an out-of-band runtime task (health pings
+        from a session pool): it does **not** advance the fault
+        injector's task counter and runs with injection suspended, so
+        probing a session's liveness never shifts the deterministic
+        ``task=`` indices that fault plans and the resilience tests pin,
+        and never consumes a fault meant for real work.
         """
+        if system and self.injector is not None:
+            with self.injector.suspend():
+                return self._run_task(
+                    fn, args, kwargs, timeout, advance=False
+                )
+        return self._run_task(fn, args, kwargs, timeout, advance=not system)
+
+    def _run_task(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        timeout: Optional[float],
+        *,
+        advance: bool,
+    ) -> SpmdResult:
         with self._run_lock:
             sanitizer = TaskSanitizer(self.size) if self.sanitize else None
-            if self.injector is not None:
-                self.injector.begin_task()
-            self._tasks_run += 1
+            if advance:
+                if self.injector is not None:
+                    self.injector.begin_task()
+                self._tasks_run += 1
             task = _SpmdTask(
                 self.size, fn, args, kwargs, self.machine, sanitizer,
                 self.injector, self.checksum,
@@ -403,6 +428,31 @@ class SpmdSession:
             self.degraded = False
             return SpmdResult(list(task.results), task.report())
 
+    def ping(self, timeout: float = 30.0) -> bool:
+        """Liveness probe: run a barrier as a *system* task.
+
+        Returns ``True`` iff every rank worker joined the barrier within
+        ``timeout``.  A failed ping kills the session (watchdog
+        semantics: unresponsive ranks mean an unknown collective state),
+        so callers — the serving tier's session pool — respawn rather
+        than retry.  System tasks leave fault-plan task indices and
+        injection state untouched.
+        """
+        if self._closed:
+            return False
+        try:
+            self.run(_ping_program, timeout=timeout, system=True)
+            return True
+        except (DeadSessionError, DeadlockError, RankError, SanitizerError):
+            return False
+
+
+def _ping_program(comm) -> None:
+    """Health-probe rank program: one barrier proves every worker alive
+    and the collective path responsive.  Kept module-level so repeated
+    pings share one code object (and one spmdlint site)."""
+    comm.barrier()
+
 
 class ResidentSession:
     """Base for driver-side sessions holding rank-resident state.
@@ -453,6 +503,17 @@ class ResidentSession:
     @property
     def closed(self) -> bool:
         return self._exec.closed
+
+    @property
+    def dead_reason(self) -> Optional[str]:
+        """Why the underlying executor died (``None`` while healthy)."""
+        return self._exec.dead_reason
+
+    def ping(self, timeout: float = 30.0) -> bool:
+        """Health-check the resident rank workers (see
+        :meth:`SpmdSession.ping`); ``False`` means the session is dead
+        and must be replaced, not retried."""
+        return self._exec.ping(timeout)
 
     def close(self) -> None:
         """Shut down the rank workers (idempotent; no-op for sessions

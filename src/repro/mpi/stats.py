@@ -9,6 +9,7 @@ communication-time-only scaling, Fig 12(b)'s communicated nonzeros).
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -236,9 +237,18 @@ def merge_reports(reports: List["SpmdReport"]) -> "SpmdReport":
     """Combine several same-size task reports into one aggregate.
 
     Used by the driver's retry loop to charge failed attempts and
-    recovery tasks honestly: virtual clocks add elementwise (the rank
-    lived through every attempt in sequence), per-phase counters merge,
-    and event traces concatenate.  The inputs are not mutated.
+    recovery tasks honestly, and by the serving tier to fold thousands
+    of per-batch reports whose completion order is scheduler-dependent.
+    The merge is therefore **order-stable**: phase tables are rebuilt in
+    sorted name order, event traces are sorted by a total key, integer
+    counters are plain sums and float time fields are correctly-rounded
+    sums (:func:`math.fsum`), so any permutation of ``reports`` produces
+    a bit-identical report.  It is also **associative**:
+    ``merge([merge([a, b]), c])`` equals ``merge([a, b, c])`` exactly in
+    every integer counter, event trace and phase ordering; the float
+    time sums agree to one rounding of the intermediate result.
+    Virtual clocks add elementwise (the rank lived through every attempt
+    in sequence).  The inputs are not mutated.
     """
     if not reports:
         raise ValueError("merge_reports needs at least one report")
@@ -251,18 +261,39 @@ def merge_reports(reports: List["SpmdReport"]) -> "SpmdReport":
     merged_stats: List[RankStats] = []
     for rank in range(size):
         out = RankStats(rank=rank)
+        names = sorted(
+            {name for r in reports for name in r.rank_stats[rank].phases}
+        )
+        for name in names:
+            parts = [
+                r.rank_stats[rank].phases[name]
+                for r in reports
+                if name in r.rank_stats[rank].phases
+            ]
+            target = out.phase_stats(name)
+            target.bytes_sent = sum(s.bytes_sent for s in parts)
+            target.bytes_recv = sum(s.bytes_recv for s in parts)
+            target.messages_sent = sum(s.messages_sent for s in parts)
+            target.messages_recv = sum(s.messages_recv for s in parts)
+            target.collectives = sum(s.collectives for s in parts)
+            target.alltoall_rounds = sum(s.alltoall_rounds for s in parts)
+            target.comm_time = math.fsum(s.comm_time for s in parts)
+            target.compute_time = math.fsum(s.compute_time for s in parts)
         for r in reports:
-            rs = r.rank_stats[rank]
-            for name, stats in rs.phases.items():
-                out.phase_stats(name).merge(stats)
-            out.events.extend(rs.events)
+            out.events.extend(r.rank_stats[rank].events)
+        out.events.sort(key=lambda e: (e.seq, e.kind, e.site, e.phase, e.payload))
         merged_stats.append(out)
     return SpmdReport(
         size=size,
         rank_stats=merged_stats,
-        clocks=[sum(r.clocks[i] for r in reports) for i in range(size)],
-        comm_times=[sum(r.comm_times[i] for r in reports) for i in range(size)],
+        clocks=[
+            math.fsum(r.clocks[i] for r in reports) for i in range(size)
+        ],
+        comm_times=[
+            math.fsum(r.comm_times[i] for r in reports) for i in range(size)
+        ],
         compute_times=[
-            sum(r.compute_times[i] for r in reports) for i in range(size)
+            math.fsum(r.compute_times[i] for r in reports)
+            for i in range(size)
         ],
     )

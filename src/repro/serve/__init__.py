@@ -1,0 +1,71 @@
+"""Multi-tenant resident query service (docs/serving.md).
+
+The serving tier turns the repo's resident sessions into a long-lived
+service: a :class:`~repro.serve.pool.SessionPool` of prepared graphs, a
+bounded :class:`~repro.serve.queue.AdmissionQueue` with priorities,
+aging, deadlines and backpressure, and a
+:class:`~repro.serve.service.QueryService` that batches compatible
+queries into shared MS-BFS multiplies and survives injected rank faults
+mid-stream — every accepted query answered exactly once, bit-identically
+to a fault-free run.
+"""
+
+from .metrics import ServiceMetrics, percentile
+from .pool import SessionPool, SessionSlot
+from .query import (
+    QUERY_KINDS,
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    DeadlineExpired,
+    DuplicateDelivery,
+    OverloadError,
+    Query,
+    QueryResult,
+    ShedError,
+    Ticket,
+    bfs_query,
+    embedding_query,
+    influence_query,
+)
+from .queue import AdmissionQueue
+from .service import QueryService, ServiceStopped, split_visited_columns
+from .traffic import (
+    TrafficMix,
+    TrafficReport,
+    collect_results,
+    make_queries,
+    run_traffic,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "DeadlineExpired",
+    "DuplicateDelivery",
+    "OverloadError",
+    "QUERY_KINDS",
+    "Query",
+    "QueryResult",
+    "QueryService",
+    "ServiceMetrics",
+    "ServiceStopped",
+    "SessionPool",
+    "SessionSlot",
+    "ShedError",
+    "STATUS_EXPIRED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "Ticket",
+    "TrafficMix",
+    "TrafficReport",
+    "bfs_query",
+    "collect_results",
+    "embedding_query",
+    "influence_query",
+    "make_queries",
+    "percentile",
+    "run_traffic",
+    "split_visited_columns",
+]

@@ -1,0 +1,160 @@
+"""Pool of prepared resident sessions with health checks and respawn.
+
+Each slot holds a recoverable :class:`~repro.core.driver.TsSession` for
+the *same* boolean graph, prepared once and reused for every batch the
+dispatcher routes to it.  The pool owns the fault boundary that PR 7's
+recovery machinery cannot cross: a session whose in-task retries are
+exhausted (or that a watchdog killed) is **replaced**, not retried — the
+driver-held adjacency matrix is the rebuild source, so a fresh slot
+comes up with bit-identical resident state and the batch that observed
+the death is re-executed there.  Respawns are counted; the service uses
+them (like in-task retries) to enter degraded-width serving while the
+pool heals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import List, Optional
+
+from ..core.config import DEFAULT_CONFIG, TsConfig
+from ..core.driver import TsSession
+from ..mpi.costmodel import PERLMUTTER, MachineProfile
+from ..sparse.csr import CsrMatrix
+from ..sparse.semiring import BOOL_AND_OR
+
+
+class SessionSlot:
+    """One pool slot: a live session plus checkout bookkeeping."""
+
+    def __init__(self, index: int, session: TsSession):
+        self.index = index
+        self.session = session
+        self.checked_out = False
+        #: Generation counter: bumped on every respawn of this slot.
+        self.generation = 0
+
+
+class SessionPool:
+    """Fixed-size pool of prepared :class:`TsSession`\\ s for one graph."""
+
+    def __init__(
+        self,
+        A: CsrMatrix,
+        p: int,
+        *,
+        slots: int = 1,
+        config: Optional[TsConfig] = None,
+        machine: MachineProfile = PERLMUTTER,
+    ):
+        if slots < 1:
+            raise ValueError(f"need >= 1 slot, got {slots}")
+        self.config = DEFAULT_CONFIG if config is None else config
+        self.machine = machine
+        self.p = p
+        #: Driver-held boolean adjacency: the respawn rebuild source.
+        self._a_bool = A if A.dtype == bool else A.astype(bool)
+        self.respawns = 0
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+        self._slots: List[SessionSlot] = [
+            SessionSlot(i, self._spawn()) for i in range(slots)
+        ]
+
+    def _spawn(self) -> TsSession:
+        return TsSession(
+            self._a_bool,
+            self.p,
+            semiring=BOOL_AND_OR,
+            config=self.config,
+            machine=self.machine,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._slots)
+
+    @property
+    def n_vertices(self) -> int:
+        return self._a_bool.nrows
+
+    def checkout(self, timeout: Optional[float] = None) -> SessionSlot:
+        """Claim a healthy slot, lazily respawning dead sessions.
+
+        A slot whose session died while idle (e.g. a watchdog kill
+        during a previous batch) is replaced here, so checkout always
+        hands back a live session or times out.
+        """
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise RuntimeError("session pool is closed")
+                for slot in self._slots:
+                    if slot.checked_out:
+                        continue
+                    if slot.session.closed:
+                        self._respawn_locked(slot)
+                    slot.checked_out = True
+                    return slot
+                remaining = (
+                    None if deadline is None else deadline - _time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("no session slot became available")
+                self._available.wait(remaining)
+
+    def checkin(self, slot: SessionSlot) -> None:
+        with self._lock:
+            slot.checked_out = False
+            self._available.notify()
+
+    def respawn(self, slot: SessionSlot) -> None:
+        """Replace a checked-out slot's dead session with a fresh one.
+
+        The caller keeps the checkout; on return the slot holds a newly
+        prepared session with bit-identical resident state (same driver
+        input, same config/seed-free setup).
+        """
+        with self._lock:
+            self._respawn_locked(slot)
+
+    def _respawn_locked(self, slot: SessionSlot) -> None:
+        try:
+            slot.session.close()
+        except Exception:  # pragma: no cover - close never raises today
+            pass
+        slot.session = self._spawn()
+        slot.generation += 1
+        self.respawns += 1
+
+    def health_check(self, timeout: float = 30.0) -> int:
+        """Ping every idle slot; respawn the dead.  Returns respawn count.
+
+        Pings run as *system* tasks (no fault-plan task index advances),
+        so periodic health checks never perturb deterministic fault
+        injection.
+        """
+        healed = 0
+        with self._lock:
+            idle = [s for s in self._slots if not s.checked_out]
+        for slot in idle:
+            if not slot.session.ping(timeout):
+                with self._lock:
+                    if not slot.checked_out:
+                        self._respawn_locked(slot)
+                        healed += 1
+        return healed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            slots = list(self._slots)
+            self._available.notify_all()
+        for slot in slots:
+            slot.session.close()

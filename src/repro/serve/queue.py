@@ -1,0 +1,202 @@
+"""Bounded admission queue: priorities with aging, deadlines, shedding.
+
+The queue is the service's control surface for overload:
+
+* **Admission control** — the queue is bounded; a non-blocking submit
+  against a full queue raises a structured
+  :class:`~repro.serve.query.OverloadError` *synchronously*, so the
+  producer knows the query was never accepted.
+* **Backpressure** — a blocking submit parks the producer until a slot
+  frees (or its patience runs out, which is again an ``OverloadError``).
+  Producers slow down to the service's drain rate instead of queueing
+  unboundedly.
+* **Priority with aging** — dispatch order is by *effective* priority
+  ``priority + aging_rate · seconds_waited``.  A low-priority query's
+  effective priority grows while it waits, so a sustained stream of
+  high-priority traffic can delay it but never starve it (fairness test
+  in ``tests/serve/``).
+* **Deadlines** — queries whose deadline passes while queued are
+  surfaced to the dispatcher as *expired* instead of being executed:
+  work the user no longer wants is the cheapest load to drop.
+* **Load shedding** — above a configurable watermark the dispatcher
+  evicts the *lowest* effective-priority entries
+  (:meth:`AdmissionQueue.shed`), trading the least valuable queued work
+  for headroom, again with a structured per-query outcome.
+
+Selection is a linear scan under the lock — the queue holds at most
+``capacity`` (thousands, not millions) entries and the scan cost is
+dwarfed by a single distributed multiply.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import List, Optional, Tuple
+
+from .query import OverloadError, Ticket
+
+
+class AdmissionQueue:
+    """Bounded priority queue of :class:`~repro.serve.query.Ticket`\\ s."""
+
+    def __init__(self, capacity: int, *, aging_rate: float = 1.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: Priority units gained per second of waiting (0 disables aging).
+        self.aging_rate = aging_rate
+        self._entries: List[Ticket] = []
+        self._lock = threading.Lock()
+        #: Producers blocked in submit() wait here for a free slot.
+        self._not_full = threading.Condition(self._lock)
+        #: The dispatcher waits here for work.
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        #: High-water mark of the queue depth (reported by metrics).
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def effective_priority(self, ticket: Ticket, now: float) -> float:
+        waited = max(0.0, now - ticket.accepted_at)
+        return ticket.query.priority + self.aging_rate * waited
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        ticket: Ticket,
+        *,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Enqueue; returns the post-admission queue depth.
+
+        ``block=False`` (admission control): a full queue rejects
+        immediately with :class:`OverloadError`.  ``block=True``
+        (backpressure): wait up to ``timeout`` seconds (forever if
+        ``None``) for a slot, then reject.
+        """
+        deadline = (
+            None if timeout is None else _time.monotonic() + timeout
+        )
+        with self._lock:
+            while len(self._entries) >= self.capacity and not self._closed:
+                if not block:
+                    raise OverloadError(
+                        len(self._entries), self.capacity, self._retry_after()
+                    )
+                remaining = (
+                    None if deadline is None else deadline - _time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise OverloadError(
+                        len(self._entries), self.capacity, self._retry_after()
+                    )
+                self._not_full.wait(remaining)
+            if self._closed:
+                raise RuntimeError("admission queue is closed")
+            self._entries.append(ticket)
+            depth = len(self._entries)
+            self.max_depth = max(self.max_depth, depth)
+            self._not_empty.notify()
+            return depth
+
+    def _retry_after(self) -> float:
+        """Crude producer back-off hint: proportional to the backlog."""
+        return 0.01 * max(1, len(self._entries))
+
+    # ------------------------------------------------------------------
+    def take_batch(
+        self, width: int, *, wait: float = 0.05
+    ) -> Tuple[List[Ticket], List[Ticket]]:
+        """Dequeue one batch of compatible queries plus expired entries.
+
+        Blocks up to ``wait`` seconds for work, then returns
+        ``(batch, expired)``.  The batch leader is the highest effective
+        priority live entry; followers share its
+        :attr:`~repro.serve.query.Query.batch_key` in descending
+        effective priority, up to ``width``.  ``expired`` holds every
+        queued entry whose deadline passed — removed here so stale work
+        never reaches a session.
+        """
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        with self._lock:
+            if not self._entries and not self._closed:
+                self._not_empty.wait(wait)
+            if not self._entries:
+                return [], []
+            now = _time.monotonic()
+            live: List[Ticket] = []
+            expired: List[Ticket] = []
+            for t in self._entries:
+                dl = t.query.deadline
+                if dl is not None and now - t.accepted_at > dl:
+                    expired.append(t)
+                else:
+                    live.append(t)
+            batch: List[Ticket] = []
+            if live:
+                ranked = sorted(
+                    range(len(live)),
+                    key=lambda i: (-self.effective_priority(live[i], now), i),
+                )
+                leader_key = live[ranked[0]].query.batch_key
+                chosen = set()
+                for i in ranked:
+                    if len(batch) >= width:
+                        break
+                    if live[i].query.batch_key == leader_key:
+                        batch.append(live[i])
+                        chosen.add(i)
+                live = [t for i, t in enumerate(live) if i not in chosen]
+            self._entries = live
+            if expired or batch:
+                self._not_full.notify_all()
+            return batch, expired
+
+    def shed(self, target_depth: int) -> List[Ticket]:
+        """Evict lowest effective-priority entries down to ``target_depth``.
+
+        Returns the evicted tickets (the dispatcher resolves them with
+        status ``shed``); an empty list when under the watermark.
+        """
+        with self._lock:
+            excess = len(self._entries) - max(0, target_depth)
+            if excess <= 0:
+                return []
+            now = _time.monotonic()
+            ranked = sorted(
+                range(len(self._entries)),
+                key=lambda i: (
+                    self.effective_priority(self._entries[i], now),
+                    -i,
+                ),
+            )
+            drop = set(ranked[:excess])
+            shed = [self._entries[i] for i in sorted(drop)]
+            self._entries = [
+                t for i, t in enumerate(self._entries) if i not in drop
+            ]
+            self._not_full.notify_all()
+            return shed
+
+    def drain_all(self) -> List[Ticket]:
+        """Remove and return everything queued (service shutdown path)."""
+        with self._lock:
+            entries, self._entries = self._entries, []
+            self._not_full.notify_all()
+            return entries
+
+    def close(self) -> None:
+        """Refuse further submits and wake every parked producer (their
+        blocked submits fail fast instead of hanging on a dead service)."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.apps import influence_maximization, sample_live_edges
+from repro.apps import (
+    influence_maximization,
+    sample_keep_mask,
+    sample_live_edges,
+    sample_rng,
+)
 from repro.data import erdos_renyi, rmat
 from repro.sparse import CsrMatrix, from_edges
 
@@ -101,3 +106,46 @@ class TestGreedySelection:
         result = influence_maximization(adj, k=1, p=2, samples=3, seed=5)
         assert result.total_runtime > 0
         assert result.samples == 3
+
+
+class TestSampleRng:
+    """Sample r's live-edge mask must be a pure function of (seed, r) —
+    the property that makes any serving-tier batching of influence
+    queries bit-identical to a sequential Monte-Carlo run."""
+
+    def test_mask_depends_only_on_seed_and_sample(self):
+        adj = erdos_renyi(80, 4, seed=2)
+        a = sample_keep_mask(adj, 0.4, sample_rng(11, 3))
+        b = sample_keep_mask(adj, 0.4, sample_rng(11, 3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_samples_are_independent_of_draw_order(self):
+        adj = erdos_renyi(80, 4, seed=2)
+        # Draw samples 0..3 in order, then sample 2 alone: identical.
+        in_order = [
+            sample_keep_mask(adj, 0.4, sample_rng(7, r)) for r in range(4)
+        ]
+        alone = sample_keep_mask(adj, 0.4, sample_rng(7, 2))
+        np.testing.assert_array_equal(in_order[2], alone)
+
+    def test_distinct_samples_differ(self):
+        adj = erdos_renyi(80, 4, seed=2)
+        a = sample_keep_mask(adj, 0.5, sample_rng(7, 0))
+        b = sample_keep_mask(adj, 0.5, sample_rng(7, 1))
+        assert not np.array_equal(a, b)
+
+    def test_distinct_base_seeds_differ(self):
+        adj = erdos_renyi(80, 4, seed=2)
+        a = sample_keep_mask(adj, 0.5, sample_rng(7, 0))
+        b = sample_keep_mask(adj, 0.5, sample_rng(8, 0))
+        assert not np.array_equal(a, b)
+
+    def test_maximization_unchanged_by_prior_draws(self):
+        # Re-running with the same seed after unrelated RNG activity
+        # gives the same seeds: no hidden shared-stream state.
+        adj = erdos_renyi(60, 4, seed=6)
+        r1 = influence_maximization(adj, k=2, p=2, samples=3, seed=7)
+        np.random.default_rng(0).random(1000)  # unrelated draws
+        r2 = influence_maximization(adj, k=2, p=2, samples=3, seed=7)
+        assert r1.seeds == r2.seeds
+        assert r1.spread_estimates == r2.spread_estimates

@@ -1,0 +1,195 @@
+"""Regression tests for the order-stable, associative report merge.
+
+The serving tier folds per-batch reports whose completion order depends
+on thread scheduling; the fold must therefore be invariant under both
+input permutation and fold-tree shape, and must never mutate its inputs.
+"""
+
+import copy
+import itertools
+
+import pytest
+
+from repro.mpi.stats import (
+    CollectiveEvent,
+    PhaseStats,
+    RankStats,
+    SpmdReport,
+    merge_reports,
+)
+
+SIZE = 2
+
+
+def _report(seed: int, phase_order) -> SpmdReport:
+    """A synthetic 2-rank report with phases inserted in ``phase_order``
+    (dict insertion order is what a naive merge would leak)."""
+    rank_stats = []
+    for rank in range(SIZE):
+        rs = RankStats(rank=rank)
+        for k, name in enumerate(phase_order):
+            st = rs.phase_stats(name)
+            st.bytes_sent = 100 * seed + 10 * rank + k
+            st.bytes_recv = 7 * seed + k
+            st.messages_sent = seed + k
+            st.collectives = k
+            st.alltoall_rounds = k % 2
+            st.comm_time = 0.5 * seed + 0.1 * k
+            st.compute_time = 0.25 * seed
+        rs.events.append(
+            CollectiveEvent("barrier", f"site{seed}", phase_order[0], seed)
+        )
+        rs.events.append(
+            CollectiveEvent("alltoall", f"site{seed}", phase_order[-1], seed)
+        )
+        rank_stats.append(rs)
+    return SpmdReport(
+        size=SIZE,
+        rank_stats=rank_stats,
+        clocks=[1.0 * seed + rank for rank in range(SIZE)],
+        comm_times=[0.5 * seed] * SIZE,
+        compute_times=[0.25 * seed] * SIZE,
+    )
+
+
+@pytest.fixture
+def reports():
+    # Deliberately different phase insertion orders per report.
+    return [
+        _report(1, ["fetch-B", "send-C", "symbolic"]),
+        _report(2, ["symbolic", "fetch-B", "send-C"]),
+        _report(3, ["send-C", "symbolic", "fetch-B"]),
+    ]
+
+
+def _flatten(report: SpmdReport):
+    """Canonical comparable view of everything the merge produces."""
+    return (
+        report.size,
+        tuple(report.clocks),
+        tuple(report.comm_times),
+        tuple(report.compute_times),
+        tuple(
+            (
+                rs.rank,
+                tuple(
+                    (name, vars(stats).copy())
+                    for name, stats in rs.phases.items()
+                ),
+                tuple(
+                    (e.seq, e.kind, e.site, e.phase, e.payload)
+                    for e in rs.events
+                ),
+            )
+            for rs in report.rank_stats
+        ),
+    )
+
+
+def _flatten_exact(report: SpmdReport):
+    """Like ``_flatten`` but with only the integer counters, event
+    traces and phase ordering — the fields the merge promises to keep
+    bit-identical under any fold tree (float sums round once per merge)."""
+    return (
+        report.size,
+        tuple(
+            (
+                rs.rank,
+                tuple(
+                    (
+                        name,
+                        stats.bytes_sent,
+                        stats.bytes_recv,
+                        stats.messages_sent,
+                        stats.messages_recv,
+                        stats.collectives,
+                        stats.alltoall_rounds,
+                    )
+                    for name, stats in rs.phases.items()
+                ),
+                tuple(
+                    (e.seq, e.kind, e.site, e.phase, e.payload)
+                    for e in rs.events
+                ),
+            )
+            for rs in report.rank_stats
+        ),
+    )
+
+
+def test_merge_is_permutation_invariant(reports):
+    # fsum makes even the float time sums bit-identical across input
+    # permutations, so the whole report must match exactly.
+    baseline = _flatten(merge_reports(reports))
+    for perm in itertools.permutations(reports):
+        assert _flatten(merge_reports(list(perm))) == baseline
+
+
+def test_merge_is_associative(reports):
+    a, b, c = reports
+    flat = merge_reports([a, b, c])
+    left = merge_reports([merge_reports([a, b]), c])
+    right = merge_reports([a, merge_reports([b, c])])
+    assert _flatten_exact(left) == _flatten_exact(flat)
+    assert _flatten_exact(right) == _flatten_exact(flat)
+    for folded in (left, right):
+        assert folded.clocks == pytest.approx(flat.clocks)
+        assert folded.comm_times == pytest.approx(flat.comm_times)
+        assert folded.compute_times == pytest.approx(flat.compute_times)
+        for rank in range(SIZE):
+            for name, stats in flat.rank_stats[rank].phases.items():
+                other = folded.rank_stats[rank].phases[name]
+                assert other.comm_time == pytest.approx(stats.comm_time)
+                assert other.compute_time == pytest.approx(
+                    stats.compute_time
+                )
+
+
+def test_merge_does_not_mutate_inputs(reports):
+    before = [copy.deepcopy(_flatten(r)) for r in reports]
+    merge_reports(reports)
+    after = [_flatten(r) for r in reports]
+    assert before == after
+
+
+def test_merged_counters_are_sums(reports):
+    merged = merge_reports(reports)
+    for rank in range(SIZE):
+        for name in ("fetch-B", "send-C", "symbolic"):
+            expected = PhaseStats()
+            for r in reports:
+                expected.merge(r.rank_stats[rank].phases[name])
+            assert vars(merged.rank_stats[rank].phases[name]) == vars(
+                expected
+            )
+    assert merged.clocks == [
+        sum(r.clocks[i] for r in reports) for i in range(SIZE)
+    ]
+
+
+def test_events_sorted_by_total_key(reports):
+    merged = merge_reports(reports)
+    for rs in merged.rank_stats:
+        keys = [(e.seq, e.kind, e.site, e.phase, e.payload) for e in rs.events]
+        assert keys == sorted(keys)
+        assert len(keys) == 2 * len(reports)
+
+
+def test_phase_tables_in_sorted_name_order(reports):
+    merged = merge_reports(reports)
+    for rs in merged.rank_stats:
+        assert list(rs.phases) == sorted(rs.phases)
+
+
+def test_size_mismatch_rejected(reports):
+    odd = SpmdReport(
+        size=3,
+        rank_stats=[RankStats(rank=i) for i in range(3)],
+        clocks=[0.0] * 3,
+        comm_times=[0.0] * 3,
+        compute_times=[0.0] * 3,
+    )
+    with pytest.raises(ValueError):
+        merge_reports([reports[0], odd])
+    with pytest.raises(ValueError):
+        merge_reports([])

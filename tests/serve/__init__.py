@@ -1,0 +1,1 @@
+"""Test package marker: enables relative imports from the shared conftest."""

@@ -1,0 +1,167 @@
+"""Admission queue unit tests: bounds, priorities, aging, deadlines,
+shedding, backpressure — no sessions, so these are fast and exact."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AdmissionQueue,
+    OverloadError,
+    Ticket,
+    bfs_query,
+    embedding_query,
+)
+
+
+def _ticket(qid, query, accepted_at=None):
+    return Ticket(
+        qid, query, time.monotonic() if accepted_at is None else accepted_at
+    )
+
+
+class TestAdmissionControl:
+    def test_rejects_when_full(self):
+        q = AdmissionQueue(3)
+        for i in range(3):
+            q.submit(_ticket(i, bfs_query(0)))
+        with pytest.raises(OverloadError) as exc_info:
+            q.submit(_ticket(99, bfs_query(0)))
+        err = exc_info.value
+        assert err.queue_depth == 3
+        assert err.capacity == 3
+        assert err.retry_after > 0
+
+    def test_rejection_is_structured_and_synchronous(self):
+        q = AdmissionQueue(1)
+        q.submit(_ticket(0, bfs_query(0)))
+        t0 = time.monotonic()
+        with pytest.raises(OverloadError):
+            q.submit(_ticket(1, bfs_query(0)))
+        assert time.monotonic() - t0 < 0.1  # no hidden blocking
+
+    def test_blocking_submit_waits_for_slot(self):
+        q = AdmissionQueue(1)
+        q.submit(_ticket(0, bfs_query(0)))
+
+        def drain_later():
+            time.sleep(0.1)
+            q.take_batch(1, wait=0.0)
+
+        threading.Thread(target=drain_later, daemon=True).start()
+        q.submit(_ticket(1, bfs_query(0)), block=True, timeout=5.0)
+        assert q.depth == 1
+
+    def test_blocking_submit_times_out_with_overload(self):
+        q = AdmissionQueue(1)
+        q.submit(_ticket(0, bfs_query(0)))
+        with pytest.raises(OverloadError):
+            q.submit(_ticket(1, bfs_query(0)), block=True, timeout=0.05)
+
+    def test_depth_and_high_water(self):
+        q = AdmissionQueue(8)
+        for i in range(5):
+            q.submit(_ticket(i, bfs_query(0)))
+        assert q.depth == 5
+        q.take_batch(8, wait=0.0)
+        assert q.depth == 0
+        assert q.max_depth == 5
+
+
+class TestPriorityAndAging:
+    def test_higher_priority_dispatches_first(self):
+        q = AdmissionQueue(8, aging_rate=0.0)
+        q.submit(_ticket(1, bfs_query(0, priority=1.0)))
+        q.submit(_ticket(2, bfs_query(0, priority=5.0)))
+        q.submit(_ticket(3, bfs_query(0, priority=3.0)))
+        batch, _ = q.take_batch(3, wait=0.0)
+        assert [t.qid for t in batch] == [2, 3, 1]
+
+    def test_aging_lifts_old_low_priority_past_fresh_high(self):
+        q = AdmissionQueue(8, aging_rate=100.0)
+        now = time.monotonic()
+        # Low priority, but admitted 0.2s ago: effective 0 + 100*0.2 = 20.
+        q.submit(_ticket(1, bfs_query(0, priority=0.0), accepted_at=now - 0.2))
+        q.submit(_ticket(2, bfs_query(0, priority=10.0), accepted_at=now))
+        batch, _ = q.take_batch(1, wait=0.0)
+        assert batch[0].qid == 1
+
+    def test_no_aging_keeps_strict_priority(self):
+        q = AdmissionQueue(8, aging_rate=0.0)
+        now = time.monotonic()
+        q.submit(_ticket(1, bfs_query(0, priority=0.0), accepted_at=now - 10))
+        q.submit(_ticket(2, bfs_query(0, priority=1.0), accepted_at=now))
+        batch, _ = q.take_batch(1, wait=0.0)
+        assert batch[0].qid == 2
+
+
+class TestBatching:
+    def test_batch_shares_leader_key_only(self):
+        q = AdmissionQueue(8, aging_rate=0.0)
+        q.submit(_ticket(1, bfs_query(0, priority=2.0)))
+        q.submit(_ticket(2, embedding_query(0, priority=1.5)))
+        q.submit(_ticket(3, bfs_query(1, priority=1.0)))
+        batch, _ = q.take_batch(8, wait=0.0)
+        # Leader is qid 1 (bfs); the embedding query must not ride along.
+        assert [t.qid for t in batch] == [1, 3]
+        assert q.depth == 1
+
+    def test_width_bounds_batch(self):
+        q = AdmissionQueue(16, aging_rate=0.0)
+        for i in range(10):
+            q.submit(_ticket(i, bfs_query(0)))
+        batch, _ = q.take_batch(4, wait=0.0)
+        assert len(batch) == 4
+        assert q.depth == 6
+
+
+class TestDeadlines:
+    def test_expired_entries_are_separated(self):
+        q = AdmissionQueue(8)
+        now = time.monotonic()
+        q.submit(
+            _ticket(1, bfs_query(0, deadline=0.01), accepted_at=now - 1.0)
+        )
+        q.submit(_ticket(2, bfs_query(0)))
+        batch, expired = q.take_batch(8, wait=0.0)
+        assert [t.qid for t in expired] == [1]
+        assert [t.qid for t in batch] == [2]
+        assert q.depth == 0
+
+
+class TestShedding:
+    def test_shed_evicts_lowest_effective_priority(self):
+        q = AdmissionQueue(8, aging_rate=0.0)
+        for i, prio in enumerate([5.0, 1.0, 3.0, 0.5]):
+            q.submit(_ticket(i, bfs_query(0, priority=prio)))
+        shed = q.shed(2)
+        assert sorted(t.qid for t in shed) == [1, 3]  # the two lowest
+        assert q.depth == 2
+
+    def test_shed_noop_under_watermark(self):
+        q = AdmissionQueue(8)
+        q.submit(_ticket(1, bfs_query(0)))
+        assert q.shed(4) == []
+        assert q.depth == 1
+
+
+class TestClose:
+    def test_close_wakes_blocked_producer(self):
+        q = AdmissionQueue(1)
+        q.submit(_ticket(0, bfs_query(0)))
+        errors = []
+
+        def producer():
+            try:
+                q.submit(_ticket(1, bfs_query(0)), block=True, timeout=10.0)
+            except RuntimeError as exc:  # includes OverloadError
+                errors.append(exc)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert len(errors) == 1
