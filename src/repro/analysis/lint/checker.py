@@ -24,10 +24,13 @@ Rules that depend on the charging context (S4) use the distinction to
 avoid flagging helpers whose call sites are all covered by a
 ``comm.phase(...)`` block.
 
-Suppression: a finding is dropped when the flagged line — or the
-``def`` line of the enclosing function — carries a comment of the form
-``# spmdlint: disable=S3`` (comma-separated rule ids; ``all`` disables
-every rule).
+Suppression: a finding is dropped when the flagged line, the line
+directly above it (a standalone directive comment), or the ``def`` line
+of the enclosing function carries a comment of the form
+``# spmdlint: disable=S3 -- <why this is a false positive>``
+(comma-separated rule ids; ``all`` disables every rule).  The rationale
+after ``--`` is required: a suppression without one is itself a finding
+(rule S13), so every silenced rule carries its justification in-line.
 """
 
 from __future__ import annotations
@@ -138,10 +141,19 @@ class ModuleIndex:
     source: str
     #: line -> set of suppressed rule ids ("all" suppresses everything).
     suppressions: Dict[int, Set[str]]
+    #: line -> rationale text following ``--`` in the suppression
+    #: comment; lines missing here have no written justification (S13).
+    rationales: Dict[int, str] = field(default_factory=dict)
     functions: Dict[str, FuncInfo] = field(default_factory=dict)
 
     def suppressed(self, rule: str, line: int, func: Optional[FuncInfo] = None) -> bool:
-        for probe in ([line] if func is None else [line, func.node.lineno]):
+        # a directive suppresses its own line, the line directly below
+        # (the standalone-comment-above convention), and — via the def
+        # line — the whole enclosing function.
+        probes = [line, line - 1]
+        if func is not None:
+            probes.append(func.node.lineno)
+        for probe in probes:
             rules = self.suppressions.get(probe)
             if rules and ("all" in rules or rule in rules):
                 return True
@@ -151,8 +163,15 @@ class ModuleIndex:
 # ----------------------------------------------------------------------
 # suppression comments
 # ----------------------------------------------------------------------
-def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Dict[int, str]]:
+    """``(suppressions, rationales)`` of one source file.
+
+    Directive grammar: ``# spmdlint: disable=S1,S4 -- reason text``.
+    The rule list ends at the first ``--`` (the rationale) or ``#``
+    (a trailing comment, e.g. the fixtures' EXPECT markers).
+    """
     out: Dict[int, Set[str]] = {}
+    rationales: Dict[int, str] = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
@@ -163,13 +182,16 @@ def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
                 continue
             directive = text[len("spmdlint:"):].strip()
             if directive.startswith("disable="):
-                rules = {
-                    r.strip() for r in directive[len("disable="):].split(",")
-                }
+                body = directive[len("disable="):]
+                rules_part, sep, rationale = body.partition("--")
+                rules_part = rules_part.split("#", 1)[0]
+                rules = {r.strip() for r in rules_part.split(",")}
                 out.setdefault(tok.start[0], set()).update(r for r in rules if r)
+                if sep and rationale.strip():
+                    rationales[tok.start[0]] = rationale.strip()
     except tokenize.TokenError:  # pragma: no cover - malformed tail
         pass
-    return out
+    return out, rationales
 
 
 # ----------------------------------------------------------------------
@@ -424,22 +446,9 @@ class _FunctionIndexer(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def index_module(path: str, source: str) -> Optional[ModuleIndex]:
-    """Parse and index ``source``; None when it is not valid Python."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError:
-        return None
-    module = ModuleIndex(
-        path=path,
-        tree=tree,
-        source=source,
-        suppressions=_parse_suppressions(source),
-    )
-    runner_names = _names_passed_to_runners(tree)
-
-    # Collect every function def with its qualname.
-    defs: List[Tuple[str, ast.AST, bool]] = []  # (qualname, node, nested)
+def collect_defs(tree: ast.Module) -> List[Tuple[str, ast.AST, bool]]:
+    """Every function def in the module as ``(qualname, node, nested)``."""
+    defs: List[Tuple[str, ast.AST, bool]] = []
 
     def collect(node: ast.AST, prefix: str, nested: bool) -> None:
         for child in ast.iter_child_nodes(node):
@@ -453,7 +462,25 @@ def index_module(path: str, source: str) -> Optional[ModuleIndex]:
                 collect(child, prefix, nested)
 
     collect(tree, "", False)
+    return defs
 
+
+def index_module(path: str, source: str) -> Optional[ModuleIndex]:
+    """Parse and index ``source``; None when it is not valid Python."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+    suppressions, rationales = _parse_suppressions(source)
+    module = ModuleIndex(
+        path=path,
+        tree=tree,
+        source=source,
+        suppressions=suppressions,
+        rationales=rationales,
+    )
+    runner_names = _names_passed_to_runners(tree)
+    defs = collect_defs(tree)
     all_names = {node.name for _, node, _ in defs}
     for qualname, node, nested in defs:
         first = _first_param(node)
@@ -504,7 +531,11 @@ def lint_source(path: str, source: str, rules=None) -> List[Finding]:
     for rule in active:
         for finding in rule.check(module):
             func = module.functions.get(finding.qualname)
-            if module.suppressed(finding.rule, finding.line, func):
+            # S13 findings bypass suppression: a rationale-less
+            # `disable=all` must not silence the demand for a rationale.
+            if finding.rule != "S13" and module.suppressed(
+                finding.rule, finding.line, func
+            ):
                 continue
             findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

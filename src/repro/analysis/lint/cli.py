@@ -76,7 +76,11 @@ def _apply_baseline(
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spmdlint",
-        description="Static SPMD collective-consistency checker (rules S1-S6).",
+        description=(
+            "Static SPMD collective-consistency checker (rules S1-S13: "
+            "syntactic rules, the cross-rank collective model checker, "
+            "and the driver-side lifecycle dataflow pass)."
+        ),
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(
@@ -159,6 +163,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "col": f.col,
                         "function": f.qualname,
                         "message": f.message,
+                        # stable across unrelated line drift — what
+                        # --baseline matches on
+                        "fingerprint": _fingerprint_key(f),
                     }
                     for f in findings
                 ],

@@ -1,0 +1,737 @@
+"""Driver-side lifecycle dataflow analysis (rules S10, S11, S12).
+
+The model checker (:mod:`repro.analysis.lint.model`) covers rank
+programs; this pass covers everything else — the *driver* code that
+creates :class:`TsSession`\\ s, scatters operands into
+``DistHandle``/``DistDenseHandle`` values, refreshes them with
+``update_operand`` and, in the serve tier, borrows sessions from a
+:class:`SessionPool`.  It is a flow-sensitive abstract interpretation
+of each driver function (and the module body) over a small lifecycle
+lattice:
+
+* **sessions** — created by a ``TsSession(...)`` / ``ResidentSession``
+  constructor call, identified by allocation site; state
+  ``open``/``closed``/``maybe`` (joined across paths).
+* **handles** — results of ``<session>.scatter(...)`` /
+  ``<session>.scatter_dense(...)`` and of
+  ``<session>.multiply(..., gather=False).C`` chains; each remembers
+  the allocation site of its owning session.
+* **pool slots** — results of ``<pool>.checkout(...)``; state
+  ``held``/``returned``/``escaped``/``maybe``.  ``respawn(slot)``
+  replaces the slot's session but the caller *keeps* the checkout, so
+  it is not a release.
+
+Branches fork the state and joins are conservative
+(``open ⊔ closed = maybe``, present ⊔ absent = ``maybe``): a finding is
+only emitted for *definite* states, so a handle that is merely
+*possibly* stale never fires.  ``try`` handlers run from the join of
+the states before and after the protected block; ``finally`` blocks are
+applied to pending ``return`` outcomes before they are leak-checked, so
+the ``try: return f(...) finally: pool.checkin(slot)`` idiom is clean.
+Values that escape the function — returned, yielded, stored into an
+attribute/container, passed to an unanalyzed call, or captured by a
+nested ``def``/``lambda`` — are treated as transferred, not leaked.
+
+Rules:
+
+* **S10** — use-after-close: any method call on a definitely-closed
+  session, ``.gather()`` on a handle whose owning session is
+  definitely closed, or a handle passed to a *different* session's
+  ``multiply``/``replan`` than the one that produced it.
+* **S11** — ``update_operand(x)`` (a values-only refresh: the runtime
+  asserts the sparsity pattern is unchanged) where ``x`` has more than
+  one reaching definition — on some path the variable may hold a
+  matrix with a different pattern, turning the cheap refresh into a
+  runtime error (or a full silent re-setup) depending on the path.
+* **S12** — a ``SessionPool`` slot checked out on some path that
+  reaches the end of the function (or an early ``return``) still
+  definitely held — a serve-tier slot leak: the pool's capacity shrinks
+  by one forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .checker import Finding, ModuleIndex, collect_defs
+
+#: Constructor names that create a resident session in driver code.
+SESSION_CONSTRUCTORS = {"TsSession", "ResidentSession", "SpmdSession"}
+
+#: Session methods that yield a distributed handle tied to the session.
+HANDLE_FACTORIES = {"scatter", "scatter_dense"}
+
+#: Session methods that consume handles and must receive handles
+#: produced by the *same* session (`_check_handle` enforces at runtime).
+HANDLE_CONSUMERS = {"multiply", "replan", "gather"}
+
+_UNBOUND = -1  # pseudo def-site: "possibly never assigned on this path"
+
+
+@dataclass(frozen=True)
+class _Var:
+    """What a local name holds, when the analysis tracks it."""
+
+    kind: str  # "session" | "slot" | "handle"
+    token: Tuple[int, int]  # allocation site (line, col)
+
+
+@dataclass
+class _State:
+    """Abstract state at one program point (mutable, copied at forks)."""
+
+    #: tracked local name -> value
+    vars: Dict[str, _Var] = field(default_factory=dict)
+    #: session allocation site -> "open" | "closed" | "maybe"
+    sessions: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    #: slot allocation site -> "held" | "returned" | "escaped" | "maybe"
+    slots: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    #: name -> reaching definition lines (S11); _UNBOUND marks a path
+    #: with no assignment.
+    defs: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(
+            vars=dict(self.vars),
+            sessions=dict(self.sessions),
+            slots=dict(self.slots),
+            defs=dict(self.defs),
+        )
+
+
+def _join_status(a: Optional[str], b: Optional[str]) -> str:
+    if a is None or b is None or a != b:
+        return "maybe"
+    return a
+
+
+def _join(a: _State, b: _State) -> _State:
+    out = _State()
+    for name, va in a.vars.items():
+        vb = b.vars.get(name)
+        if vb is not None and vb == va:
+            out.vars[name] = va
+        # diverging/absent: name becomes untracked (never "definite")
+    for token in set(a.sessions) | set(b.sessions):
+        out.sessions[token] = _join_status(
+            a.sessions.get(token), b.sessions.get(token)
+        )
+    for token in set(a.slots) | set(b.slots):
+        sa, sb = a.slots.get(token), b.slots.get(token)
+        # an escape on either path transfers ownership for good
+        if sa == "escaped" or sb == "escaped":
+            out.slots[token] = "escaped"
+        else:
+            out.slots[token] = _join_status(sa, sb)
+    for name in set(a.defs) | set(b.defs):
+        da = a.defs.get(name, frozenset({_UNBOUND}))
+        db = b.defs.get(name, frozenset({_UNBOUND}))
+        out.defs[name] = da | db
+    return out
+
+
+def _join_all(states: List[_State]) -> Optional[_State]:
+    if not states:
+        return None
+    acc = states[0]
+    for st in states[1:]:
+        acc = _join(acc, st)
+    return acc
+
+
+#: One way a block can terminate: how, and with what state.
+_Outcome = Tuple[str, _State]  # kind: "break" | "continue" | "return" | "raise"
+
+
+class _DriverAnalyzer:
+    """Analyzes one driver function (or the module body)."""
+
+    def __init__(self, module: ModuleIndex, qualname: str):
+        self.module = module
+        self.qualname = qualname
+        self.findings: Dict[Tuple[str, int, int, str], Finding] = {}
+        #: allocation site -> human label ("TsSession(...)", "checkout")
+        self.labels: Dict[Tuple[int, int], str] = {}
+
+    # -- findings --------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        key = (rule, line, col, message)
+        if key not in self.findings:
+            self.findings[key] = Finding(
+                rule=rule,
+                path=self.module.path,
+                line=line,
+                col=col,
+                qualname=self.qualname,
+                message=message,
+            )
+
+    # -- entry -----------------------------------------------------------
+    def run(self, body: List[ast.stmt], params: List[str]) -> List[Finding]:
+        state = _State()
+        for i, name in enumerate(params):
+            state.defs[name] = frozenset({0})  # one def-site: the call
+        outcomes = self._exec_block(body, state)
+        finals = [st for kind, st in outcomes if kind in ("fall", "return")]
+        for st in finals:
+            self._check_leaks(st)
+        return sorted(
+            self.findings.values(), key=lambda f: (f.line, f.col, f.rule)
+        )
+
+    def _check_leaks(self, state: _State) -> None:
+        for token, status in state.slots.items():
+            if status != "held":
+                continue
+            line, col = token
+            self._report(
+                "S12",
+                _Site(line, col),
+                "session-pool slot checked out here is still held when "
+                "this path leaves the function — no checkin/`with` on "
+                "every path, so the pool permanently loses a slot "
+                "(serve-tier capacity leak)",
+            )
+
+    # -- block / statement execution -------------------------------------
+    def _exec_block(
+        self, stmts: List[ast.stmt], state: _State
+    ) -> List[_Outcome]:
+        """Execute a block; returns terminating outcomes.  Exactly the
+        outcomes whose kind is ``fall`` continue in the caller."""
+        out: List[_Outcome] = []
+        current: Optional[_State] = state
+        for stmt in stmts:
+            if current is None:
+                break  # unreachable tail
+            results = self._exec_stmt(stmt, current)
+            current = None
+            falls: List[_State] = []
+            for kind, st in results:
+                if kind == "fall":
+                    falls.append(st)
+                else:
+                    out.append((kind, st))
+            current = _join_all(falls)
+        if current is not None:
+            out.append(("fall", current))
+        return out
+
+    def _exec_stmt(self, stmt: ast.stmt, state: _State) -> List[_Outcome]:
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, state)
+            return [("fall", state)]
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, state)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, value, state)
+            return [("fall", state)]
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, state)
+                self._assign(stmt.target, stmt.value, value, state)
+            return [("fall", state)]
+        if isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, state)
+            if isinstance(stmt.target, ast.Name):
+                self._record_def(stmt.target.id, stmt.lineno, state)
+                state.vars.pop(stmt.target.id, None)
+            return [("fall", state)]
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test, state)
+            then_out = self._exec_block(stmt.body, state.copy())
+            else_out = self._exec_block(stmt.orelse, state.copy())
+            return then_out + else_out
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._exec_loop(stmt, state, is_for=True)
+        if isinstance(stmt, ast.While):
+            return self._exec_loop(stmt, state, is_for=False)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._exec_with(stmt, state)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, state)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value, state)
+                self._transfer_on_return(stmt.value, state)
+            return [("return", state)]
+        if isinstance(stmt, ast.Break):
+            return [("break", state)]
+        if isinstance(stmt, ast.Continue):
+            return [("continue", state)]
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, state)
+            return [("raise", state)]
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._escape_captured(stmt, state)
+            self._record_def(stmt.name, stmt.lineno, state)
+            return [("fall", state)]
+        if isinstance(stmt, ast.ClassDef):
+            self._escape_captured(stmt, state)
+            self._record_def(stmt.name, stmt.lineno, state)
+            return [("fall", state)]
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.vars.pop(target.id, None)
+                    state.defs.pop(target.id, None)
+            return [("fall", state)]
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                name = alias.asname or alias.name.split(".")[0]
+                self._record_def(name, stmt.lineno, state)
+            return [("fall", state)]
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, state)
+            return [("fall", state)]
+        # match / global / nonlocal / pass and future constructs:
+        # evaluate nothing, havoc nothing tracked unless assigned.
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                self._record_def(sub.id, stmt.lineno, state)
+                state.vars.pop(sub.id, None)
+        return [("fall", state)]
+
+    # -- loops, with, try -------------------------------------------------
+    def _exec_loop(self, stmt, state: _State, is_for: bool) -> List[_Outcome]:
+        if is_for:
+            self._eval(stmt.iter, state)
+        else:
+            self._eval(stmt.test, state)
+        entry = state.copy()
+
+        def run_body(start: _State) -> List[_Outcome]:
+            st = start.copy()
+            if is_for:
+                for sub in ast.walk(stmt.target):
+                    if isinstance(sub, ast.Name) and isinstance(
+                        sub.ctx, ast.Store
+                    ):
+                        self._record_def(sub.id, stmt.lineno, st)
+                        st.vars.pop(sub.id, None)
+            return self._exec_block(stmt.body, st)
+
+        # pass 1 from the entry state; pass 2 from the back-edge join so
+        # carried lifecycle states and def-sites settle.
+        out1 = run_body(entry)
+        back = [st for kind, st in out1 if kind in ("fall", "continue")]
+        head = _join_all([entry] + back) or entry
+        out2 = run_body(head)
+
+        outcomes: List[_Outcome] = []
+        exits: List[_State] = [entry]  # zero-iteration path
+        for kind, st in out1 + out2:
+            if kind in ("fall", "continue"):
+                exits.append(st)
+            elif kind == "break":
+                exits.append(st)
+            else:  # return / raise escape the loop entirely
+                outcomes.append((kind, st))
+        after = _join_all(exits) or entry
+        tail = self._exec_block(stmt.orelse, after) if stmt.orelse else [
+            ("fall", after)
+        ]
+        return outcomes + tail
+
+    def _exec_with(self, stmt, state: _State) -> List[_Outcome]:
+        released: List[Tuple[int, int]] = []
+        closed: List[Tuple[int, int]] = []
+        for item in stmt.items:
+            value = self._eval(item.context_expr, state)
+            if item.optional_vars is not None:
+                self._assign(
+                    item.optional_vars, item.context_expr, value, state
+                )
+            # `with pool.checkout(...) as slot:` / `with TsSession(...)`
+            # — __exit__ releases/closes on every path out of the block.
+            if value is not None and value.kind == "slot":
+                released.append(value.token)
+            elif value is not None and value.kind == "session":
+                closed.append(value.token)
+        outcomes = self._exec_block(stmt.body, state)
+        for kind, st in outcomes:
+            for token in released:
+                if st.slots.get(token) == "held":
+                    st.slots[token] = "returned"
+            for token in closed:
+                st.sessions[token] = "closed"
+        return outcomes
+
+    def _exec_try(self, stmt: ast.Try, state: _State) -> List[_Outcome]:
+        entry = state.copy()
+        body_out = self._exec_block(stmt.body, state)
+        outcomes: List[_Outcome] = []
+        fall_states: List[_State] = []
+        raise_states: List[_State] = []
+        for kind, st in body_out:
+            if kind == "fall":
+                fall_states.append(st)
+            elif kind == "raise":
+                raise_states.append(st)
+            else:
+                outcomes.append((kind, st))
+        # else-clause runs only after a clean body
+        fall = _join_all(fall_states)
+        if fall is not None:
+            for kind, st in self._exec_block(stmt.orelse, fall):
+                if kind == "fall":
+                    outcomes.append(("fall", st))
+                else:
+                    outcomes.append((kind, st))
+        # handlers: an exception may fire at *any* point inside the body,
+        # so they start from the join of entry and every body-final state
+        # (conservative: anything the body might have changed is "maybe").
+        if stmt.handlers:
+            handler_entry = _join_all(
+                [entry]
+                + fall_states
+                + raise_states
+                + [st for _k, st in outcomes]
+            ) or entry
+            for handler in stmt.handlers:
+                hstate = handler_entry.copy()
+                if handler.name:
+                    self._record_def(handler.name, handler.lineno, hstate)
+                outcomes.extend(self._exec_block(handler.body, hstate))
+        else:
+            for st in raise_states:
+                outcomes.append(("raise", st))
+        # finally applies to every outcome — including pending returns,
+        # which is what makes `try: return f() finally: checkin` clean.
+        if stmt.finalbody:
+            finalized: List[_Outcome] = []
+            for kind, st in outcomes:
+                fin = self._exec_block(stmt.finalbody, st)
+                for fkind, fst in fin:
+                    # a finally that itself breaks/returns overrides the
+                    # pending outcome; a falling finally preserves it
+                    finalized.append((kind if fkind == "fall" else fkind, fst))
+            outcomes = finalized
+        return outcomes
+
+    # -- assignment / escapes ---------------------------------------------
+    def _record_def(self, name: str, line: int, state: _State) -> None:
+        state.defs[name] = frozenset({line})
+
+    def _assign(
+        self,
+        target: ast.AST,
+        value_node: ast.AST,
+        value: Optional[_Var],
+        state: _State,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._record_def(target.id, target.lineno, state)
+            if value is not None:
+                state.vars[target.id] = value
+            else:
+                state.vars.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for sub in target.elts:
+                inner = sub.value if isinstance(sub, ast.Starred) else sub
+                self._assign(inner, value_node, None, state)
+            return
+        # attribute / subscript store: the value escapes this function's
+        # scope — ownership is transferred, not leaked.
+        if value is not None:
+            self._escape(value, state)
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                self._record_def(sub.id, target.lineno, state)
+                state.vars.pop(sub.id, None)
+
+    def _escape(self, value: _Var, state: _State) -> None:
+        if value.kind == "slot":
+            state.slots[value.token] = "escaped"
+        elif value.kind == "session":
+            # stored elsewhere: later closes are invisible; stop judging
+            state.sessions[value.token] = "maybe"
+
+    def _escape_captured(self, node: ast.AST, state: _State) -> None:
+        """Names a nested scope reads are captured: their values escape."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                tracked = state.vars.get(sub.id)
+                if tracked is not None:
+                    self._escape(tracked, state)
+
+    def _transfer_on_return(self, value: ast.AST, state: _State) -> None:
+        """``return slot`` / ``return session`` transfers ownership."""
+        nodes = (
+            value.elts if isinstance(value, (ast.Tuple, ast.List)) else [value]
+        )
+        for node in nodes:
+            if isinstance(node, ast.Name):
+                tracked = state.vars.get(node.id)
+                if tracked is not None:
+                    self._escape(tracked, state)
+
+    # -- expression evaluation --------------------------------------------
+    def _eval(self, node: Optional[ast.AST], state: _State) -> Optional[_Var]:
+        """Evaluate an expression for lifecycle effects; returns the
+        tracked value it denotes, if any."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return state.vars.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, state)
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, state)
+            # <multiply(...)>.C with gather=False: a handle of that session
+            if (
+                node.attr == "C"
+                and isinstance(node.value, ast.Call)
+                and base is not None
+                and base.kind == "handle"
+            ):
+                return base
+            return None
+        if isinstance(node, (ast.Lambda,)):
+            self._escape_captured(node, state)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            self._escape_captured(node, state)
+            return None
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, state)
+            self._assign(node.target, node.value, value, state)
+            return value
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, state)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self._eval(node.value, state)
+                self._transfer_on_return(node.value, state)
+            return None
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, state)
+            self._eval(node.body, state)
+            self._eval(node.orelse, state)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for sub in node.values:
+                self._eval(sub, state)
+            return None
+        for sub in ast.iter_child_nodes(node):
+            if isinstance(sub, ast.expr):
+                self._eval(sub, state)
+        return None
+
+    def _eval_call(self, node: ast.Call, state: _State) -> Optional[_Var]:
+        func = node.func
+        # --- constructors -------------------------------------------------
+        ctor = None
+        if isinstance(func, ast.Name):
+            ctor = func.id
+        elif isinstance(func, ast.Attribute):
+            ctor = func.attr
+        if ctor in SESSION_CONSTRUCTORS:
+            for arg in node.args:
+                self._eval(arg, state)
+            for kw in node.keywords:
+                self._eval(kw.value, state)
+            token = (node.lineno, node.col_offset)
+            state.sessions[token] = "open"
+            self.labels[token] = f"{ctor}(...)"
+            return _Var(kind="session", token=token)
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            base = self._eval(func.value, state)
+            arg_vars = [self._eval(a, state) for a in node.args]
+            for kw in node.keywords:
+                arg_vars.append(self._eval(kw.value, state))
+            # --- pool protocol -------------------------------------------
+            if method == "checkout":
+                token = (node.lineno, node.col_offset)
+                state.slots[token] = "held"
+                self.labels[token] = "checkout"
+                return _Var(kind="slot", token=token)
+            if method in ("checkin",):
+                for av in arg_vars:
+                    if av is not None and av.kind == "slot":
+                        state.slots[av.token] = "returned"
+                return None
+            if method == "respawn":
+                # replaces the slot's session; the caller keeps the
+                # checkout, so this is NOT a release.
+                return None
+            # --- session protocol ----------------------------------------
+            if base is not None and base.kind == "session":
+                status = state.sessions.get(base.token, "maybe")
+                if method == "close":
+                    state.sessions[base.token] = "closed"
+                    return None
+                if status == "closed":
+                    self._report(
+                        "S10", node,
+                        f"call to .{method}() on a session that is already "
+                        "closed on every path reaching this point (closed "
+                        "session: "
+                        f"{self.labels.get(base.token, 'session')} at line "
+                        f"{base.token[0]}) — resident workers are gone; "
+                        "the call raises or hangs",
+                    )
+                if method in HANDLE_CONSUMERS:
+                    self._check_foreign_handles(node, base, arg_vars)
+                if method == "update_operand":
+                    self._check_update_operand(node, state)
+                if method in HANDLE_FACTORIES:
+                    return _Var(kind="handle", token=base.token)
+                if method == "multiply" and any(
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    and kw.arg == "gather"
+                    for kw in node.keywords
+                ):
+                    # result object whose .C is a live handle
+                    return _Var(kind="handle", token=base.token)
+                return None
+            # --- handle protocol -----------------------------------------
+            if base is not None and base.kind == "handle":
+                if method == "gather":
+                    status = state.sessions.get(base.token, "maybe")
+                    if status == "closed":
+                        self._report(
+                            "S10", node,
+                            "gather() on a distributed handle whose owning "
+                            "session "
+                            f"({self.labels.get(base.token, 'session')} at "
+                            f"line {base.token[0]}) is closed on every path "
+                            "reaching this point — the rank-resident blocks "
+                            "no longer exist",
+                        )
+                return None
+            if base is not None:
+                self._escape(base, state)
+            if method == "update_operand":
+                # untracked receiver (self._session, a parameter…): the
+                # reaching-defs check is still meaningful.
+                self._check_update_operand(node, state)
+            for av in arg_vars:
+                if av is not None:
+                    self._escape(av, state)
+            return None
+        # --- plain calls: arguments escape --------------------------------
+        for arg in node.args:
+            av = self._eval(arg, state)
+            if av is not None:
+                self._escape(av, state)
+        for kw in node.keywords:
+            av = self._eval(kw.value, state)
+            if av is not None:
+                self._escape(av, state)
+        return None
+
+    def _check_foreign_handles(
+        self,
+        node: ast.Call,
+        session: _Var,
+        arg_vars: List[Optional[_Var]],
+    ) -> None:
+        for av in arg_vars:
+            if av is None or av.kind != "handle":
+                continue
+            if av.token != session.token:
+                self._report(
+                    "S10", node,
+                    "distributed handle produced by the session created at "
+                    f"line {av.token[0]} is passed to a method of the "
+                    "*different* session created at line "
+                    f"{session.token[0]} — handles are bound to the "
+                    "resident workers that hold their blocks; "
+                    "_check_handle raises at runtime",
+                )
+
+    def _check_update_operand(self, node: ast.Call, state: _State) -> None:
+        if not node.args:
+            return
+        arg = node.args[0]
+        if not isinstance(arg, ast.Name):
+            return
+        sites = state.defs.get(arg.id)
+        if sites is None or len(sites) <= 1:
+            return
+        labels = sorted(
+            ("<unassigned>" if s == _UNBOUND else f"line {s}") for s in sites
+        )
+        self._report(
+            "S11", node,
+            f"update_operand('{arg.id}') is a values-only refresh, but "
+            f"'{arg.id}' has {len(sites)} reaching definitions at this "
+            f"point ({', '.join(labels)}) — on some path it may hold a "
+            "matrix with a different sparsity pattern; rebind it "
+            "unconditionally before the refresh, or re-scatter/re-prepare "
+            "when the pattern changed",
+        )
+
+
+@dataclass(frozen=True)
+class _Site:
+    """Minimal node-alike carrying a location for `_report`."""
+
+    lineno: int
+    col_offset: int
+
+
+# ----------------------------------------------------------------------
+# module driving
+# ----------------------------------------------------------------------
+def _driver_functions(
+    module: ModuleIndex,
+) -> Iterator[Tuple[str, List[ast.stmt], List[str]]]:
+    """``(qualname, body, params)`` for every non-rank-program scope."""
+    rank_quals = set(module.functions)
+    yield "<module>", list(module.tree.body), []
+    for qualname, node, _nested in collect_defs(module.tree):
+        if qualname in rank_quals:
+            continue  # rank programs belong to the model checker
+        args = node.args
+        params = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+        params += [a.arg for a in args.kwonlyargs]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        yield qualname, list(node.body), params
+
+
+def _analyze(module: ModuleIndex) -> List[Finding]:
+    cached = getattr(module, "_lifecycle_cache", None)
+    if cached is not None:
+        return cached
+    findings: List[Finding] = []
+    for qualname, body, params in _driver_functions(module):
+        # the module body sees nested defs as opaque statements; each def
+        # is analyzed on its own, so no scope is visited twice.
+        analyzer = _DriverAnalyzer(module, qualname)
+        try:
+            findings.extend(analyzer.run(body, params))
+        except RecursionError:  # pragma: no cover - pathological nesting
+            continue
+    module._lifecycle_cache = findings
+    return findings
+
+
+def check_s10(module: ModuleIndex) -> Iterator[Finding]:
+    for f in _analyze(module):
+        if f.rule == "S10":
+            yield f
+
+
+def check_s11(module: ModuleIndex) -> Iterator[Finding]:
+    for f in _analyze(module):
+        if f.rule == "S11":
+            yield f
+
+
+def check_s12(module: ModuleIndex) -> Iterator[Finding]:
+    for f in _analyze(module):
+        if f.rule == "S12":
+            yield f

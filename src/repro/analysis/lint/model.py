@@ -1,0 +1,1240 @@
+"""Cross-rank collective model checker (rules S8 and S9).
+
+Abstractly interprets each discovered *root* rank program for concrete
+ranks ``r in {0..p-1}`` at small ``p`` (2, 3, 4), folding everything
+that is rank-constant — ``comm.rank == k`` comparisons, ``comm.size``
+arithmetic, ``range``-over-size loops — and *exploring both arms* of
+conditions it cannot fold, under a shared decision oracle (an unknown
+condition is assumed rank-invariant: every rank takes the same side in
+one explored "world").  The result is a set of per-rank collective
+trace skeletons (:mod:`repro.analysis.lint.traces`) that are diffed
+across ranks:
+
+* **S8** — two ranks in the same world issue different collective
+  sequences (kind, phase, fused-section structure): the static twin of
+  the runtime sanitizer's ``CollectiveMismatchError`` /
+  ``CollectiveStallError``.
+* **S9** — a ``send`` whose destination rank's trace has no matching
+  ``recv`` (source and tag class) in any explored world: the message
+  can never be consumed.
+
+Soundness posture (see docs/spmdlint.md for the catalogue entry):
+
+* Loops with an unknown trip count *around communication*, collectives
+  inside ``except`` handlers, and exhausted fuel budgets produce an
+  explicit :class:`~.traces.Abstention` — "cannot prove", never false
+  certainty, and never a finding.
+* A communicator escaping into an unanalyzed callee is recorded as an
+  *opaque* trace event.  Opaque events are compared across ranks (a
+  rank-divergent opaque call is a divergence), but any collectives
+  inside the callee are invisible — so S9, which needs completeness of
+  the recv set, abstains for roots whose traces carry opaque events.
+* Interprocedural: calls to same-module functions are interpreted
+  inline (bounded depth), so collectives reached through helpers land
+  in the caller's trace — the case syntactic rules like S1 cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .checker import (
+    COLLECTIVES,
+    Finding,
+    FuncInfo,
+    ModuleIndex,
+    collect_defs,
+)
+from .traces import (
+    Abstention,
+    RankTrace,
+    RootModel,
+    TraceEvent,
+    first_divergence,
+    format_divergence,
+)
+
+#: Concrete rank counts the model checker instantiates.
+P_VALUES = (2, 3, 4)
+
+MAX_ORACLE_RUNS = 24  # explored worlds per (root, p)
+MAX_STEPS = 40_000  # interpreter steps per rank run
+MAX_EVENTS = 512  # trace events per rank run
+MAX_LOOP = 130  # unrolled iterations per loop
+MAX_DEPTH = 10  # interprocedural call depth
+MAX_NOTES = 12  # recorded path conditions per rank run
+
+
+# ----------------------------------------------------------------------
+# abstract values
+# ----------------------------------------------------------------------
+class _Unknown:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug only
+        return "<?>"
+
+
+UNKNOWN = _Unknown()
+
+
+class _CommVal:
+    """A communicator.  ``known`` is False for split/derived comms whose
+    rank/size the model cannot resolve (collectives on them are still
+    traced by kind)."""
+
+    __slots__ = ("rank", "size", "known")
+
+    def __init__(self, rank: int, size: int, known: bool = True):
+        self.rank = rank
+        self.size = size
+        self.known = known
+
+
+class _Carrier:
+    """An object that (may) hold a communicator — the result of passing
+    a comm into a constructor/callee the model cannot see into.  Method
+    calls on it are traced as opaque events."""
+
+    __slots__ = ()
+
+
+class _FuncVal:
+    """A locally defined function (nested def or lambda) bound to a
+    name, carrying its defining frame for closure lookups."""
+
+    __slots__ = ("node", "frame")
+
+    def __init__(self, node: ast.AST, frame: "_Frame"):
+        self.node = node
+        self.frame = frame
+
+
+class _Frame:
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["_Frame"] = None):
+        self.vars: Dict[str, object] = {}
+        self.parent = parent
+
+    def lookup(self, name: str):
+        frame: Optional[_Frame] = self
+        while frame is not None:
+            if name in frame.vars:
+                return frame.vars[name]
+            frame = frame.parent
+        return UNKNOWN
+
+    def bind(self, name: str, value) -> None:
+        self.vars[name] = value
+
+
+# ----------------------------------------------------------------------
+# control-flow signals
+# ----------------------------------------------------------------------
+class _Abstain(Exception):
+    def __init__(self, reason: str, node: Optional[ast.AST] = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.line = getattr(node, "lineno", 0)
+        self.col = getattr(node, "col_offset", 0)
+
+
+class _ReturnSig(Exception):
+    def __init__(self, value=UNKNOWN):
+        self.value = value
+
+
+class _BreakSig(Exception):
+    pass
+
+
+class _ContinueSig(Exception):
+    pass
+
+
+# ----------------------------------------------------------------------
+# shared decision oracle
+# ----------------------------------------------------------------------
+class _Oracle:
+    """Truth assignment for unknown branch conditions, shared by every
+    rank in one world.  Keys are ``(line, col, visit#)`` so the k-th
+    visit of a site decides identically on every rank (the
+    rank-invariant-condition assumption)."""
+
+    def __init__(self, assigned: Dict[Tuple, bool], order: List[Tuple]):
+        self.assigned = assigned
+        self.order = order
+
+    def decide(self, key: Tuple) -> bool:
+        if key in self.assigned:
+            return self.assigned[key]
+        self.assigned[key] = True
+        self.order.append(key)
+        return True
+
+
+# ----------------------------------------------------------------------
+# may-communicate pre-analysis (drives loop abstention)
+# ----------------------------------------------------------------------
+_P2P = {"send", "recv", "sendrecv"}
+
+
+def _comm_function_names(module: ModuleIndex) -> Set[str]:
+    """Names of module functions that (transitively) issue comm calls."""
+    direct: Set[str] = set()
+    calls: Dict[str, Set[str]] = {}
+    for qual, node, _nested in collect_defs(module.tree):
+        name = node.name
+        callees: Set[str] = calls.setdefault(name, set())
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                f = sub.func
+                if isinstance(f, ast.Attribute) and f.attr in (
+                    COLLECTIVES | _P2P
+                ):
+                    direct.add(name)
+                elif isinstance(f, ast.Name):
+                    callees.add(f.id)
+    closed = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in calls.items():
+            if name not in closed and callees & closed:
+                closed.add(name)
+                changed = True
+    return closed
+
+
+def _may_communicate(node: ast.AST, comm_funcs: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            f = sub.func
+            if isinstance(f, ast.Attribute) and f.attr in (COLLECTIVES | _P2P):
+                return True
+            if isinstance(f, ast.Name) and f.id in comm_funcs:
+                return True
+    return False
+
+
+def _assigned_names(node: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            out.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(sub.name)
+    return out
+
+
+def _unparse(node: ast.AST, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        text = "<expr>"
+    text = " ".join(text.split())
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def _call_arg(call: ast.Call, kw: str, pos: int) -> Optional[ast.AST]:
+    for k in call.keywords:
+        if k.arg == kw:
+            return k.value
+    if len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+# ----------------------------------------------------------------------
+# the per-rank interpreter
+# ----------------------------------------------------------------------
+class _RankInterp:
+    def __init__(
+        self,
+        module: ModuleIndex,
+        rank: int,
+        p: int,
+        oracle: _Oracle,
+        comm_funcs: Set[str],
+        top_defs: Dict[str, ast.AST],
+    ):
+        self.module = module
+        self.rank = rank
+        self.p = p
+        self.oracle = oracle
+        self.comm_funcs = comm_funcs
+        self.top_defs = top_defs
+        self.trace = RankTrace(rank=rank, size=p)
+        self.phases: List[str] = []
+        self.steps = 0
+        self.depth = 0
+        self.visits: Dict[Tuple[int, int], int] = {}
+
+    # -- bookkeeping ---------------------------------------------------
+    def _tick(self, node: ast.AST) -> None:
+        self.steps += 1
+        if self.steps > MAX_STEPS:
+            raise _Abstain("interpreter step budget exhausted", node)
+
+    def _note(self, text: str) -> None:
+        notes = self.trace.notes
+        if len(notes) < MAX_NOTES:
+            notes.append(text)
+        elif len(notes) == MAX_NOTES:
+            notes.append("…")
+
+    def _emit(self, event: TraceEvent, node: ast.AST) -> None:
+        if len(self.trace.events) >= MAX_EVENTS:
+            raise _Abstain("trace event budget exhausted", node)
+        self.trace.events.append(event)
+
+    def _phase(self) -> str:
+        return self.phases[-1] if self.phases else ""
+
+    # -- entry ---------------------------------------------------------
+    def run_root(self, info: FuncInfo) -> RankTrace:
+        node = info.node
+        frame = _Frame()
+        args = node.args
+        params = list(args.posonlyargs) + list(args.args)
+        for a in params:
+            frame.bind(a.arg, UNKNOWN)
+        for a in args.kwonlyargs:
+            frame.bind(a.arg, UNKNOWN)
+        if args.vararg:
+            frame.bind(args.vararg.arg, UNKNOWN)
+        if args.kwarg:
+            frame.bind(args.kwarg.arg, UNKNOWN)
+        if info.comm_param:
+            frame.bind(info.comm_param, _CommVal(self.rank, self.p))
+        try:
+            self._exec_block(node.body, frame)
+        except _ReturnSig:
+            pass
+        except (_BreakSig, _ContinueSig):  # pragma: no cover - malformed
+            pass
+        return self.trace
+
+    # -- statements ----------------------------------------------------
+    def _exec_block(self, stmts: Sequence[ast.stmt], frame: _Frame) -> None:
+        for stmt in stmts:
+            self._exec(stmt, frame)
+
+    def _exec(self, stmt: ast.stmt, frame: _Frame) -> None:
+        self._tick(stmt)
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, frame)
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, frame)
+            for target in stmt.targets:
+                self._bind(target, value, frame)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self._eval(stmt.value, frame) if stmt.value else UNKNOWN
+            self._bind(stmt.target, value, frame)
+        elif isinstance(stmt, ast.AugAssign):
+            current = (
+                frame.lookup(stmt.target.id)
+                if isinstance(stmt.target, ast.Name)
+                else UNKNOWN
+            )
+            rhs = self._eval(stmt.value, frame)
+            value = self._fold_binop(stmt.op, current, rhs)
+            self._bind(stmt.target, value, frame)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, frame)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, frame)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt, frame)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._exec_with(stmt, frame)
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, frame) if stmt.value else None
+            raise _ReturnSig(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSig()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSig()
+        elif isinstance(stmt, ast.Raise):
+            # An uncaught raise ends this rank's participation — exactly
+            # like an early return for trace purposes.
+            raise _ReturnSig(UNKNOWN)
+        elif isinstance(stmt, ast.Try):
+            self._exec_try(stmt, frame)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            frame.bind(stmt.name, _FuncVal(stmt, frame))
+        elif isinstance(stmt, ast.ClassDef):
+            frame.bind(stmt.name, UNKNOWN)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, frame)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    frame.vars.pop(target.id, None)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                frame.bind(alias.asname or alias.name.split(".")[0], UNKNOWN)
+        elif isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal)):
+            pass
+        else:
+            # match statements and anything newer: abstain if it could
+            # communicate, otherwise havoc its bindings and move on.
+            if _may_communicate(stmt, self.comm_funcs):
+                raise _Abstain(
+                    f"unmodelled statement {type(stmt).__name__} around "
+                    "communication", stmt
+                )
+            for name in _assigned_names(stmt):
+                frame.bind(name, UNKNOWN)
+
+    def _bind(self, target: ast.AST, value, frame: _Frame) -> None:
+        if isinstance(target, ast.Name):
+            frame.bind(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = target.elts
+            if (
+                isinstance(value, tuple)
+                and len(value) == len(elts)
+                and not any(isinstance(e, ast.Starred) for e in elts)
+            ):
+                for sub, v in zip(elts, value):
+                    self._bind(sub, v, frame)
+            else:
+                for sub in elts:
+                    inner = sub.value if isinstance(sub, ast.Starred) else sub
+                    self._bind(inner, UNKNOWN, frame)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, UNKNOWN, frame)
+        # attribute/subscript stores go to an unmodelled heap
+
+    def _decide(self, test: ast.AST, frame: _Frame) -> bool:
+        value = self._eval(test, frame)
+        if value is UNKNOWN or isinstance(value, (_CommVal, _Carrier, _FuncVal)):
+            site = (test.lineno, test.col_offset)
+            visit = self.visits.get(site, 0)
+            self.visits[site] = visit + 1
+            taken = self.oracle.decide((site[0], site[1], visit))
+            self._note(
+                f"line {test.lineno}: `{_unparse(test)}` -> "
+                f"{taken} (assumed, both arms explored)"
+            )
+            return taken
+        try:
+            taken = bool(value)
+        except Exception:
+            taken = True
+        if not isinstance(test, ast.Constant):
+            self._note(f"line {test.lineno}: `{_unparse(test)}` -> {taken}")
+        return taken
+
+    def _exec_if(self, stmt: ast.If, frame: _Frame) -> None:
+        if self._decide(stmt.test, frame):
+            self._exec_block(stmt.body, frame)
+        else:
+            self._exec_block(stmt.orelse, frame)
+
+    def _exec_while(self, stmt: ast.While, frame: _Frame) -> None:
+        trips = 0
+        while True:
+            value = self._eval(stmt.test, frame)
+            if value is UNKNOWN or isinstance(value, (_CommVal, _Carrier)):
+                if _may_communicate(stmt, self.comm_funcs):
+                    raise _Abstain(
+                        "unknown-trip-count while loop around communication",
+                        stmt,
+                    )
+                for name in _assigned_names(stmt):
+                    frame.bind(name, UNKNOWN)
+                break
+            if not value:
+                self._exec_block(stmt.orelse, frame)
+                break
+            trips += 1
+            if trips > MAX_LOOP:
+                raise _Abstain("while-loop unroll budget exhausted", stmt)
+            try:
+                self._exec_block(stmt.body, frame)
+            except _BreakSig:
+                break
+            except _ContinueSig:
+                continue
+        if trips and not isinstance(stmt.test, ast.Constant):
+            self._note(
+                f"line {stmt.lineno}: while `{_unparse(stmt.test)}` ran "
+                f"{trips} iteration(s)"
+            )
+
+    def _exec_for(self, stmt, frame: _Frame) -> None:
+        iterable = self._eval(stmt.iter, frame)
+        if isinstance(iterable, range):
+            items: Optional[Sequence] = iterable
+        elif isinstance(iterable, (tuple, list, str)):
+            items = list(iterable)
+        else:
+            items = None
+        if items is None:
+            if _may_communicate(stmt, self.comm_funcs):
+                raise _Abstain(
+                    "loop over unresolved iterable around communication",
+                    stmt,
+                )
+            for name in _assigned_names(stmt):
+                frame.bind(name, UNKNOWN)
+            self._exec_block(stmt.orelse, frame)
+            return
+        if len(items) > MAX_LOOP:
+            raise _Abstain("for-loop unroll budget exhausted", stmt)
+        if not isinstance(stmt.iter, ast.Constant):
+            self._note(
+                f"line {stmt.lineno}: for over `{_unparse(stmt.iter)}` -> "
+                f"{len(items)} iteration(s)"
+            )
+        broke = False
+        for item in items:
+            self._bind(stmt.target, item, frame)
+            try:
+                self._exec_block(stmt.body, frame)
+            except _BreakSig:
+                broke = True
+                break
+            except _ContinueSig:
+                continue
+        if not broke:
+            self._exec_block(stmt.orelse, frame)
+
+    def _exec_with(self, stmt, frame: _Frame) -> None:
+        pushed = 0
+        for item in stmt.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "phase"
+                and isinstance(
+                    self._eval(expr.func.value, frame), _CommVal
+                )
+            ):
+                name_val = (
+                    self._eval(expr.args[0], frame) if expr.args else UNKNOWN
+                )
+                self.phases.append(
+                    name_val if isinstance(name_val, str) else "?"
+                )
+                pushed += 1
+            else:
+                self._eval(expr, frame)
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, UNKNOWN, frame)
+        try:
+            self._exec_block(stmt.body, frame)
+        finally:
+            for _ in range(pushed):
+                self.phases.pop()
+
+    def _exec_try(self, stmt: ast.Try, frame: _Frame) -> None:
+        for handler in stmt.handlers:
+            if _may_communicate(handler, self.comm_funcs):
+                raise _Abstain(
+                    "communication inside an except handler (exception "
+                    "paths are not modelled)", handler
+                )
+        sig: Optional[BaseException] = None
+        try:
+            self._exec_block(stmt.body, frame)
+            self._exec_block(stmt.orelse, frame)
+        except (_ReturnSig, _BreakSig, _ContinueSig) as s:
+            sig = s
+        self._exec_block(stmt.finalbody, frame)
+        if sig is not None:
+            raise sig
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, node: Optional[ast.AST], frame: _Frame):
+        if node is None:
+            return None
+        self._tick(node)
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            return frame.lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attr(node, frame)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, frame)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, frame)
+            right = self._eval(node.right, frame)
+            return self._fold_binop(node.op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, frame)
+            if operand is UNKNOWN or isinstance(operand, (_CommVal, _Carrier)):
+                return UNKNOWN
+            try:
+                if isinstance(node.op, ast.Not):
+                    return not operand
+                if isinstance(node.op, ast.USub):
+                    return -operand
+                if isinstance(node.op, ast.UAdd):
+                    return +operand
+                if isinstance(node.op, ast.Invert):
+                    return ~operand
+            except Exception:
+                return UNKNOWN
+            return UNKNOWN
+        if isinstance(node, ast.BoolOp):
+            return self._fold_boolop(node, frame)
+        if isinstance(node, ast.Compare):
+            return self._fold_compare(node, frame)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            if any(isinstance(e, ast.Starred) for e in node.elts):
+                for e in node.elts:
+                    inner = e.value if isinstance(e, ast.Starred) else e
+                    self._eval(inner, frame)
+                return UNKNOWN
+            return tuple(self._eval(e, frame) for e in node.elts)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, frame)
+        if isinstance(node, ast.JoinedStr):
+            return self._eval_joined(node, frame)
+        if isinstance(node, ast.IfExp):
+            # value-level only: both arms hold no communication in
+            # practice; communication inside would abstain via the
+            # comprehension/IfExp guard below.
+            if _may_communicate(node, self.comm_funcs):
+                raise _Abstain("communication inside a conditional expression", node)
+            self._eval(node.test, frame)
+            return UNKNOWN
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            if _may_communicate(node, self.comm_funcs):
+                raise _Abstain("communication inside a comprehension", node)
+            return UNKNOWN
+        if isinstance(node, ast.Lambda):
+            return _FuncVal(node, frame)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, frame)
+            self._bind(node.target, value, frame)
+            return value
+        if isinstance(node, ast.Dict):
+            for k, v in zip(node.keys, node.values):
+                if k is not None:
+                    self._eval(k, frame)
+                self._eval(v, frame)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            self._eval(node.value, frame)
+            return UNKNOWN
+        if isinstance(node, ast.Slice):
+            return UNKNOWN
+        if _may_communicate(node, self.comm_funcs):  # pragma: no cover
+            raise _Abstain(
+                f"unmodelled expression {type(node).__name__} around "
+                "communication", node
+            )
+        return UNKNOWN
+
+    def _eval_attr(self, node: ast.Attribute, frame: _Frame):
+        base = self._eval(node.value, frame)
+        if isinstance(base, _CommVal):
+            if node.attr in ("rank", "global_rank"):
+                return base.rank if base.known else UNKNOWN
+            if node.attr == "size":
+                return base.size if base.known else UNKNOWN
+            return UNKNOWN
+        # the repository naming convention: attribute chains whose final
+        # component mentions "comm" hold a communicator (A.comm,
+        # grid.row_comm, …) — of *unknown* rank/size (may be a subgroup).
+        if "comm" in node.attr:
+            return _CommVal(self.rank, self.p, known=False)
+        return UNKNOWN
+
+    def _eval_subscript(self, node: ast.Subscript, frame: _Frame):
+        base = self._eval(node.value, frame)
+        index = self._eval(node.slice, frame)
+        if isinstance(base, (tuple, list, str)) and isinstance(index, int):
+            try:
+                return base[index]
+            except IndexError:
+                return UNKNOWN
+        return UNKNOWN
+
+    def _eval_joined(self, node: ast.JoinedStr, frame: _Frame):
+        parts: List[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            elif isinstance(piece, ast.FormattedValue):
+                value = self._eval(piece.value, frame)
+                if value is UNKNOWN or isinstance(
+                    value, (_CommVal, _Carrier, _FuncVal)
+                ):
+                    return UNKNOWN
+                parts.append(str(value))
+        return "".join(parts)
+
+    def _fold_binop(self, op: ast.operator, left, right):
+        if (
+            left is UNKNOWN
+            or right is UNKNOWN
+            or isinstance(left, (_CommVal, _Carrier, _FuncVal))
+            or isinstance(right, (_CommVal, _Carrier, _FuncVal))
+        ):
+            return UNKNOWN
+        numeric = isinstance(left, (int, float, bool)) and isinstance(
+            right, (int, float, bool)
+        )
+        try:
+            if isinstance(op, ast.Add):
+                if numeric or (isinstance(left, str) and isinstance(right, str)):
+                    return left + right
+                if isinstance(left, tuple) and isinstance(right, tuple):
+                    return left + right
+            elif numeric:
+                if isinstance(op, ast.Sub):
+                    return left - right
+                if isinstance(op, ast.Mult):
+                    return left * right
+                if isinstance(op, ast.FloorDiv):
+                    return left // right
+                if isinstance(op, ast.Div):
+                    return left / right
+                if isinstance(op, ast.Mod):
+                    return left % right
+                if isinstance(op, ast.Pow):
+                    return left ** right
+                if isinstance(op, ast.BitXor):
+                    return left ^ right
+                if isinstance(op, ast.BitAnd):
+                    return left & right
+                if isinstance(op, ast.BitOr):
+                    return left | right
+                if isinstance(op, ast.LShift):
+                    return left << right
+                if isinstance(op, ast.RShift):
+                    return left >> right
+        except Exception:
+            return UNKNOWN
+        return UNKNOWN
+
+    def _fold_boolop(self, node: ast.BoolOp, frame: _Frame):
+        is_and = isinstance(node.op, ast.And)
+        result = None
+        for sub in node.values:
+            value = self._eval(sub, frame)
+            if value is UNKNOWN or isinstance(value, (_CommVal, _Carrier)):
+                return UNKNOWN
+            if is_and and not value:
+                return value
+            if not is_and and value:
+                return value
+            result = value
+        return result
+
+    def _fold_compare(self, node: ast.Compare, frame: _Frame):
+        left = self._eval(node.left, frame)
+        for op, comp in zip(node.ops, node.comparators):
+            right = self._eval(comp, frame)
+            if (
+                left is UNKNOWN
+                or right is UNKNOWN
+                or isinstance(left, (_CommVal, _Carrier, _FuncVal))
+                or isinstance(right, (_CommVal, _Carrier, _FuncVal))
+            ):
+                return UNKNOWN
+            try:
+                if isinstance(op, ast.Eq):
+                    ok = left == right
+                elif isinstance(op, ast.NotEq):
+                    ok = left != right
+                elif isinstance(op, ast.Lt):
+                    ok = left < right
+                elif isinstance(op, ast.LtE):
+                    ok = left <= right
+                elif isinstance(op, ast.Gt):
+                    ok = left > right
+                elif isinstance(op, ast.GtE):
+                    ok = left >= right
+                elif isinstance(op, ast.In):
+                    ok = left in right
+                elif isinstance(op, ast.NotIn):
+                    ok = left not in right
+                elif isinstance(op, ast.Is):
+                    ok = left is right
+                elif isinstance(op, ast.IsNot):
+                    ok = left is not right
+                else:  # pragma: no cover - exhaustive
+                    return UNKNOWN
+            except Exception:
+                return UNKNOWN
+            if not ok:
+                return False
+            left = right
+        return True
+
+    # -- calls -----------------------------------------------------------
+    def _eval_call(self, node: ast.Call, frame: _Frame):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = self._eval(func.value, frame)
+            if isinstance(base, _CommVal):
+                return self._comm_call(node, func.attr, base, frame)
+            arg_values = self._eval_args(node, frame)
+            if isinstance(base, _Carrier) or self._has_comm(arg_values):
+                self._emit(
+                    TraceEvent(
+                        kind=f"opaque:.{func.attr}",
+                        line=node.lineno,
+                        col=node.col_offset,
+                        phase=self._phase(),
+                    ),
+                    node,
+                )
+                self.trace.opaque = True
+                return _Carrier()
+            return UNKNOWN
+        if isinstance(func, ast.Name):
+            return self._named_call(node, func.id, frame)
+        # calls on arbitrary expressions (lambdas, subscripted tables…)
+        target = self._eval(func, frame)
+        arg_values = self._eval_args(node, frame)
+        if isinstance(target, _FuncVal):
+            return self._interp_function(target.node, node, arg_values, target.frame)
+        if self._has_comm(arg_values):
+            self._emit(
+                TraceEvent(
+                    kind="opaque:<call>",
+                    line=node.lineno,
+                    col=node.col_offset,
+                    phase=self._phase(),
+                ),
+                node,
+            )
+            self.trace.opaque = True
+            return _Carrier()
+        return UNKNOWN
+
+    def _eval_args(self, node: ast.Call, frame: _Frame) -> List:
+        values = [self._eval(a, frame) for a in node.args]
+        values.extend(self._eval(k.value, frame) for k in node.keywords)
+        return values
+
+    @staticmethod
+    def _has_comm(values: Sequence) -> bool:
+        for v in values:
+            if isinstance(v, (_CommVal, _Carrier)):
+                return True
+            if isinstance(v, tuple) and any(
+                isinstance(x, (_CommVal, _Carrier)) for x in v
+            ):
+                return True
+        return False
+
+    def _named_call(self, node: ast.Call, name: str, frame: _Frame):
+        bound = frame.lookup(name)
+        if isinstance(bound, _FuncVal):
+            arg_values = self._eval_args(node, frame)
+            return self._interp_function(bound.node, node, arg_values, bound.frame)
+        if bound is UNKNOWN and name in self.top_defs:
+            target = self.top_defs[name]
+            arg_values = self._eval_args(node, frame)
+            if name in self.comm_funcs or self._has_comm(arg_values):
+                return self._interp_function(target, node, arg_values, None)
+            return UNKNOWN
+        # builtins the folding needs
+        if name == "range":
+            args = [self._eval(a, frame) for a in node.args]
+            if all(isinstance(a, int) for a in args) and 1 <= len(args) <= 3:
+                try:
+                    return range(*args)
+                except Exception:
+                    return UNKNOWN
+            return UNKNOWN
+        if name in ("len", "min", "max", "abs", "int", "bool", "sum"):
+            args = [self._eval(a, frame) for a in node.args]
+            if not self._has_comm(args) and not any(
+                a is UNKNOWN or isinstance(a, _FuncVal) for a in args
+            ):
+                try:
+                    return {"len": len, "min": min, "max": max, "abs": abs,
+                            "int": int, "bool": bool, "sum": sum}[name](*args)
+                except Exception:
+                    return UNKNOWN
+            return UNKNOWN
+        if name == "enumerate":
+            args = [self._eval(a, frame) for a in node.args]
+            if len(args) == 1 and isinstance(args[0], (tuple, list, range)):
+                return tuple(enumerate(args[0]))
+            return UNKNOWN
+        arg_values = self._eval_args(node, frame)
+        if self._has_comm(arg_values):
+            self._emit(
+                TraceEvent(
+                    kind=f"opaque:{name}",
+                    line=node.lineno,
+                    col=node.col_offset,
+                    phase=self._phase(),
+                ),
+                node,
+            )
+            self.trace.opaque = True
+            return _Carrier()
+        return UNKNOWN
+
+    def _interp_function(
+        self,
+        target: ast.AST,
+        call: ast.Call,
+        arg_values: List,
+        closure: Optional[_Frame],
+    ):
+        self.depth += 1
+        if self.depth > MAX_DEPTH:
+            self.depth -= 1
+            raise _Abstain("interprocedural depth budget exhausted", call)
+        try:
+            frame = _Frame(parent=closure)
+            if isinstance(target, ast.Lambda):
+                params = list(target.args.posonlyargs) + list(target.args.args)
+                for i, a in enumerate(params):
+                    frame.bind(
+                        a.arg, arg_values[i] if i < len(arg_values) else UNKNOWN
+                    )
+                return self._eval(target.body, frame)
+            args = target.args
+            params = list(args.posonlyargs) + list(args.args)
+            positional = arg_values[: len(call.args)]
+            for i, a in enumerate(params):
+                frame.bind(
+                    a.arg, positional[i] if i < len(positional) else UNKNOWN
+                )
+            for kw, value in zip(
+                call.keywords, arg_values[len(call.args):]
+            ):
+                if kw.arg is not None:
+                    frame.bind(kw.arg, value)
+            for a in args.kwonlyargs:
+                if a.arg not in frame.vars:
+                    frame.bind(a.arg, UNKNOWN)
+            if args.vararg:
+                frame.bind(args.vararg.arg, UNKNOWN)
+            if args.kwarg:
+                frame.bind(args.kwarg.arg, UNKNOWN)
+            try:
+                self._exec_block(target.body, frame)
+            except _ReturnSig as sig:
+                return sig.value
+            return None
+        finally:
+            self.depth -= 1
+
+    # -- communicator methods -------------------------------------------
+    def _comm_call(
+        self, node: ast.Call, method: str, comm: _CommVal, frame: _Frame
+    ):
+        arg_values = self._eval_args(node, frame)
+        phase = self._phase()
+        if method in COLLECTIVES:
+            detail: Tuple = ()
+            if method == "alltoall_fused":
+                detail = self._fused_detail(node, frame)
+            self._emit(
+                TraceEvent(
+                    kind=method,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    phase=phase,
+                    detail=detail,
+                ),
+                node,
+            )
+            if method == "split":
+                return _CommVal(self.rank, self.p, known=False)
+            return UNKNOWN
+        if method == "send":
+            self._emit(self._p2p_event(node, "send", frame), node)
+            return None
+        if method == "recv":
+            self._emit(self._p2p_event(node, "recv", frame), node)
+            return UNKNOWN
+        if method == "sendrecv":
+            dest = self._peer_of(_call_arg(node, "dest", 1), frame)
+            source = self._peer_of(_call_arg(node, "source", 2), frame)
+            tag = self._tag_of(_call_arg(node, "tag", 3), default=("lit", 0))
+            self._emit(
+                TraceEvent(
+                    kind="send", line=node.lineno, col=node.col_offset,
+                    phase=phase, peer=dest, tag=tag,
+                ),
+                node,
+            )
+            self._emit(
+                TraceEvent(
+                    kind="recv", line=node.lineno, col=node.col_offset,
+                    phase=phase, peer=source, tag=tag,
+                ),
+                node,
+            )
+            return UNKNOWN
+        # phase handles in `with`; charge_* / time / stats are local
+        del arg_values
+        return UNKNOWN
+
+    def _p2p_event(self, node: ast.Call, kind: str, frame: _Frame) -> TraceEvent:
+        if kind == "send":
+            peer = self._peer_of(_call_arg(node, "dest", 1), frame)
+            tag = self._tag_of(_call_arg(node, "tag", 2), default=("lit", 0))
+        else:
+            peer = self._peer_of(_call_arg(node, "source", 0), frame)
+            if peer is None and _call_arg(node, "source", 0) is None:
+                peer = "any"
+            tag = self._tag_of(_call_arg(node, "tag", 1), default=("any",))
+        return TraceEvent(
+            kind=kind,
+            line=node.lineno,
+            col=node.col_offset,
+            phase=self._phase(),
+            peer=peer,
+            tag=tag,
+        )
+
+    def _peer_of(self, expr: Optional[ast.AST], frame: _Frame):
+        if expr is None:
+            return None
+        value = self._eval(expr, frame)
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return "any" if value == -1 else value
+        return None
+
+    def _tag_of(self, expr: Optional[ast.AST], default: Tuple) -> Tuple:
+        if expr is None:
+            return default
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+            return ("any",) if expr.value == -1 else ("lit", expr.value)
+        if isinstance(expr, ast.Name) and expr.id == "ANY_TAG":
+            return ("any",)
+        if isinstance(expr, ast.Attribute) and expr.attr == "ANY_TAG":
+            return ("any",)
+        return ("dyn",)
+
+    def _fused_detail(self, node: ast.Call, frame: _Frame) -> Tuple:
+        sections = _call_arg(node, "sections", 0)
+        names: Tuple = ("<dynamic>",)
+        if sections is not None:
+            value = self._eval(sections, frame)
+            if isinstance(value, tuple) and all(
+                isinstance(s, tuple) and s and isinstance(s[0], str)
+                for s in value
+            ):
+                names = tuple(s[0] for s in value)
+        meta = _call_arg(node, "meta", 1)
+        has_meta = meta is not None and not (
+            isinstance(meta, ast.Constant) and meta.value is None
+        )
+        return names + (("meta",) if has_meta else ())
+
+
+# ----------------------------------------------------------------------
+# world exploration
+# ----------------------------------------------------------------------
+def explore_root(
+    module: ModuleIndex,
+    info: FuncInfo,
+    p: int,
+    comm_funcs: Set[str],
+    top_defs: Dict[str, ast.AST],
+) -> RootModel:
+    """Model-check one root at one rank count: every oracle world."""
+    result = RootModel(qualname=info.qualname, p=p)
+    if info.comm_param is None:
+        result.abstention = Abstention(
+            "root has no communicator parameter",
+            info.node.lineno,
+            info.node.col_offset,
+        )
+        return result
+    assigned: Dict[Tuple, bool] = {}
+    order: List[Tuple] = []
+    runs = 0
+    while True:
+        runs += 1
+        if runs > MAX_ORACLE_RUNS:
+            result.partial = True
+            break
+        oracle = _Oracle(assigned, order)
+        world: List[RankTrace] = []
+        try:
+            for rank in range(p):
+                interp = _RankInterp(
+                    module, rank, p, oracle, comm_funcs, top_defs
+                )
+                world.append(interp.run_root(info))
+        except _Abstain as ab:
+            result.abstention = Abstention(ab.reason, ab.line, ab.col)
+            result.worlds = []
+            return result
+        result.worlds.append(world)
+        # advance the shared assignment: flip the deepest True to False,
+        # dropping everything discovered after it (classic DFS).
+        while order and assigned[order[-1]] is False:
+            del assigned[order.pop()]
+        if not order:
+            break
+        assigned[order[-1]] = False
+    return result
+
+
+def model_results(module: ModuleIndex) -> Dict[Tuple[str, int], RootModel]:
+    """All (root, p) model checks of a module, cached on the index."""
+    cache = getattr(module, "_model_cache", None)
+    if cache is not None:
+        return cache
+    comm_funcs = _comm_function_names(module)
+    top_defs: Dict[str, ast.AST] = {}
+    for child in ast.iter_child_nodes(module.tree):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            top_defs[child.name] = child
+    cache = {}
+    for qual, info in module.functions.items():
+        if not info.is_root:
+            continue
+        for p in P_VALUES:
+            cache[(qual, p)] = explore_root(module, info, p, comm_funcs, top_defs)
+    module._model_cache = cache
+    return cache
+
+
+# ----------------------------------------------------------------------
+# S8 — cross-rank collective trace divergence
+# ----------------------------------------------------------------------
+def check_s8(module: ModuleIndex) -> Iterator[Finding]:
+    results = model_results(module)
+    for qual, info in module.functions.items():
+        if not info.is_root:
+            continue
+        hit = None
+        for p in P_VALUES:
+            rm = results.get((qual, p))
+            if rm is None or not rm.checked:
+                continue  # abstained: explicit no-verdict, never a guess
+            for world in rm.worlds:
+                base = world[0]
+                for other in world[1:]:
+                    div = first_divergence(base, other, p)
+                    if div is not None:
+                        hit = div
+                        break
+                if hit:
+                    break
+            if hit:
+                break
+        if hit is None:
+            continue
+        anchor = hit.event_a if hit.event_a is not None else hit.event_b
+        yield Finding(
+            rule="S8",
+            path=module.path,
+            line=anchor.line,
+            col=anchor.col,
+            qualname=qual,
+            message=format_divergence(hit, module.path),
+        )
+
+
+# ----------------------------------------------------------------------
+# S9 — send with no matching recv on any peer path
+# ----------------------------------------------------------------------
+def _recv_matches(send: TraceEvent, sender: int, recv: TraceEvent) -> bool:
+    if recv.peer not in (None, "any", sender):
+        return False
+    if send.tag[0] == "dyn" or recv.tag[0] in ("any", "dyn"):
+        return True
+    return send.tag == recv.tag
+
+
+def _send_matched(
+    send: TraceEvent, sender: int, world: List[RankTrace]
+) -> bool:
+    if isinstance(send.peer, int):
+        if not 0 <= send.peer < len(world):
+            return False
+        candidates = [world[send.peer]]
+    else:
+        candidates = world  # unresolved destination: any peer may consume
+    for trace in candidates:
+        for recv in trace.recvs():
+            if _recv_matches(send, sender, recv):
+                return True
+    return False
+
+
+def check_s9(module: ModuleIndex) -> Iterator[Finding]:
+    results = model_results(module)
+    seen_sites: Set[Tuple[int, int]] = set()
+    for qual, info in module.functions.items():
+        if not info.is_root:
+            continue
+        models = [results.get((qual, p)) for p in P_VALUES]
+        usable = [m for m in models if m is not None and m.checked]
+        if len(usable) != len(models):
+            continue  # some p abstained: no completeness claim possible
+        if any(m.partial for m in usable):
+            continue  # unexplored worlds: "provably" does not hold
+        if any(t.opaque for m in usable for w in m.worlds for t in w):
+            continue  # a callee the model cannot see may hold the recv
+        # (site, p, sender): provable only if unmatched in EVERY world
+        # where the sender reaches the send.
+        status: Dict[Tuple, Dict] = {}
+        for m in usable:
+            for world in m.worlds:
+                for sender, trace in enumerate(world):
+                    for send in trace.sends():
+                        key = (send.line, send.col, m.p, sender)
+                        entry = status.setdefault(
+                            key, {"matched": False, "example": None}
+                        )
+                        if _send_matched(send, sender, world):
+                            entry["matched"] = True
+                        elif entry["example"] is None:
+                            entry["example"] = (send, world)
+        reported: Set[Tuple[int, int]] = set()
+        for (line, col, p, sender), entry in sorted(status.items()):
+            if entry["matched"] or entry["example"] is None:
+                continue
+            site = (line, col)
+            if site in seen_sites or site in reported:
+                continue
+            reported.add(site)
+            seen_sites.add(site)
+            send, world = entry["example"]
+            if isinstance(send.peer, int) and 0 <= send.peer < len(world):
+                peer_trace = world[send.peer]
+                recvs = peer_trace.recvs()
+                peer_recv = (
+                    "; ".join(r.describe(module.path) for r in recvs[:3])
+                    if recvs
+                    else "no recv at all"
+                )
+                peer_part = (
+                    f" — rank {send.peer} path: {peer_trace.path_summary()}; "
+                    f"rank {send.peer} receives: {peer_recv}"
+                )
+            else:
+                peer_part = ""
+            yield Finding(
+                rule="S9",
+                path=module.path,
+                line=line,
+                col=col,
+                qualname=qual,
+                message=(
+                    f"{send.describe(module.path)} issued by rank {sender} "
+                    f"at p={p} has no matching recv on any peer path in "
+                    f"any explored world — the message can never be "
+                    f"consumed (receiver hangs or bytes leak){peer_part}"
+                ),
+            )

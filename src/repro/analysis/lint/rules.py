@@ -1,10 +1,16 @@
-"""The seven ``spmdlint`` rules (S1–S7).
+"""The ``spmdlint`` rules (S1–S13).
 
 Each rule is a small object with an ``id``, a one-line ``title`` and a
 ``check(module)`` generator yielding :class:`~.checker.Finding`s.  The
 rules work off the :class:`~.checker.ModuleIndex` produced by the
 framework — see ``docs/spmdlint.md`` for the catalogue with examples and
 the rationale behind every exclusion.
+
+S1–S7 are syntactic (this module).  S8/S9 come from the cross-rank
+collective model checker (:mod:`repro.analysis.lint.model`), S10–S12
+from the driver-side lifecycle dataflow pass
+(:mod:`repro.analysis.lint.lifecycle`), and S13 enforces that every
+suppression comment carries a written rationale.
 """
 
 from __future__ import annotations
@@ -531,6 +537,35 @@ def check_s7(module: ModuleIndex) -> Iterator[Finding]:
                     )
 
 
+# ----------------------------------------------------------------------
+# S13 — suppression comment without a written rationale
+# ----------------------------------------------------------------------
+def check_s13(module: ModuleIndex) -> Iterator[Finding]:
+    """A ``# spmdlint: disable=Sx`` directive must justify itself with a
+    trailing ``-- reason``.  S13 findings bypass suppression (see
+    ``lint_source``): a bare ``disable=all`` cannot silence the demand
+    for its own rationale."""
+    for line in sorted(module.suppressions):
+        if line in module.rationales:
+            continue
+        rules = ",".join(sorted(module.suppressions[line]))
+        yield Finding(
+            rule="S13",
+            path=module.path,
+            line=line,
+            col=0,
+            qualname="<module>",
+            message=(
+                f"suppression 'disable={rules}' has no rationale — append "
+                "'-- <why this is a false positive>' so every silenced "
+                "rule carries its justification in-line"
+            ),
+        )
+
+
+from .lifecycle import check_s10, check_s11, check_s12  # noqa: E402
+from .model import check_s8, check_s9  # noqa: E402
+
 ALL_RULES: Tuple[Rule, ...] = (
     Rule("S1", "collectives under rank-dependent control flow", check_s1),
     Rule("S2", "send without a reachable matching recv tag class", check_s2),
@@ -539,6 +574,12 @@ ALL_RULES: Tuple[Rule, ...] = (
     Rule("S5", "nondeterminism source inside a rank program", check_s5),
     Rule("S6", "dynamic fused section tags without meta agreement", check_s6),
     Rule("S7", "resident-state mutation bypassing the checkpoint layer", check_s7),
+    Rule("S8", "cross-rank collective trace divergence (model checker)", check_s8),
+    Rule("S9", "send provably unmatched on every peer path (model checker)", check_s9),
+    Rule("S10", "session/handle use after close or across sessions", check_s10),
+    Rule("S11", "values-only operand refresh with divergent reaching defs", check_s11),
+    Rule("S12", "session-pool checkout not checked in on every path", check_s12),
+    Rule("S13", "suppression comment without a written rationale", check_s13),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in ALL_RULES}

@@ -1,0 +1,207 @@
+"""Per-rank collective trace skeletons for the ``spmdlint`` model checker.
+
+The cross-rank model checker (:mod:`repro.analysis.lint.model`)
+abstractly interprets each rank program for concrete ranks ``0..p-1``
+and emits, per explored path, a :class:`RankTrace` — the sequence of
+communication events the rank would issue, with the path conditions
+that led there.  This module holds the trace data model and the
+comparison/formatting helpers; the interpreter itself lives in
+``model.py``.
+
+A trace event's *comparison key* mirrors what the runtime sanitizer
+cross-validates (docs/spmdlint.md): the collective kind, the active
+phase label, and the fused-exchange section structure.  Call sites and
+payloads are reported but never compared — the same collective issued
+from two branches is legal SPMD.  Point-to-point ``send``/``recv``
+events are carried in the trace for the S9 matching check but excluded
+from the S8 sequence comparison: per-rank peers and tags are
+rank-dependent by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Event kinds excluded from the cross-rank S8 sequence comparison.
+P2P_KINDS = ("send", "recv")
+
+#: Prefix of events recording a call the model cannot see into (a
+#: communicator escaping into an unanalyzed callee).  Opaque events are
+#: *compared* across ranks: a rank-divergent opaque call is exactly as
+#: suspicious as a rank-divergent collective, while uniform opaque
+#: calls (every rank calls the same helper at the same point) match.
+OPAQUE_PREFIX = "opaque:"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One communication event in a rank's abstract execution."""
+
+    kind: str  # collective name, "send", "recv", or "opaque:<callee>"
+    line: int
+    col: int
+    phase: str = ""
+    #: Consistency detail compared across ranks: fused section names
+    #: (or ``("<dynamic>",)``) plus a ``"meta"`` marker when a header
+    #: is supplied — the same structure the runtime sanitizer compares.
+    detail: Tuple = ()
+    #: ``send``: destination rank; ``recv``: source rank.  A concrete
+    #: int when folded, ``"any"`` for ANY_SOURCE, ``None`` when unknown.
+    peer: Optional[object] = None
+    #: Tag class: ``("lit", n)``, ``("any",)`` or ``("dyn",)``.
+    tag: Tuple = ("any",)
+
+    @property
+    def is_p2p(self) -> bool:
+        return self.kind in P2P_KINDS
+
+    @property
+    def key(self) -> Tuple:
+        """What the cross-rank comparison sees of this event."""
+        return (self.kind, self.phase, self.detail)
+
+    def site(self, path: str) -> str:
+        return f"{path}:{self.line}:{self.col}"
+
+    def describe(self, path: str) -> str:
+        where = f" (phase '{self.phase}')" if self.phase else ""
+        extra = ""
+        if self.kind == "send":
+            extra = f" to {_peer_label(self.peer)} with {_tag_label(self.tag)}"
+        elif self.kind == "recv":
+            extra = f" from {_peer_label(self.peer)} with {_tag_label(self.tag)}"
+        elif self.detail:
+            extra = f" sections={list(self.detail)}"
+        return f"'{self.kind}'{extra} at {self.site(path)}{where}"
+
+
+def _peer_label(peer) -> str:
+    if peer is None:
+        return "an unresolved rank"
+    if peer == "any":
+        return "ANY_SOURCE"
+    return f"rank {peer}"
+
+
+def _tag_label(tag: Tuple) -> str:
+    if tag and tag[0] == "lit":
+        return f"tag {tag[1]}"
+    if tag and tag[0] == "any":
+        return "ANY_TAG"
+    return "a dynamic tag"
+
+
+@dataclass
+class RankTrace:
+    """One rank's event sequence along one explored path."""
+
+    rank: int
+    size: int
+    events: List[TraceEvent] = field(default_factory=list)
+    #: Human-readable path conditions: folded rank-constant branches,
+    #: assumed (oracle-explored) unknown branches, loop trip counts.
+    notes: List[str] = field(default_factory=list)
+    #: True when a communicator escaped into an unanalyzable call on
+    #: this path — collectives may be missing from the trace.
+    opaque: bool = False
+
+    def collectives(self) -> List[TraceEvent]:
+        return [e for e in self.events if not e.is_p2p]
+
+    def sends(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "send"]
+
+    def recvs(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "recv"]
+
+    def path_summary(self, limit: int = 6) -> str:
+        if not self.notes:
+            return "unconditional"
+        shown = self.notes[:limit]
+        more = len(self.notes) - len(shown)
+        summary = "; ".join(shown)
+        return summary + (f"; … {more} more" if more > 0 else "")
+
+
+@dataclass(frozen=True)
+class Abstention:
+    """The model checker's explicit "cannot prove" verdict for a root.
+
+    Issued instead of false certainty when the abstract interpretation
+    hits an unknown-trip-count loop around communication, an exhausted
+    fuel budget, or a construct the interpreter does not model.
+    """
+
+    reason: str
+    line: int
+    col: int
+
+
+@dataclass
+class RootModel:
+    """Model-check result for one root rank program at one ``p``."""
+
+    qualname: str
+    p: int
+    #: One entry per explored oracle world (shared truth assignment for
+    #: rank-invariant unknown branches); each world holds one
+    #: :class:`RankTrace` per rank.
+    worlds: List[List[RankTrace]] = field(default_factory=list)
+    abstention: Optional[Abstention] = None
+    #: True when the oracle budget ran out before every unknown-branch
+    #: assignment was explored — S9's "provably unmatched" then abstains.
+    partial: bool = False
+
+    @property
+    def checked(self) -> bool:
+        return self.abstention is None and bool(self.worlds)
+
+
+@dataclass
+class TraceDivergence:
+    """First cross-rank mismatch between two collective traces."""
+
+    p: int
+    index: int  # position in the collective subsequence
+    trace_a: RankTrace
+    trace_b: RankTrace
+    event_a: Optional[TraceEvent]  # None: rank a's trace ended early
+    event_b: Optional[TraceEvent]
+
+
+def first_divergence(
+    a: RankTrace, b: RankTrace, p: int
+) -> Optional[TraceDivergence]:
+    """Compare two ranks' collective sequences; None when consistent."""
+    ca, cb = a.collectives(), b.collectives()
+    for i in range(max(len(ca), len(cb))):
+        ea = ca[i] if i < len(ca) else None
+        eb = cb[i] if i < len(cb) else None
+        if ea is None or eb is None or ea.key != eb.key:
+            return TraceDivergence(
+                p=p, index=i, trace_a=a, trace_b=b, event_a=ea, event_b=eb
+            )
+    return None
+
+
+def _side(event: Optional[TraceEvent], trace: RankTrace, path: str) -> str:
+    if event is not None:
+        return f"rank {trace.rank} calls {event.describe(path)}"
+    return (
+        f"rank {trace.rank}'s trace ends after "
+        f"{len(trace.collectives())} collective(s)"
+    )
+
+
+def format_divergence(div: TraceDivergence, path: str) -> str:
+    """The S8 counterexample: both sites plus per-rank path conditions."""
+    return (
+        f"cross-rank collective trace divergence at p={div.p}, "
+        f"collective #{div.index}: "
+        f"{_side(div.event_a, div.trace_a, path)} where "
+        f"{_side(div.event_b, div.trace_b, path)} — every rank must issue "
+        f"the same collective sequence or peers deadlock; "
+        f"rank {div.trace_a.rank} path: {div.trace_a.path_summary()}; "
+        f"rank {div.trace_b.rank} path: {div.trace_b.path_summary()}"
+    )

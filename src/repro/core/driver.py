@@ -1365,7 +1365,7 @@ class TsSession(ResidentSession):
                     # construction and ``config.mode_policy`` is
                     # config-wide, so every rank takes the same side.
                     with comm.phase("symbolic"):
-                        incoming = comm.alltoall(outgoing)  # spmdlint: disable=S1
+                        incoming = comm.alltoall(outgoing)  # spmdlint: disable=S1 -- guard is rank-invariant (see comment above); every rank reaches this alltoall together
                     new_prepared.static_consumed_modes = dict(
                         enumerate(incoming)
                     )

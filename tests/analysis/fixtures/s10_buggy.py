@@ -1,0 +1,32 @@
+"""S10 fixture: session/handle lifecycle misuse in driver code.
+
+These are *driver* functions (no ``comm`` parameter) — the lifecycle
+dataflow pass tracks ``TsSession`` values and the distributed handles
+they produce through assignments, closes and method calls.
+"""
+
+
+def use_after_close(A, B, p):
+    session = TsSession(A, p)
+    handle = session.scatter(B)
+    result = handle.gather()
+    session.close()
+    session.update_operand(A)  # EXPECT: S10
+    return result
+
+
+def gather_after_close(A, B, p):
+    session = TsSession(A, p)
+    handle = session.scatter(B)
+    session.close()
+    return handle.gather()  # EXPECT: S10
+
+
+def cross_session(A, B, p):
+    left = TsSession(A, p)
+    right = TsSession(B, p)
+    handle = left.scatter(B)
+    out = right.multiply(handle)  # EXPECT: S10
+    left.close()
+    right.close()
+    return out

@@ -1,0 +1,29 @@
+"""S10 clean twin: close after the last use; handles stay home."""
+
+
+def close_after_use(A, B, p):
+    session = TsSession(A, p)
+    handle = session.scatter(B)
+    out = handle.gather()
+    session.close()
+    return out
+
+
+def same_session_chain(A, B, p):
+    session = TsSession(A, p)
+    handle = session.scatter(B)
+    handle = session.multiply(handle, gather=False).C
+    out = handle.gather()
+    session.close()
+    return out
+
+
+def maybe_closed_is_not_definite(A, B, p, early):
+    # closed on only one path: the pass never flags a *possible* close
+    session = TsSession(A, p)
+    handle = session.scatter(B)
+    if early:
+        session.close()
+    out = handle.gather()
+    session.close()
+    return out

@@ -1,0 +1,14 @@
+"""S11 fixture: values-only operand refresh with divergent reaching defs.
+
+``update_operand`` asserts at runtime that the sparsity pattern is
+unchanged; calling it on a variable that was *conditionally* rebound
+means some path refreshes with a matrix whose pattern may differ.
+"""
+
+
+def stale_refresh(session, draw_pattern, redraw):
+    pattern = None
+    if redraw:
+        pattern = draw_pattern()
+    session.update_operand(pattern)  # EXPECT: S11
+    return session.multiply(pattern)

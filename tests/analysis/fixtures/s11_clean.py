@@ -1,0 +1,15 @@
+"""S11 clean twin: the refreshed variable has one reaching definition."""
+
+
+def fresh_refresh(session, draw_pattern):
+    pattern = draw_pattern()
+    session.update_operand(pattern)
+    return session.multiply(pattern)
+
+
+def refresh_inside_the_branch(session, draw_pattern, redraw):
+    # rebinding and refresh live on the same path: one reaching def
+    if redraw:
+        pattern = draw_pattern()
+        session.update_operand(pattern)
+    return session

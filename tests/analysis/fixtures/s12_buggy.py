@@ -1,0 +1,10 @@
+"""S12 fixture: a pool checkout that leaks on an early-return path."""
+
+
+def leaky_early_return(pool, query):
+    slot = pool.checkout(timeout=30.0)  # EXPECT: S12
+    if query is None:
+        return None  # leaves without checkin: the pool loses this slot
+    result = slot.session.multiply(query)
+    pool.checkin(slot)
+    return result

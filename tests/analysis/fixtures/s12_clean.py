@@ -1,0 +1,25 @@
+"""S12 clean twin: every path out of the function returns the slot."""
+
+
+def finally_checkin(pool, query):
+    slot = pool.checkout()
+    try:
+        return slot.session.multiply(query)
+    finally:
+        pool.checkin(slot)
+
+
+def with_checkout(pool, query):
+    with pool.checkout() as slot:
+        return slot.session.multiply(query)
+
+
+def respawn_keeps_the_checkout(pool, query):
+    slot = pool.checkout()
+    try:
+        result = slot.session.multiply(query)
+    except RuntimeError:
+        pool.respawn(slot)  # replaces the session; checkout persists
+        result = slot.session.multiply(query)
+    pool.checkin(slot)
+    return result

@@ -1,0 +1,10 @@
+"""S13 clean twin: every suppression carries its rationale in-line."""
+
+
+def program(comm):  # spmdlint: disable=S4 -- demo: bytes are booked under the caller's phase
+    comm.charge_touch(16)
+
+
+def ring(comm):
+    with comm.phase("ring"):
+        comm.send(b"x", dest=0, tag=1)  # spmdlint: disable=S2 -- demo: the peer recv lives in another module

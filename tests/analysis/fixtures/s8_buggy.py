@@ -1,0 +1,36 @@
+"""S8 fixture: cross-rank collective trace divergence (model checker).
+
+Both cases are invisible to the syntactic S1: the order swap keeps the
+same *multiset* of collective kinds on each arm, and the helper case
+hides the rank-dependent trip count behind a function call.  The
+functions are ``@rank_program``-decorated so the model checker treats
+them as roots and the runtime cross-validation harness
+(``test_model_checker_runtime.py``) can execute them; ``# RUNTIME:``
+markers name the sanitizer error each one must raise.
+"""
+
+from repro.mpi import rank_program
+
+
+def _reduce_steps(comm, steps):
+    with comm.phase("work"):
+        for _ in range(steps):
+            comm.allreduce(1)  # EXPECT: S8
+
+
+@rank_program
+def program_helper_trip(comm):  # RUNTIME: CollectiveStallError
+    # trip count differs per rank: rank r runs r+1 allreduces
+    _reduce_steps(comm, comm.rank + 1)
+
+
+@rank_program
+def program_order(comm):  # RUNTIME: CollectiveMismatchError
+    with comm.phase("sync"):
+        if comm.rank == 0:
+            comm.barrier()  # EXPECT: S8
+            total = comm.allreduce(1)
+        else:
+            total = comm.allreduce(1)
+            comm.barrier()
+    return total

@@ -1,0 +1,27 @@
+"""S8 clean twin: rank-invariant trip counts, identical ordering."""
+
+from repro.mpi import rank_program
+
+
+def _reduce_steps(comm, steps):
+    with comm.phase("work"):
+        for _ in range(steps):
+            comm.allreduce(1)
+
+
+@rank_program
+def program_helper_trip(comm):
+    # every rank runs exactly comm.size iterations
+    _reduce_steps(comm, comm.size)
+
+
+@rank_program
+def program_order(comm):
+    with comm.phase("sync"):
+        if comm.rank == 0:
+            comm.barrier()
+            total = comm.allreduce(1)
+        else:
+            comm.barrier()
+            total = comm.allreduce(1)
+    return total

@@ -1,0 +1,20 @@
+"""S9 fixture: a send whose destination never reaches a matching recv.
+
+The module *does* contain a recv with the right tag class (so the
+syntactic S2 is silent), but the model checker proves that rank 1 — the
+send's folded destination — never executes it on any path at any
+explored ``p``: only ranks > 1 take the draining branch.
+"""
+
+from repro.mpi import rank_program
+
+
+@rank_program
+def program(comm):  # RUNTIME: ByteConservationError
+    with comm.phase("pipeline"):
+        if comm.rank == 0:
+            comm.send(b"work", dest=1, tag=7)  # EXPECT: S9
+        elif comm.rank > 1:
+            # only ranks >= 2 drain tag-7 work messages; rank 1 never does
+            return comm.recv(source=0, tag=7)
+    return None

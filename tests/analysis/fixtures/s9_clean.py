@@ -1,0 +1,13 @@
+"""S9 clean twin: the destination rank's path reaches a matching recv."""
+
+from repro.mpi import rank_program
+
+
+@rank_program
+def program(comm):
+    with comm.phase("pipeline"):
+        if comm.rank == 0:
+            comm.send(b"work", dest=1, tag=7)
+        elif comm.rank == 1:
+            return comm.recv(source=0, tag=7)
+    return None

@@ -1,0 +1,111 @@
+"""Cross-validation: the S8/S9 model checker vs the runtime sanitizer.
+
+The static model checker *predicts* collective behavior; the runtime
+sanitizer (``REPRO_SANITIZE=1`` / ``run_spmd(..., sanitize=True)``)
+*observes* it.  This harness executes every S8/S9 fixture and asserts
+the two layers agree on every pair:
+
+* each ``@rank_program`` in a *buggy* fixture carries a
+  ``# RUNTIME: <ErrorClass>`` marker naming the sanitizer error it must
+  raise when actually executed (a watchdog ``DeadlockError`` is always
+  an acceptable alternative — a hang caught by the timeout *is* the
+  failure mode the static rule predicts);
+* every root in a *clean* fixture runs green under the sanitizer;
+* the static verdict (fixture has S8/S9 findings) matches the runtime
+  verdict (some root raises) on every fixture file.
+"""
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_source
+from repro.mpi import errors as mpi_errors
+from repro.mpi.executor import run_spmd
+from repro.mpi.marker import is_rank_program
+
+FIXTURES = Path(__file__).parent / "fixtures"
+MODEL_RULES = ("s8", "s9")
+
+#: Small world and a short watchdog: a predicted deadlock must surface
+#: as a structured error quickly, not hang the test suite.
+P = 2
+TIMEOUT = 10.0
+
+_RUNTIME_RE = re.compile(r"def\s+(\w+)\s*\(comm\):\s*#\s*RUNTIME:\s*(\w+)")
+
+
+def _load_module(path: Path):
+    name = f"fixture_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _runtime_markers(path: Path):
+    """``{root name: expected sanitizer error class}`` from # RUNTIME."""
+    out = {}
+    for match in _RUNTIME_RE.finditer(path.read_text(encoding="utf-8")):
+        out[match.group(1)] = getattr(mpi_errors, match.group(2))
+    return out
+
+
+def _roots(module):
+    return {
+        name: fn
+        for name, fn in vars(module).items()
+        if callable(fn) and is_rank_program(fn)
+    }
+
+
+# ----------------------------------------------------------------------
+# buggy fixtures: every root raises exactly what its marker predicts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rule", MODEL_RULES)
+def test_buggy_fixture_fails_under_runtime_sanitizer(rule):
+    path = FIXTURES / f"{rule}_buggy.py"
+    markers = _runtime_markers(path)
+    assert markers, "every S8/S9 buggy root must declare a # RUNTIME marker"
+    module = _load_module(path)
+    roots = _roots(module)
+    assert set(markers) == set(roots)
+    for name, expected in markers.items():
+        with pytest.raises((expected, mpi_errors.DeadlockError)):
+            run_spmd(P, roots[name], sanitize=True, timeout=TIMEOUT)
+
+
+@pytest.mark.parametrize("rule", MODEL_RULES)
+def test_clean_fixture_runs_green_under_runtime_sanitizer(rule):
+    module = _load_module(FIXTURES / f"{rule}_clean.py")
+    roots = _roots(module)
+    assert roots, "clean twin must exercise the same entry points"
+    for fn in roots.values():
+        run_spmd(P, fn, sanitize=True, timeout=TIMEOUT)
+
+
+# ----------------------------------------------------------------------
+# agreement: the static verdict equals the runtime verdict per fixture
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rule", MODEL_RULES)
+@pytest.mark.parametrize("variant", ("buggy", "clean"))
+def test_static_and_runtime_verdicts_agree(rule, variant):
+    path = FIXTURES / f"{rule}_{variant}.py"
+    source = path.read_text(encoding="utf-8")
+    static_findings = {
+        f.rule for f in lint_source(path.name, source)
+    } & {rule.upper()}
+    static_bad = bool(static_findings)
+
+    module = _load_module(path)
+    runtime_bad = False
+    for fn in _roots(module).values():
+        try:
+            run_spmd(P, fn, sanitize=True, timeout=TIMEOUT)
+        except mpi_errors.SpmdDiagnosticError:
+            runtime_bad = True
+    assert static_bad == runtime_bad == (variant == "buggy")

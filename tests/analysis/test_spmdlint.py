@@ -1,4 +1,4 @@
-"""Tier-1 tests of the ``spmdlint`` static checker (rules S1–S6).
+"""Tier-1 tests of the ``spmdlint`` static checker (rules S1–S13).
 
 Each rule has a pair of fixtures under ``tests/analysis/fixtures/``:
 ``sN_buggy.py`` carries ``# EXPECT: <rule>`` markers on every line the
@@ -101,7 +101,7 @@ def test_inline_suppression_on_flagged_line():
     source = textwrap.dedent(
         """
         def program(comm):
-            comm.charge_touch(16)  # spmdlint: disable=S4
+            comm.charge_touch(16)  # spmdlint: disable=S4 -- test: caller phases this
             with comm.phase("sync"):
                 return comm.allreduce(1)
         """
@@ -112,7 +112,7 @@ def test_inline_suppression_on_flagged_line():
 def test_suppression_on_def_line_covers_the_function():
     source = textwrap.dedent(
         """
-        def program(comm):  # spmdlint: disable=all
+        def program(comm):  # spmdlint: disable=all -- test: demo function
             comm.charge_touch(16)
             rank = comm.rank
             if rank == 0:
@@ -126,7 +126,7 @@ def test_suppression_is_rule_specific():
     source = textwrap.dedent(
         """
         def program(comm):
-            comm.charge_touch(16)  # spmdlint: disable=S1
+            comm.charge_touch(16)  # spmdlint: disable=S1 -- test: wrong rule on purpose
             with comm.phase("sync"):
                 return comm.allreduce(1)
         """
@@ -199,3 +199,182 @@ def test_cli_json_format(tmp_path, capsys):
     assert payload[0]["rule"] == "S4"
     assert payload[0]["line"] == 2
     assert payload[0]["function"] == "program"
+    # the stable fingerprint (what --baseline matches on) rides along,
+    # so external consumers survive unrelated line drift
+    assert payload[0]["fingerprint"].endswith("prog.py::program::S4")
+    assert payload[0]["fingerprint"].count("::") == 2
+
+
+def test_cli_exit_code_contract(tmp_path, capsys):
+    """0 — clean; 1 — findings; 2 — usage error (docs/spmdlint.md)."""
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "def program(comm):\n    comm.charge_touch(4)\n", encoding="utf-8"
+    )
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    with pytest.raises(SystemExit) as exc:
+        main([str(clean), "--select", "NOPE"])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        main([str(clean), "--write-baseline"])  # requires --baseline FILE
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_render_emits_clickable_path_line_col():
+    _, findings = _lint_fixture("s8_buggy.py")
+    for f in findings:
+        assert re.match(
+            rf"^s8_buggy\.py:{f.line}:{f.col}: S8 ", f.render()
+        )
+
+
+# ----------------------------------------------------------------------
+# model checker (S8/S9) specifics
+# ----------------------------------------------------------------------
+def test_s8_counterexample_names_paths_and_both_sites():
+    """The divergence message must carry a usable counterexample: the
+    world size, both mismatched call sites, and each rank's path
+    conditions."""
+    _, findings = _lint_fixture("s8_buggy.py")
+    by_func = {f.qualname: f for f in findings}
+
+    order = by_func["program_order"].message
+    assert "p=2" in order
+    assert "rank 0" in order and "rank 1" in order
+    # both sides of the first mismatched collective, with call sites
+    assert "'barrier'" in order and "'allreduce'" in order
+    assert "s8_buggy.py:31" in order and "s8_buggy.py:34" in order
+    # per-rank path conditions name the folded rank-constant branch
+    assert "`comm.rank == 0` -> True" in order
+    assert "`comm.rank == 0` -> False" in order
+
+    trip = by_func["program_helper_trip"].message
+    assert "p=2" in trip
+    # the counterexample explains the trip-count divergence
+    assert "1 iteration(s)" in trip and "2 iteration(s)" in trip
+    assert "ends after 1 collective(s)" in trip
+
+
+def test_s9_counterexample_names_sender_and_peer_path():
+    _, findings = _lint_fixture("s9_buggy.py")
+    assert len(findings) == 1
+    msg = findings[0].message
+    assert "rank 0" in msg and "tag 7" in msg
+    assert "no matching recv" in msg
+    assert "rank 1" in msg  # the destination whose path has no recv
+
+
+def test_model_checker_abstains_on_unknown_trip_loop():
+    """An unknown-trip-count loop around communication yields an
+    explicit abstention — no S8 guess in either direction."""
+    from repro.analysis.lint import index_module, model_results
+
+    source = textwrap.dedent(
+        """
+        from repro.mpi import rank_program
+
+
+        @rank_program
+        def program(comm, work):
+            with comm.phase("drain"):
+                while work.pending():
+                    comm.allreduce(1)
+        """
+    )
+    module = index_module("abstain.py", source)
+    results = model_results(module)
+    assert results, "root must be discovered"
+    for model in results.values():
+        assert not model.checked
+        assert model.abstention is not None
+        assert "unknown-trip-count" in model.abstention.reason
+    # and the lint run stays silent rather than guessing
+    assert [f.rule for f in lint_source("abstain.py", source)] == []
+
+
+def test_unknown_branches_are_explored_rank_invariantly():
+    """A condition the model cannot fold is assumed rank-invariant:
+    both arms are explored, but every rank takes the same side in one
+    world — so a branch-dependent (not rank-dependent) collective
+    choice is consistent, not a divergence."""
+    source = textwrap.dedent(
+        """
+        from repro.mpi import rank_program
+
+
+        @rank_program
+        def program(comm, fast):
+            with comm.phase("step"):
+                if fast:
+                    comm.allreduce(1)
+                else:
+                    comm.barrier()
+        """
+    )
+    assert [f.rule for f in lint_source("worlds.py", source)] == []
+
+
+# ----------------------------------------------------------------------
+# suppression rationale (S13) mechanics
+# ----------------------------------------------------------------------
+def test_bare_suppression_is_a_finding():
+    source = textwrap.dedent(
+        """
+        def program(comm):
+            comm.charge_touch(16)  # spmdlint: disable=S4
+        """
+    )
+    findings = lint_source("bare.py", source)
+    assert [f.rule for f in findings] == ["S13"]
+    assert "rationale" in findings[0].message
+
+
+def test_s13_bypasses_suppression():
+    # not even `disable=all` silences the demand for a rationale
+    source = textwrap.dedent(
+        """
+        def program(comm):  # spmdlint: disable=all
+            comm.charge_touch(16)
+        """
+    )
+    assert [f.rule for f in lint_source("all.py", source)] == ["S13"]
+
+
+def test_rationale_satisfies_s13():
+    source = textwrap.dedent(
+        """
+        def program(comm):
+            comm.charge_touch(16)  # spmdlint: disable=S4 -- caller phases this
+        """
+    )
+    assert lint_source("ok.py", source) == []
+
+
+def test_standalone_directive_covers_the_next_line():
+    source = textwrap.dedent(
+        """
+        def program(comm):
+            # spmdlint: disable=S4 -- caller phases this
+            comm.charge_touch(16)
+        """
+    )
+    assert lint_source("above.py", source) == []
+
+
+# ----------------------------------------------------------------------
+# timing guard: the full lint must stay a cheap pre-test gate
+# ----------------------------------------------------------------------
+def test_full_lint_over_src_stays_fast():
+    import time
+
+    start = time.monotonic()
+    collect_findings([str(REPO_SRC)])
+    elapsed = time.monotonic() - start
+    assert elapsed < 30.0, (
+        f"full S1-S13 lint over src/ took {elapsed:.1f}s — the model "
+        "checker's fuel limits are supposed to keep this a cheap gate"
+    )
