@@ -1,0 +1,201 @@
+"""Benchmark: what surviving a permanent rank loss costs.
+
+Three gates on elastic degraded-mode execution (docs/resilience.md):
+
+1. **Shrink < fresh p-1 setup** — absorbing a ``permfail`` migrates one
+   rank's blocks (local rows + its share of the column copy) to the
+   adopter and re-derives the prepared state incrementally.  That must
+   migrate strictly fewer bytes than the alternative of standing up a
+   new p-1 session from scratch, which reshuffles the *whole* matrix.
+2. **Throughput recovers** — a serving pool whose slot shrank keeps
+   answering at p-1 with answers bit-identical to the fault-free
+   service, and ``health_check`` regrows the slot back to full width.
+3. **Exactly-once across the loss** — a traffic run with a mid-stream
+   ``permfail`` delivers every accepted query once, bit-identical to
+   the fault-free service.
+
+Results land in ``benchmarks/results/elastic.txt``.
+"""
+
+import time as _time
+
+import numpy as np
+
+from repro.analysis import fmt_bytes, fmt_count, fmt_seconds, print_table
+from repro.core import TsConfig
+from repro.core.driver import TsSession
+from repro.data import erdos_renyi
+from repro.serve import (
+    QueryService,
+    TrafficMix,
+    bfs_query,
+    collect_results,
+    make_queries,
+    run_traffic,
+)
+from repro.sparse import CsrMatrix
+
+P = 4
+N = 200
+DEGREE = 8
+
+SERVE_N = 150
+SERVE_QUERIES = 24
+
+
+def _session_inputs():
+    A = erdos_renyi(N, DEGREE, seed=3)
+    rng = np.random.default_rng(7)
+    dense = np.where(rng.random((N, 16)) < 0.3, rng.random((N, 16)), 0.0)
+    return A, CsrMatrix.from_dense(dense)
+
+
+def bench_elastic(benchmark, sink):
+    """Shrink economics + elastic serving, gated."""
+    A, B = _session_inputs()
+
+    # ---- 1. shrink cost vs a fresh p-1 session ----------------------
+    # Task indexing (docs/resilience.md): 0 = setup, 1 = setup
+    # checkpoint, 2 = first multiply.  The driver policy is the
+    # worst case for shrink wire traffic (the replica must ship from
+    # root 0 to the adopter; under the neighbor policy it is already
+    # resident there).
+    faulted = TsSession(
+        A, P,
+        config=TsConfig(
+            recoverable=True, checkpoint="driver", retry_backoff=0.0,
+            faults="permfail@1,task=2,seq=0",
+        ),
+    )
+    fresh = None
+    try:
+        t0 = _time.perf_counter()
+        got = faulted.multiply(B)  # permfail -> shrink -> retry at p-1
+        shrink_wall = _time.perf_counter() - t0
+        assert faulted.shrinks == 1 and faulted.p == P - 1
+        shrink_bytes = faulted.shrink_bytes
+        shrink_wire = got.report.phase_bytes().get("shrink", 0)
+
+        t0 = _time.perf_counter()
+        fresh = TsSession(A, P - 1, row_bounds=faulted._rows.bounds)
+        fresh_wall = _time.perf_counter() - t0
+        setup_bytes = fresh.setup_report.total_bytes()
+        want = fresh.multiply(B)
+
+        print_table(
+            f"Shrink vs fresh p-1 setup (n={N}, avg degree {DEGREE}, "
+            f"p={P}, permfail@rank 1, driver checkpoint)",
+            ["quantity", "value"],
+            [
+                ["fresh p-1 setup (full reshuffle)", fmt_bytes(setup_bytes)],
+                ["shrink migration (blocks adopted)", fmt_bytes(shrink_bytes)],
+                ["shrink wire bytes (`shrink` phase)", fmt_bytes(shrink_wire)],
+                ["shrink wall-clock (fault -> p-1 result)",
+                 fmt_seconds(shrink_wall)],
+                ["fresh p-1 session wall-clock (setup only)",
+                 fmt_seconds(fresh_wall)],
+            ],
+            file=sink,
+        )
+
+        # The shrink moved one rank's share (its rows plus the column
+        # replica it held), not the whole matrix the fresh setup
+        # reshuffles.
+        assert 0 < shrink_wire <= shrink_bytes
+        assert shrink_bytes < setup_bytes, (
+            f"shrink migration ({shrink_bytes}B) not under a fresh "
+            f"p-1 re-prepare ({setup_bytes}B reshuffled)"
+        )
+        # Degraded-mode output is bit-identical to a fresh session at
+        # the merged layout, and the shrunken session keeps working.
+        for result in (got, faulted.multiply(B)):
+            assert (
+                np.array_equal(want.C.indptr, result.C.indptr)
+                and np.array_equal(want.C.indices, result.C.indices)
+                and np.array_equal(want.C.data, result.C.data)
+            ), "post-shrink product differs from the merged-layout run"
+    finally:
+        faulted.close()
+        if fresh is not None:
+            fresh.close()
+
+    # ---- 2. serving keeps answering through a shrink ----------------
+    adj = erdos_renyi(SERVE_N, 4.0, seed=9).astype(bool)
+    sources = list(range(SERVE_QUERIES))
+    elastic_config = TsConfig(
+        recoverable=True, retry_backoff=0.0,
+        faults="permfail@1,task=2,seq=0",
+    )
+    with QueryService(adj, P, batch_width=8) as ref_svc:
+        ref_values = [
+            t.result(timeout=120.0).value[0]
+            for t in [ref_svc.submit(bfs_query(s)) for s in sources]
+        ]
+    with QueryService(adj, P, config=elastic_config, batch_width=8) as svc:
+        wave1 = [svc.submit(bfs_query(s)) for s in sources[:12]]
+        res1 = [t.result(timeout=120.0) for t in wave1]
+        degraded_width = svc.pool.world_size
+        # Wave 2 is served entirely at the degraded width p-1.
+        wave2 = [svc.submit(bfs_query(s)) for s in sources[12:]]
+        res2 = [t.result(timeout=120.0) for t in wave2]
+        regrown = svc.health_check()  # respawns the shrunken slot
+        healed_width = svc.pool.world_size
+    snap = svc.metrics.snapshot()
+    for j, res in enumerate(res1 + res2):
+        assert res.ok, f"query {j} not served: {res.status}"
+        assert np.array_equal(res.value[0], ref_values[j]), (
+            f"degraded answer for query {j} differs from fault-free run"
+        )
+    assert snap["shrinks"] == 1, "injected permfail never shrank a slot"
+    assert degraded_width == P - 1, "slot did not serve at p-1"
+    assert regrown >= 1 and healed_width == P, (
+        "health_check did not regrow the shrunken slot to full width"
+    )
+    assert snap["duplicates"] == 0
+    assert snap["ok"] == snap["accepted"] == SERVE_QUERIES
+
+    print_table(
+        f"Elastic serving (n={SERVE_N}, p={P}, permfail mid-wave-1, "
+        f"{SERVE_QUERIES} queries)",
+        ["quantity", "value"],
+        [
+            ["served ok / accepted",
+             f"{fmt_count(snap['ok'])} / {fmt_count(snap['accepted'])}"],
+            ["elastic shrinks", fmt_count(snap["shrinks"])],
+            ["min world size", fmt_count(snap["world_size"])],
+            ["slots regrown by health_check", fmt_count(regrown)],
+            ["throughput", f"{snap['throughput']:.1f} q/s"],
+        ],
+        file=sink,
+    )
+
+    # ---- 3. exactly-once across a mid-stream permfail ---------------
+    queries = make_queries(
+        SERVE_QUERIES, SERVE_N, seed=5,
+        mix=TrafficMix(bfs=1.0, influence=0.0, embedding=0.0),
+    )
+    with QueryService(adj, P, config=elastic_config, batch_width=8) as svc:
+        report = run_traffic(svc, queries, backpressure=True, resubmit=4)
+        results = collect_results(report, timeout=120.0)
+    snap = svc.metrics.snapshot()
+    assert len(results) == SERVE_QUERIES
+    assert all(r.ok for r in results.values())
+    assert snap["accepted"] == snap["delivered"] == SERVE_QUERIES
+    assert snap["duplicates"] == 0
+    assert snap["failed"] == 0
+    assert snap["shrinks"] == 1
+
+    def _shrink_cycle():
+        s = TsSession(
+            A, P,
+            config=TsConfig(
+                recoverable=True, checkpoint="neighbor", retry_backoff=0.0,
+                faults="permfail@1,task=2,seq=0",
+            ),
+        )
+        try:
+            return s.multiply(B)
+        finally:
+            s.close()
+
+    benchmark(_shrink_cycle)

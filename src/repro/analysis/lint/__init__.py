@@ -7,9 +7,9 @@ Two entry points:
 * :func:`lint_source` / :func:`collect_findings` — the library API used
   by the tests.
 
-The rule catalogue (S1–S13) lives in :mod:`repro.analysis.lint.rules`
-and is documented in ``docs/spmdlint.md``.  S1–S7 are syntactic; S8/S9
-come from the cross-rank collective *model checker*
+The rule catalogue (S1–S14) lives in :mod:`repro.analysis.lint.rules`
+and is documented in ``docs/spmdlint.md``.  S1–S7 and S14 are
+syntactic; S8/S9 come from the cross-rank collective *model checker*
 (:mod:`repro.analysis.lint.model` over
 :mod:`repro.analysis.lint.traces`), which abstractly interprets each
 rank program at small concrete ``p`` and diffs per-rank collective

@@ -77,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spmdlint",
         description=(
-            "Static SPMD collective-consistency checker (rules S1-S13: "
+            "Static SPMD collective-consistency checker (rules S1-S14: "
             "syntactic rules, the cross-rank collective model checker, "
             "and the driver-side lifecycle dataflow pass)."
         ),

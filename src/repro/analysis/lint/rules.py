@@ -1,4 +1,4 @@
-"""The ``spmdlint`` rules (S1–S13).
+"""The ``spmdlint`` rules (S1–S14).
 
 Each rule is a small object with an ``id``, a one-line ``title`` and a
 ``check(module)`` generator yielding :class:`~.checker.Finding`s.  The
@@ -6,9 +6,9 @@ rules work off the :class:`~.checker.ModuleIndex` produced by the
 framework — see ``docs/spmdlint.md`` for the catalogue with examples and
 the rationale behind every exclusion.
 
-S1–S7 are syntactic (this module).  S8/S9 come from the cross-rank
-collective model checker (:mod:`repro.analysis.lint.model`), S10–S12
-from the driver-side lifecycle dataflow pass
+S1–S7 and S14 are syntactic (this module).  S8/S9 come from the
+cross-rank collective model checker (:mod:`repro.analysis.lint.model`),
+S10–S12 from the driver-side lifecycle dataflow pass
 (:mod:`repro.analysis.lint.lifecycle`), and S13 enforces that every
 suppression comment carries a written rationale.
 """
@@ -28,6 +28,7 @@ from .checker import (
     ModuleIndex,
     attr_root,
     comm_method_of,
+    is_comm_expr,
     mentions_rank,
 )
 
@@ -538,6 +539,134 @@ def check_s7(module: ModuleIndex) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# S14 — hard-coded world size inside a rank program
+# ----------------------------------------------------------------------
+#: Comm methods whose arguments name a *peer or root rank*.  A literal
+#: loop bound feeding one of these is a baked-in world size.
+_RANK_ARG_METHODS = {
+    "send",
+    "recv",
+    "sendrecv",
+    "bcast",
+    "gather",
+    "scatter",
+    "reduce",
+}
+
+
+def _is_world_size(node: ast.AST, comm_names: Set[str]) -> bool:
+    """True for a ``comm.size`` attribute chain."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "size"
+        and is_comm_expr(node.value, comm_names)
+    )
+
+
+def _int_literal_ge2(node: ast.AST) -> Optional[int]:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+        and node.value >= 2
+    ):
+        return node.value
+    return None
+
+
+def _literal_range_bound(node: ast.AST) -> Optional[int]:
+    """The trip bound of ``range(<literal>)`` / ``range(<lit>, <lit>)``."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+        and not node.keywords
+        and node.args
+    ):
+        return None
+    for arg in node.args:
+        if not (
+            isinstance(arg, ast.Constant)
+            and isinstance(arg.value, int)
+            and not isinstance(arg.value, bool)
+        ):
+            return None
+    bound = node.args[1].value if len(node.args) >= 2 else node.args[0].value
+    return bound if bound >= 2 else None
+
+
+def check_s14(module: ModuleIndex) -> Iterator[Finding]:
+    """Hard-coded world sizes stop being true the moment the session
+    shrinks to ``p-1`` after a permanent rank loss.  Two shapes are
+    flagged: ``comm.size ==/!= <literal>`` (the guard silently flips
+    when the world shrinks, so the two sides of the branch swap), and a
+    literal-bound ``for`` loop whose variable feeds a peer/root rank
+    argument of a comm call (peers past the new size hang or crash).
+    Comparisons against ``0``/``1`` and inequalities (``size > 1``) are
+    degenerate-world capability guards, not baked-in sizes, and stay
+    legal; ``range(comm.size)`` is the world-size-agnostic fix."""
+    for func in module.functions.values():
+        for node in walk_scope(func.node):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, lhs, rhs in zip(node.ops, operands[:-1], operands[1:]):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    for size_side, lit_side in ((lhs, rhs), (rhs, lhs)):
+                        lit = _int_literal_ge2(lit_side)
+                        if lit is None or not _is_world_size(
+                            size_side, func.comm_names
+                        ):
+                            continue
+                        yield _finding(
+                            "S14", module, func, node,
+                            f"compares comm.size against the literal {lit} "
+                            "— hard-coded world size; an elastic shrink to "
+                            "p-1 silently flips this guard on every "
+                            "surviving rank (write it against comm.size "
+                            "itself, e.g. a peer set derived from "
+                            "range(comm.size))",
+                        )
+                        break
+            elif isinstance(node, ast.For):
+                bound = _literal_range_bound(node.iter)
+                if bound is None:
+                    continue
+                loop_vars = {
+                    n.id
+                    for n in ast.walk(node.target)
+                    if isinstance(n, ast.Name)
+                }
+                for stmt in node.body:
+                    hit = None
+                    for sub in [stmt, *walk_scope(stmt)]:
+                        if not isinstance(sub, ast.Call):
+                            continue
+                        method = comm_method_of(sub, func.comm_names)
+                        if method not in _RANK_ARG_METHODS:
+                            continue
+                        args = list(sub.args) + [k.value for k in sub.keywords]
+                        if any(
+                            isinstance(n, ast.Name) and n.id in loop_vars
+                            for a in args
+                            for n in ast.walk(a)
+                        ):
+                            hit = (method, sub)
+                            break
+                    if hit is not None:
+                        method, call = hit
+                        yield _finding(
+                            "S14", module, func, call,
+                            f"'{method}' peers over a literal "
+                            f"range({bound}) loop bound — hard-coded world "
+                            "size; after an elastic shrink to p-1 the loop "
+                            "still addresses the dead rank (use "
+                            "range(comm.size))",
+                        )
+                        break
+
+
+# ----------------------------------------------------------------------
 # S13 — suppression comment without a written rationale
 # ----------------------------------------------------------------------
 def check_s13(module: ModuleIndex) -> Iterator[Finding]:
@@ -580,6 +709,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     Rule("S11", "values-only operand refresh with divergent reaching defs", check_s11),
     Rule("S12", "session-pool checkout not checked in on every path", check_s12),
     Rule("S13", "suppression comment without a written rationale", check_s13),
+    Rule("S14", "hard-coded world size inside a rank program", check_s14),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in ALL_RULES}

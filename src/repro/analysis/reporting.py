@@ -112,11 +112,13 @@ def service_summary_rows(snapshot: dict) -> List[List[str]]:
         ["throughput", fmt_rate(snapshot["throughput"])],
         ["modelled SPMD time", fmt_seconds(snapshot["modelled_seconds"])],
     ]
+    shrinks = snapshot.get("shrinks", 0)
     resilience = (
         snapshot["retries"]
         or snapshot["recoveries"]
         or snapshot["respawns"]
         or snapshot["degraded_batches"]
+        or shrinks
     )
     if resilience:
         rows.extend(
@@ -127,6 +129,11 @@ def service_summary_rows(snapshot: dict) -> List[List[str]]:
                 ["degraded-width batches", fmt_count(snapshot["degraded_batches"])],
             ]
         )
+    if shrinks:
+        rows.append(["elastic shrinks", fmt_count(shrinks)])
+        world = snapshot.get("world_size")
+        if world is not None:
+            rows.append(["min world size", fmt_count(world)])
     return rows
 
 

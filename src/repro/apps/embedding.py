@@ -43,7 +43,7 @@ bytes conserved.  ``--fuse-comm off`` restores the separate rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -82,10 +82,12 @@ class EmbeddingEpoch:
     #: ``fuse_comm`` collapses (2-3 fused vs ``3 + 2·ceil(p/w)`` unfused).
     rounds: int = 0
     #: Resilience trace (recoverable sessions only, docs/resilience.md):
-    #: multiply retries after injected faults, and rank recoveries those
-    #: retries performed.
+    #: multiply retries after injected faults, rank recoveries those
+    #: retries performed, and elastic shrinks (permanent rank losses
+    #: survived at p-1).
     retries: int = 0
     recoveries: int = 0
+    shrinks: int = 0
 
     @property
     def remote_fraction(self) -> float:
@@ -243,6 +245,7 @@ def train_sparse_embedding(
     learning_rate: Optional[float] = None,
     negative_refresh: int = 1,
     driver_gather: bool = False,
+    row_bounds: Optional[Tuple[int, ...]] = None,
 ) -> EmbeddingResult:
     """Train a sparse Force2Vec embedding of the graph ``adj``.
 
@@ -268,6 +271,13 @@ def train_sparse_embedding(
     scatters ``Z`` and gathers the gradient through the driver (charged,
     like MS-BFS's ``driver_gather`` ablation) and computes the SDDMM
     driver-side.  Both paths produce bit-identical embeddings.
+
+    ``row_bounds`` pins the session's row partition to explicit block
+    boundaries (forwarded to :class:`~repro.core.driver.TsSession`).
+    Its purpose is elastic-degraded-mode verification: float
+    accumulation order follows the partition, so the reference for a
+    run that shrank to p-1 mid-training is a fresh p-1 run at the
+    *merged* layout the shrink produced (docs/resilience.md).
     """
     if adj.nrows != adj.ncols:
         raise ValueError("adjacency matrix must be square")
@@ -344,7 +354,7 @@ def train_sparse_embedding(
                 if session is None:
                     session = TsSession(
                         W, p, semiring=PLUS_TIMES, config=train_config,
-                        machine=machine,
+                        machine=machine, row_bounds=row_bounds,
                     )
                 else:
                     # values-only refresh between redraws; a redrawn
@@ -365,7 +375,7 @@ def train_sparse_embedding(
                 if session is None:
                     session = TsSession(
                         pattern, p, semiring=PLUS_TIMES, config=train_config,
-                        machine=machine,
+                        machine=machine, row_bounds=row_bounds,
                     )
                     z_sp_h = session.scatter(z_sparse)
                     z_dn_h = session.scatter_dense(z_sparse.to_dense())
@@ -401,6 +411,7 @@ def train_sparse_embedding(
                     rounds=mult.rounds,
                     retries=int(diag.get("retries", 0)),
                     recoveries=int(diag.get("recoveries", 0)),
+                    shrinks=int(diag.get("shrinks", 0)),
                 )
             )
         if z_sp_h is not None:

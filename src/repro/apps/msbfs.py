@@ -57,9 +57,11 @@ class BfsIteration:
     rounds: int = 0
     #: Resilience trace (recoverable sessions only, docs/resilience.md):
     #: how many times this level's multiply was retried after an injected
-    #: fault, and how many rank recoveries those retries performed.
+    #: fault, how many rank recoveries those retries performed, and how
+    #: many elastic shrinks (permanent rank losses survived at p-1).
     retries: int = 0
     recoveries: int = 0
+    shrinks: int = 0
 
 
 @dataclass
@@ -229,6 +231,7 @@ def _msbfs_driver_loop(
                 rounds=mult.report.alltoall_rounds(),
                 retries=int(diagnostics.get("retries", 0)),
                 recoveries=int(diagnostics.get("recoveries", 0)),
+                shrinks=int(diagnostics.get("shrinks", 0)),
             )
         )
         level += 1
@@ -313,6 +316,7 @@ def _msbfs_handles(
                 rounds=mult.rounds,
                 retries=int(diagnostics.get("retries", 0)),
                 recoveries=int(diagnostics.get("recoveries", 0)),
+                shrinks=int(diagnostics.get("shrinks", 0)),
             )
         )
         level += 1

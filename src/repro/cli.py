@@ -90,9 +90,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="",
         metavar="SPEC",
         help="deterministic fault-injection spec, e.g. "
-        "'crash@2,task=2,seq=0;transient@1,task=4' (grammar in "
-        "docs/resilience.md); a non-empty spec turns on recoverable "
-        "sessions with checkpoint/recovery and retry-with-backoff",
+        "'crash@2,task=2,seq=0;transient@1,task=4;permfail@1,task=3' "
+        "(grammar in docs/resilience.md; permfail is a *permanent* rank "
+        "loss — the session shrinks to p-1 instead of respawning); a "
+        "non-empty spec turns on recoverable sessions with "
+        "checkpoint/recovery and retry-with-backoff",
     )
     parser.add_argument(
         "--checkpoint",
@@ -101,7 +103,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="replica placement for recoverable sessions: neighbor "
         "(ring-shift to rank r+1), driver (root gather), or off "
         "(no replicas; a lost rank forces a full re-prepare — the "
-        "recovery-cost ablation)",
+        "recovery-cost ablation — and elastic shrink is refused)",
+    )
+    parser.add_argument(
+        "--respawn-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="how many crashed workers a recoverable session may respawn "
+        "before further rank losses are treated as permanent and the "
+        "session *shrinks* to p-1 instead (docs/resilience.md, "
+        "degraded-mode section; default: unlimited respawns)",
     )
 
 
@@ -125,6 +137,7 @@ def _config(args, **overrides) -> TsConfig:
         sanitize=getattr(args, "sanitize", False),
         faults=faults,
         checkpoint=getattr(args, "checkpoint", "neighbor"),
+        respawn_budget=getattr(args, "respawn_budget", None),
         # A non-empty fault spec implies recoverable sessions — injecting
         # faults into a non-recoverable session just kills it.  The serve
         # subcommand overrides recoverable=True unconditionally: a
@@ -146,9 +159,12 @@ def _print_resilience_summary(steps, args) -> None:
         return
     retries = sum(getattr(s, "retries", 0) for s in steps)
     recoveries = sum(getattr(s, "recoveries", 0) for s in steps)
+    shrinks = sum(getattr(s, "shrinks", 0) for s in steps)
+    shrank = f", {shrinks} elastic shrinks (now serving at p-1)" if shrinks else ""
     print(
         f"faults injected ({args.faults!r}): {retries} retries, "
-        f"{recoveries} rank recoveries, checkpoint={args.checkpoint}; "
+        f"{recoveries} rank recoveries{shrank}, "
+        f"checkpoint={args.checkpoint}; "
         "output is bit-identical to the fault-free run"
     )
 

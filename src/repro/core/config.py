@@ -108,6 +108,15 @@ class TsConfig:
         ablation behind the CLI's ``--checkpoint off``).
     max_retries:
         Task retry budget per multiply/setup call in recoverable mode.
+    respawn_budget:
+        How many crashed workers a recoverable session may respawn over
+        its lifetime before further rank losses are treated as permanent.
+        ``None`` (default) is unlimited — today's respawn-always
+        behaviour.  With a finite budget, a crash past the budget (or an
+        injected ``permfail``) is classified *shrinkable*: instead of
+        respawning the rank, the session migrates its blocks to
+        survivors and keeps running at width ``p-1``
+        (docs/resilience.md, degraded-mode section).
     retry_backoff:
         Base of the bounded exponential backoff between retries, in real
         seconds (delay = ``retry_backoff · 2^(attempt-1)``, capped at 1 s).
@@ -139,6 +148,7 @@ class TsConfig:
     recoverable: bool = False
     checkpoint: str = "neighbor"
     max_retries: int = 2
+    respawn_budget: Optional[int] = None
     retry_backoff: float = 0.01
     spmd_timeout: Optional[float] = None
     checksum: bool = False
@@ -167,6 +177,8 @@ class TsConfig:
             )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.respawn_budget is not None and self.respawn_budget < 0:
+            raise ValueError("respawn_budget must be >= 0 when given")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
         if self.spmd_timeout is not None and self.spmd_timeout <= 0:

@@ -17,22 +17,24 @@ paper's timers do; ``result.multiply_time`` excludes setup.
 from __future__ import annotations
 
 import time as _time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
-from ..mpi.errors import RankError
+from ..mpi.errors import RankError, ShrinkRefusedError
 from ..mpi.executor import ResidentSession, SpmdResult, run_spmd
 from ..mpi.faults import FaultInjector, FaultPlan, RankFailure
-from ..mpi.stats import SpmdReport, merge_reports
-from ..partition.block1d import Block1D
+from ..mpi.stats import SpmdReport, merge_reports, project_report
+from ..partition.block1d import Block1D, shrunk_partition
 from ..partition.distmat import (
     DistDenseHandle,
     DistDenseMatrix,
     DistHandle,
     DistSparseMatrix,
+    _hstack_blocks,
     _vstack_blocks,
     _vstack_tagged,
 )
@@ -46,7 +48,13 @@ from ..sparse.ops import (
 from ..sparse.semiring import PLUS_TIMES, Semiring
 from .config import DEFAULT_CONFIG, TsConfig
 from .naive import naive_multiply
-from .plan import PreparedA, PreparedSubtile, _static_mode, prepare_multiply
+from .plan import (
+    PreparedA,
+    PreparedSubtile,
+    _static_mode,
+    prepare_multiply,
+    shrink_prepared,
+)
 from .spmm import spmm_multiply
 from .symbolic import LOCAL, REMOTE
 from .tiled import tiled_multiply
@@ -73,9 +81,12 @@ FUSED_SECTION_PHASES = (
 #: Phases charged by the resilience layer (docs/resilience.md):
 #: ``checkpoint`` books the replica traffic + serialization after every
 #: state-committing task, ``recover`` the replica fetch that rebuilds a
-#: lost rank's blocks.  Both count as multiply time, not setup — an
-#: iterative loop pays them while it runs.
-RESILIENCE_PHASES = ("checkpoint", "recover")
+#: lost rank's blocks, ``shrink`` the state migration of elastic
+#: degraded-mode recovery — the dead rank's replica shipping to its
+#: adopter plus the incremental re-prepare at width ``p-1``.  All count
+#: as multiply time, not setup — an iterative loop pays them while it
+#: runs.
+RESILIENCE_PHASES = ("checkpoint", "recover", "shrink")
 
 
 @dataclass
@@ -436,6 +447,7 @@ class TsSession(ResidentSession):
         config: TsConfig = DEFAULT_CONFIG,
         machine: MachineProfile = PERLMUTTER,
         algorithm: str = "tiled",
+        row_bounds: Optional[Tuple[int, ...]] = None,
     ):
         if algorithm not in ("tiled", "naive"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -455,6 +467,7 @@ class TsSession(ResidentSession):
             recoverable=config.recoverable,
             injector=injector,
             checksum=config.checksum,
+            respawn_budget=config.respawn_budget,
         )
         self.semiring = semiring
         self.config = config
@@ -475,8 +488,23 @@ class TsSession(ResidentSession):
         self.checkpoint_bytes = 0
         self.recover_bytes = 0
         self.recovery_events: List[RankFailure] = []
+        # Elastic degraded-mode bookkeeping (docs/resilience.md):
+        # ``shrinks`` counts completed world shrinks, ``shrink_bytes`` the
+        # replica + handle bytes they migrated, ``shrink_events`` the
+        # shrinkable failures that triggered them.  ``_handles`` tracks
+        # every live rank-resident handle this session minted, so a
+        # shrink can remap them in place (weakly: a handle the caller
+        # dropped needs no migration).
+        self.shrinks = 0
+        self.shrink_bytes = 0
+        self.shrink_events: List[RankFailure] = []
+        self._handles: "weakref.WeakSet" = weakref.WeakSet()
         self.ncols = A.ncols
-        self._rows = Block1D(A.nrows, p)
+        # ``row_bounds`` pins an explicit (possibly unbalanced) contiguous
+        # partition — the shape a shrink leaves behind.  Tests use it to
+        # build a fresh reference session at a shrunken session's exact
+        # layout, where float outputs are bit-comparable.
+        self._rows = Block1D(A.nrows, p, bounds=row_bounds)
         self.setup_report: SpmdReport = self._setup(A)
         ckpt_report = self._checkpoint()
         if ckpt_report is not None:
@@ -491,7 +519,10 @@ class TsSession(ResidentSession):
     # ------------------------------------------------------------------
     def _setup(self, A: CsrMatrix) -> SpmdReport:
         def program(comm):
-            dist_a = DistSparseMatrix.scatter_rows(comm, A)
+            # Slice by the session's partition, not the balanced default:
+            # after a shrink (or under the ``row_bounds`` hook) the blocks
+            # are contiguous but unbalanced.
+            dist_a = DistSparseMatrix.scatter_rows(comm, A, rows=self._rows)
             prepared = None
             if self.algorithm == "tiled":
                 dist_a.build_column_copy()
@@ -551,7 +582,23 @@ class TsSession(ResidentSession):
                 failed_report = getattr(err, "report", None)
                 if failed_report is not None:
                     extra_reports.append(failed_report)
-                recover_report = self._recover(failure)
+                if failure.shrinkable:
+                    # The rank is gone for good (permfail, or a crash
+                    # past the respawn budget): migrate its state to a
+                    # survivor and retry on the p-1 world.  The program
+                    # closure reads per-rank state through self._state
+                    # and handle blocks through the (remapped) handles,
+                    # so the very same closure re-executes unchanged.
+                    # Reports charged on the old world are projected to
+                    # the survivors' view so they keep merging.
+                    self.shrink_events.append(failure)
+                    recover_report = self.shrink(failure.rank)
+                    extra_reports = [
+                        project_report(r, failure.rank)
+                        for r in extra_reports
+                    ]
+                else:
+                    recover_report = self._recover(failure)
                 if recover_report is not None:
                     extra_reports.append(recover_report)
                 _time.sleep(
@@ -565,13 +612,28 @@ class TsSession(ResidentSession):
                 )
             return result
 
-    def _suspended_run(self, program: Callable) -> SpmdResult:
+    def _suspended_run(
+        self, program: Callable, *, timeout: Optional[float] = None
+    ) -> SpmdResult:
         """Run a checkpoint/recovery task with fault injection suspended,
-        so a recovery cannot be re-killed by the fault it is healing."""
+        so a recovery cannot be re-killed by the fault it is healing.
+        ``timeout`` overrides the executor's watchdog for this task."""
         if self._injector is not None:
             with self._injector.suspend():
-                return self._exec.run(program)
-        return self._exec.run(program)
+                return self._exec.run(program, timeout=timeout)
+        return self._exec.run(program, timeout=timeout)
+
+    def _resilience_timeout(self, nbytes: int) -> float:
+        """Watchdog budget for a recover/shrink task moving ``nbytes`` of
+        checkpoint state.
+
+        The default watchdog assumes multiply-sized tasks; a restore of a
+        huge replica blob (or a shrink merging one) is dominated by real
+        serialization work that scales with the blob, so the timeout gets
+        headroom proportional to the bytes on the wire instead of firing
+        a spurious ``DeadlockError`` halfway through a legitimate
+        recovery."""
+        return self._exec.timeout + nbytes / 50e6
 
     def _snapshot_state(self, state: tuple, *, full: bool) -> Dict[str, Any]:
         """Deep-copy the mutable half of one rank's resident state.
@@ -756,7 +818,9 @@ class TsSession(ResidentSession):
                 comm.barrier()
             return None
 
-        result = self._suspended_run(program)
+        result = self._suspended_run(
+            program, timeout=self._resilience_timeout(nbytes)
+        )
         prepared = blob["prepared"]
         if prepared is not None:
             for (peer, i), data in blob["values"].items():
@@ -787,6 +851,194 @@ class TsSession(ResidentSession):
         return result.report
 
     # ------------------------------------------------------------------
+    # elastic degraded-mode recovery: shrink the world (docs/resilience.md)
+    # ------------------------------------------------------------------
+    def shrink(self, dead_rank: int) -> SpmdReport:
+        """Survive the permanent loss of ``dead_rank`` at width ``p-1``.
+
+        The driver half of elastic degraded-mode recovery: the dead
+        rank's row block and ``Ac`` column strip are rebuilt from its
+        checkpoint replica and *adopted* by a surviving neighbor (the
+        ``dead+1`` rank, or ``dead-1`` when the last rank died — either
+        way the merged block stays contiguous), the row partition is
+        remapped to an explicit-``bounds`` :class:`Block1D`, and the
+        prepared plan is incrementally re-prepared for the ``p-1`` world
+        (:func:`~repro.core.plan.shrink_prepared`) — all charged under
+        the ``shrink`` phase, including the replica transfer from its
+        holder to the adopter and the migration of every live handle's
+        dead block.  Survivors keep their live state, exactly like
+        :meth:`_recover`; every rank-resident handle this session minted
+        is remapped in place, so in-flight iterative loops (MS-BFS,
+        embedding epochs, serve batches) retry transparently on the
+        shrunken world.
+
+        Refused — killing the session, like any unrecoverable failure —
+        when the session is not recoverable, holds no checkpoint replicas
+        (``checkpoint="off"`` or nothing committed yet), is a derived
+        session (it shares its parent's executor: shrinking underneath
+        the parent would desync it — the serving tier respawns the slot
+        instead), or is already down to one rank.
+        """
+        if not 0 <= dead_rank < self.p:
+            raise ValueError(
+                f"dead_rank must be in [0, {self.p}), got {dead_rank}"
+            )
+        refusal = None
+        if not self._recoverable:
+            refusal = "session is not recoverable"
+        elif not self._owns_exec:
+            refusal = (
+                "derived sessions share their parent's executor; "
+                "respawn the session instead"
+            )
+        elif self.p < 2:
+            refusal = "cannot shrink a 1-rank session"
+        elif self._ckpt is None:
+            refusal = (
+                "no checkpoint replicas to migrate from "
+                "(checkpoint='off', or nothing committed yet)"
+            )
+        if refusal is not None:
+            self._exec._kill(f"shrink refused: {refusal}")
+            raise ShrinkRefusedError(f"cannot shrink: {refusal}")
+
+        old_p = self.p
+        old_rows = self._rows
+        new_rows, adopter_new = shrunk_partition(old_rows, dead_rank)
+        adopter_old = dead_rank + 1 if dead_rank < old_p - 1 else dead_rank - 1
+        holder_old = (
+            0
+            if self.config.checkpoint == "driver"
+            else (dead_rank + 1) % old_p
+        )
+        holder_new = holder_old - (1 if holder_old > dead_rank else 0)
+
+        # What actually migrates: the dead rank's row block and column
+        # strip (values + pattern — the adopter never held either).  Its
+        # prepared subtiles and strip caches are consumer-side artifacts
+        # of the dead rank and die with it; the adopter re-derives its
+        # own from the merged copies.
+        dead_blob = self._ckpt[dead_rank]
+        dead_local: CsrMatrix = dead_blob["local"]
+        dead_col: Optional[CsrMatrix] = dead_blob["col"]
+        migrate: List[np.ndarray] = []
+        for mat in (dead_local, dead_col):
+            if mat is not None:
+                migrate.extend((mat.data, mat.indptr, mat.indices))
+        migrate_nbytes = int(sum(a.nbytes for a in migrate))
+
+        # Merge in global row/column order: the dead block precedes the
+        # adopter's when the adopter is the higher neighbor.  Byte-for-
+        # byte this equals slicing the merged range from the global
+        # matrix, which is what makes the incremental re-prepare
+        # bit-identical to a fresh session at the merged layout.
+        a_rows, a_local, a_col, _, _ = self._state[adopter_old]
+        dead_first = adopter_old == dead_rank + 1
+        merged_local = _vstack_blocks(
+            [dead_local, a_local] if dead_first else [a_local, dead_local],
+            self.ncols,
+        )
+        merged_col = None
+        merge_touch = merged_local.nbytes_estimate()
+        if a_col is not None:
+            merged_col = (
+                _hstack_blocks(dead_col, a_col)
+                if dead_first
+                else _hstack_blocks(a_col, dead_col)
+            )
+            merge_touch += merged_col.nbytes_estimate()
+
+        # Live rank-resident handles: their dead blocks move to the
+        # adopter too (tag-80, from the driver root's shadow) so handle
+        # chains survive the remap.
+        live_handles = list(self._handles)
+        handle_wire: List[np.ndarray] = []
+        for h in live_handles:
+            blk = h.blocks[dead_rank]
+            if isinstance(blk, np.ndarray):
+                handle_wire.append(blk)
+            else:
+                handle_wire.extend((blk.data, blk.indptr, blk.indices))
+        handle_nbytes = int(sum(a.nbytes for a in handle_wire))
+
+        new_state: List[tuple] = []
+        for r in range(old_p):
+            if r == dead_rank:
+                continue
+            _, local_r, col_r, prepared_r, _ = self._state[r]
+            if r == adopter_old:
+                local_r, col_r = merged_local, merged_col
+            # aux caches are pattern-*and-partition*-derived (value strip
+            # selections follow the column ranges): reset everywhere.
+            new_state.append((new_rows, local_r, col_r, prepared_r, {}))
+
+        self._exec.shrink(dead_rank)
+        self.p = self._exec.size
+        machine = self.machine
+        ncols = self.ncols
+
+        def program(comm):
+            r = comm.rank
+            rows, local, col, prepared, aux = new_state[r]
+            with comm.phase("shrink"):
+                if holder_new != adopter_new:
+                    if r == holder_new:
+                        comm.send(migrate, adopter_new, tag=79)
+                    if r == adopter_new:
+                        comm.recv(source=holder_new, tag=79)
+                if handle_nbytes and adopter_new != 0:
+                    if r == 0:
+                        comm.send(handle_wire, adopter_new, tag=80)
+                    if r == adopter_new:
+                        comm.recv(source=0, tag=80)
+                if r == adopter_new:
+                    comm.charge_seconds(machine.recover_time(migrate_nbytes))
+                    comm.charge_touch(merge_touch)
+                    if handle_nbytes and adopter_new == 0:
+                        comm.charge_touch(handle_nbytes)
+                touched = 0
+                if prepared is not None:
+                    dist_a = DistSparseMatrix(comm, rows, local, ncols, col)
+                    touched = shrink_prepared(
+                        prepared, dist_a, dead_rank, adopter_old
+                    )
+                comm.charge_touch(touched)
+                comm.barrier()
+            return rows, local, col, prepared, aux
+
+        result = self._suspended_run(
+            program,
+            timeout=self._resilience_timeout(migrate_nbytes + handle_nbytes),
+        )
+        self._state = list(result.values)
+        self._rows = new_rows
+        self._edge_ids = None
+
+        for h in live_handles:
+            dead_blk = h.blocks[dead_rank]
+            adopt_blk = h.blocks[adopter_old]
+            pair = [dead_blk, adopt_blk] if dead_first else [adopt_blk, dead_blk]
+            if isinstance(dead_blk, np.ndarray):
+                merged_blk: Any = np.vstack(pair)
+            else:
+                merged_blk = _vstack_blocks(pair, h.ncols)
+            blocks = [b for r, b in enumerate(h.blocks) if r != dead_rank]
+            blocks[adopter_new] = merged_blk
+            h.blocks = blocks
+            h.rows = new_rows
+
+        self.shrinks += 1
+        self.shrink_bytes += migrate_nbytes + handle_nbytes
+        report = result.report
+        # The old replica set indexes a world that no longer exists:
+        # re-checkpoint the shrunken state from scratch.
+        self._release_ckpt()
+        ckpt_report = self._checkpoint()
+        if ckpt_report is not None:
+            report = merge_reports([report, ckpt_report])
+        return report
+
+    # ------------------------------------------------------------------
     def scatter(self, B: CsrMatrix) -> DistHandle:
         """Slice a driver-resident matrix into a rank-resident handle.
 
@@ -801,7 +1053,9 @@ class TsSession(ResidentSession):
                 f"matrix must have {self.ncols} rows to match A, got {B.shape}"
             )
         blocks = [extract_row_range(B, lo, hi) for lo, hi in self._rows.ranges]
-        return DistHandle(owner=self, rows=self._rows, ncols=B.ncols, blocks=blocks)
+        return self._register_handle(
+            DistHandle(owner=self, rows=self._rows, ncols=B.ncols, blocks=blocks)
+        )
 
     def scatter_dense(self, B: np.ndarray) -> DistDenseHandle:
         """Slice a driver-resident *dense* matrix into a rank-resident handle.
@@ -816,9 +1070,19 @@ class TsSession(ResidentSession):
                 f"matrix must be ({self.ncols}, d) to match A, got {B.shape}"
             )
         blocks = [B[lo:hi] for lo, hi in self._rows.ranges]
-        return DistDenseHandle(
-            owner=self, rows=self._rows, ncols=B.shape[1], blocks=blocks
+        return self._register_handle(
+            DistDenseHandle(
+                owner=self, rows=self._rows, ncols=B.shape[1], blocks=blocks
+            )
         )
+
+    def _register_handle(self, h):
+        """Track a freshly minted rank-resident handle for elastic
+        remapping: :meth:`shrink` rewrites every live handle's partition
+        and blocks in place, so handle chains keep working at ``p-1``.
+        Weak membership — a dropped handle needs no migration."""
+        self._handles.add(h)
+        return h
 
     def _check_handle(self, h: Union[DistHandle, DistDenseHandle]) -> None:
         if h.owner is not self:
@@ -960,7 +1224,8 @@ class TsSession(ResidentSession):
                 )
             elif dense_b:
                 dist_b = DistDenseMatrix.scatter_rows(
-                    comm, B, charge_comm=charge_driver, phase="scatter-B"
+                    comm, B, charge_comm=charge_driver, phase="scatter-B",
+                    rows=rows,
                 )
             else:
                 # B lives on the driver.  Under the ablation accounting
@@ -970,7 +1235,8 @@ class TsSession(ResidentSession):
                 # distribution is free, like every other driver entry
                 # point (pre-distributed input convention).
                 dist_b = DistSparseMatrix.scatter_rows(
-                    comm, B, charge_comm=charge_driver, phase="scatter-B"
+                    comm, B, charge_comm=charge_driver, phase="scatter-B",
+                    rows=rows,
                 )
             if dense_b:
                 dist_c, diag = spmm_multiply(
@@ -1011,6 +1277,7 @@ class TsSession(ResidentSession):
             return dist_c.local, diag_dict, extra, new_state
 
         retries_before, recoveries_before = self.retries, self.recoveries
+        shrinks_before = self.shrinks
         result = self._run_resilient(program)
         self.multiplies += 1
         report = result.report
@@ -1025,6 +1292,7 @@ class TsSession(ResidentSession):
         if self._recoverable:
             diagnostics["retries"] = self.retries - retries_before
             diagnostics["recoveries"] = self.recoveries - recoveries_before
+            diagnostics["shrinks"] = self.shrinks - shrinks_before
         per_phase = report.phase_bytes()
         diagnostics["driver_scatter_bytes"] = per_phase.get("scatter-B", 0)
         diagnostics["driver_gather_bytes"] = per_phase.get("gather-C", 0)
@@ -1033,15 +1301,20 @@ class TsSession(ResidentSession):
             c_out: Any = (
                 np.vstack(blocks)
                 if gather
-                else DistDenseHandle(
-                    owner=self, rows=self._rows, ncols=b_ncols, blocks=blocks
+                else self._register_handle(
+                    DistDenseHandle(
+                        owner=self, rows=self._rows, ncols=b_ncols,
+                        blocks=blocks,
+                    )
                 )
             )
         elif gather:
             c_out = _vstack_blocks(blocks, b_ncols)
         else:
-            c_out = DistHandle(
-                owner=self, rows=self._rows, ncols=b_ncols, blocks=blocks
+            c_out = self._register_handle(
+                DistHandle(
+                    owner=self, rows=self._rows, ncols=b_ncols, blocks=blocks
+                )
             )
         extra_out = None
         if epilogue is not None:
@@ -1066,17 +1339,21 @@ class TsSession(ResidentSession):
         def _handle(i: Optional[int]):
             blocks = [v if i is None else v[i] for v in per_rank]
             if isinstance(blocks[0], np.ndarray):
-                return DistDenseHandle(
+                return self._register_handle(
+                    DistDenseHandle(
+                        owner=self,
+                        rows=self._rows,
+                        ncols=blocks[0].shape[1],
+                        blocks=blocks,
+                    )
+                )
+            return self._register_handle(
+                DistHandle(
                     owner=self,
                     rows=self._rows,
-                    ncols=blocks[0].shape[1],
+                    ncols=blocks[0].ncols,
                     blocks=blocks,
                 )
-            return DistHandle(
-                owner=self,
-                rows=self._rows,
-                ncols=blocks[0].ncols,
-                blocks=blocks,
             )
 
         if isinstance(first, tuple):
@@ -1416,6 +1693,13 @@ class TsSession(ResidentSession):
         child.checkpoint_bytes = 0
         child.recover_bytes = 0
         child.recovery_events = []
+        # Elastic shrink: a derived session cannot shrink (shared
+        # executor — shrink() refuses via _owns_exec), but the fields
+        # exist so reporting reads uniformly.
+        child.shrinks = 0
+        child.shrink_bytes = 0
+        child.shrink_events = []
+        child._handles = weakref.WeakSet()
         return child
 
 

@@ -151,6 +151,40 @@ class PreparedA:
 
 
 # ----------------------------------------------------------------------
+def _prepare_peer(
+    A: DistSparseMatrix, config: TsConfig, peer: int, rank: int
+) -> Tuple[List[PreparedSubtile], List[Tuple[int, int]], int]:
+    """Extract one peer's subtiles from my ``Ac`` column copy.
+
+    The single extraction routine shared by :func:`prepare_multiply` and
+    the elastic-shrink remap (:func:`shrink_prepared`): both produce the
+    exact same subtile blocks, pattern casts and ``needed_b_rows`` for a
+    given (column copy, peer row range, config) — the reason an
+    incrementally re-prepared ``p-1`` plan is bit-identical to a fresh
+    one.  Returns ``(subtiles, row_tile_ranges, touched_bytes)``; the
+    caller charges ``touched_bytes`` under its own phase.
+    """
+    tile_block = A.col_copy_rows_of(peer)
+    h = config.effective_tile_height(tile_block.nrows)
+    ranges = row_tile_ranges(tile_block.nrows, h)
+    subs: List[PreparedSubtile] = []
+    touched = 0
+    for rt, (r0, r1) in enumerate(ranges):
+        sub = extract_row_range(tile_block, r0, r1)
+        touched += sub.nbytes_estimate()
+        if sub.nnz == 0:
+            subs.append(PreparedSubtile(peer, rt, (r0, r1), None, None, None))
+            continue
+        if peer == rank:
+            subs.append(PreparedSubtile(peer, rt, (r0, r1), sub, None, None))
+            continue
+        nzc = sub.nonzero_columns()  # my local B rows this tile needs
+        sub_bool = sub.astype(np.bool_)
+        touched += 2 * sub.nbytes_estimate()
+        subs.append(PreparedSubtile(peer, rt, (r0, r1), sub, sub_bool, nzc))
+    return subs, ranges, touched
+
+
 def prepare_multiply(A: DistSparseMatrix, config: TsConfig) -> PreparedA:
     """Build the B-independent half of the symbolic plan (collective).
 
@@ -167,25 +201,10 @@ def prepare_multiply(A: DistSparseMatrix, config: TsConfig) -> PreparedA:
     with comm.phase("prepare"):
         touched = 0
         for peer in range(comm.size):
-            tile_block = A.col_copy_rows_of(peer)
-            h = config.effective_tile_height(tile_block.nrows)
-            ranges = row_tile_ranges(tile_block.nrows, h)
+            subs, ranges, t = _prepare_peer(A, config, peer, comm.rank)
+            touched += t
             if peer == comm.rank:
                 prepared.row_tile_ranges = ranges
-            subs: List[PreparedSubtile] = []
-            for rt, (r0, r1) in enumerate(ranges):
-                sub = extract_row_range(tile_block, r0, r1)
-                touched += sub.nbytes_estimate()
-                if sub.nnz == 0:
-                    subs.append(PreparedSubtile(peer, rt, (r0, r1), None, None, None))
-                    continue
-                if peer == comm.rank:
-                    subs.append(PreparedSubtile(peer, rt, (r0, r1), sub, None, None))
-                    continue
-                nzc = sub.nonzero_columns()  # my local B rows this tile needs
-                sub_bool = sub.astype(np.bool_)
-                touched += 2 * sub.nbytes_estimate()
-                subs.append(PreparedSubtile(peer, rt, (r0, r1), sub, sub_bool, nzc))
             prepared.subtiles[peer] = subs
         comm.charge_touch(touched)
 
@@ -211,6 +230,84 @@ def _static_mode(ps: PreparedSubtile, rank: int, forced: str) -> str:
     if ps.peer == rank:
         return DIAGONAL
     return forced
+
+
+def shrink_prepared(
+    prepared: PreparedA,
+    A: DistSparseMatrix,
+    dead_rank: int,
+    adopter_old: int,
+) -> int:
+    """Remap a prepared plan onto the ``p-1`` world after an elastic shrink.
+
+    Called collectively on the *new* communicator, after the driver merged
+    the dead rank's blocks into its adopter's: ``A`` is this rank's
+    already-merged distributed view (new partition, new column copy on
+    the adopter).  The remap is incremental — only what the shrink
+    actually invalidated is rebuilt:
+
+    * the **adopter** re-extracts every peer's subtiles (its whole column
+      copy changed width);
+    * every other survivor re-extracts only the *merged peer's* subtiles
+      (that peer's row range grew) and renumbers the rest;
+    * consumer-side :class:`~repro.sparse.tile.ColumnStrips` are rebuilt
+      on every rank (the column ranges changed for everyone);
+    * forced mode policies re-exchange the static mode table.
+
+    Because extraction runs through the same :func:`_prepare_peer` as a
+    fresh prepare, the remapped plan is bit-identical to one built from
+    scratch on the merged matrix.  Returns the streamed bytes for the
+    caller to charge under its ``shrink`` phase.
+    """
+    comm = A.comm
+    config = prepared.config
+    new_rank, new_size = comm.rank, comm.size
+    adopter_new = adopter_old - (1 if adopter_old > dead_rank else 0)
+    touched = 0
+    if A.col_copy is None:
+        # Naive-algorithm plans hold only lazy caches: nothing to remap
+        # beyond the world coordinates.
+        prepared.rank, prepared.size = new_rank, new_size
+        prepared.subtiles = {}
+        prepared.naive_cache = None
+        prepared.spmm_cache = None
+        return touched
+    full = new_rank == adopter_new
+    new_subtiles: Dict[int, List[PreparedSubtile]] = {}
+    for peer in range(new_size):
+        old_peer = peer if peer < dead_rank else peer + 1
+        if full or peer == adopter_new:
+            subs, ranges, t = _prepare_peer(A, config, peer, new_rank)
+            touched += t
+        else:
+            subs = prepared.subtiles[old_peer]
+            for ps in subs:
+                ps.peer = peer
+            ranges = [ps.row_range for ps in subs]
+        if peer == new_rank:
+            prepared.row_tile_ranges = ranges
+        new_subtiles[peer] = subs
+    prepared.subtiles = new_subtiles
+    prepared.rank = new_rank
+    prepared.size = new_size
+    if prepared.strips is not None:
+        # Consumer-side strips follow the (changed) column ranges.
+        prepared.strips = ColumnStrips(A.local, A.rows.ranges)
+        touched += strips_build_bytes(A.local, new_size)
+    if config.mode_policy != "hybrid" and prepared.subtiles:
+        forced = LOCAL if config.mode_policy == "local" else REMOTE
+        outgoing = [
+            [_static_mode(ps, new_rank, forced) for ps in new_subtiles[peer]]
+            for peer in range(new_size)
+        ]
+        # Guard is rank-invariant: mode_policy is config-wide and
+        # prepared-ness was decided collectively at session construction.
+        with comm.phase("symbolic"):
+            incoming = comm.alltoall(outgoing)  # spmdlint: disable=S1 -- guard is rank-invariant (config-wide mode policy); every rank reaches this alltoall together
+        prepared.static_consumed_modes = dict(enumerate(incoming))
+    prepared.naive_cache = None
+    prepared.spmm_cache = None  # numeric; rebuilt lazily
+    return touched
 
 
 # ----------------------------------------------------------------------

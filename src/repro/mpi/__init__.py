@@ -45,10 +45,12 @@ from .errors import (
     DeadSessionError,
     InjectedCrashFault,
     InjectedFault,
+    InjectedPermanentFault,
     InjectedTransientFault,
     PayloadCorruptionError,
     RankError,
     SanitizerError,
+    ShrinkRefusedError,
     SpmdAbort,
     SpmdDiagnosticError,
     SpmdError,
@@ -88,6 +90,7 @@ __all__ = [
     "Grid3D",
     "InjectedCrashFault",
     "InjectedFault",
+    "InjectedPermanentFault",
     "InjectedTransientFault",
     "MachineProfile",
     "PERLMUTTER",
@@ -100,6 +103,7 @@ __all__ = [
     "ResidentSession",
     "SCALED_PERLMUTTER",
     "SanitizerError",
+    "ShrinkRefusedError",
     "SimComm",
     "SpmdAbort",
     "SpmdDiagnosticError",

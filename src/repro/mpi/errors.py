@@ -146,6 +146,28 @@ class InjectedTransientFault(InjectedFault):
     """
 
 
+class InjectedPermanentFault(InjectedCrashFault):
+    """Injected *permanent* rank loss: the node is gone for good.
+
+    Subclasses :class:`InjectedCrashFault` because the immediate runtime
+    effect is identical (the worker dies with its resident state), but the
+    executor never respawns the rank: the failure is classified as
+    *shrinkable* and the driver's elastic path migrates the lost rank's
+    blocks to survivors and re-prepares for a ``p-1`` world
+    (``docs/resilience.md``, degraded-mode section).
+    """
+
+
+class ShrinkRefusedError(SpmdDiagnosticError):
+    """An elastic shrink was requested but cannot be performed.
+
+    Raised when a permanently lost rank's state is unrecoverable — the
+    session runs with ``checkpoint="off"`` (no replica of the dead rank's
+    blocks exists), or the world is already at its minimum size.  The
+    session transitions to dead; pool-level respawn is the only recourse.
+    """
+
+
 class PayloadCorruptionError(SpmdDiagnosticError):
     """A receiver's checksum did not match the sender's payload.
 

@@ -42,6 +42,7 @@ from .errors import (
     DeadlockError,
     DeadSessionError,
     InjectedCrashFault,
+    InjectedPermanentFault,
     RankError,
     SanitizerError,
     SpmdAbort,
@@ -196,10 +197,15 @@ class SpmdSession:
         recoverable: bool = False,
         injector: Optional[FaultInjector] = None,
         checksum: bool = False,
+        respawn_budget: Optional[int] = None,
         join_timeout: float = 2.0,
     ):
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
+        if respawn_budget is not None and respawn_budget < 0:
+            raise ValueError(
+                f"respawn_budget must be >= 0 when given, got {respawn_budget}"
+            )
         self.size = size
         self.machine = machine
         #: Watchdog timeout: explicit argument, else REPRO_SPMD_TIMEOUT,
@@ -216,6 +222,19 @@ class SpmdSession:
         self.recoverable = recoverable
         self.injector = injector
         self.checksum = checksum
+        #: Crashed-worker respawn budget: ``None`` = unlimited.  Once
+        #: ``respawns`` reaches the budget, a further rank crash is
+        #: classified *shrinkable* (like an injected ``permfail``) — the
+        #: worker is not respawned and the caller must :meth:`shrink`.
+        self.respawn_budget = respawn_budget
+        #: Workers respawned after injected crashes, over the lifetime.
+        self.respawns = 0
+        #: Completed :meth:`shrink` operations, over the lifetime.
+        self.shrinks = 0
+        #: Rank whose worker is permanently gone; set when a shrinkable
+        #: failure skips the respawn, cleared by :meth:`shrink`.  While
+        #: set, new tasks are refused (they could never complete).
+        self._pending_dead: Optional[int] = None
         #: Structured records of recoverable failures, in order.
         self.failures: List[RankFailure] = []
         #: True between a recoverable failure and the next successful task.
@@ -341,6 +360,15 @@ class SpmdSession:
                         + "; create a new session",
                         reason=self._dead_reason or "",
                     )
+                if self._pending_dead is not None:
+                    # The lost rank has no worker: a task queued now could
+                    # never complete its collectives.  Fail fast instead
+                    # of letting the watchdog fire.
+                    raise DeadSessionError(
+                        f"rank {self._pending_dead} is permanently lost; "
+                        "shrink() the session before running further tasks",
+                        reason=f"rank {self._pending_dead} permanently lost",
+                    )
                 for q in self._queues:
                     q.put(task)
 
@@ -381,19 +409,35 @@ class SpmdSession:
                     # Environment fault in a recoverable session: degrade
                     # instead of die.  Crashed workers are respawned on
                     # the same queues; the caller restores state from its
-                    # checkpoints and retries.
+                    # checkpoints and retries.  Two losses are *not*
+                    # respawned — a permanent fault, and a crash past the
+                    # respawn budget: those are classified shrinkable and
+                    # the caller must migrate state to a p-1 world.
+                    budget_spent = (
+                        self.respawn_budget is not None
+                        and self.respawns >= self.respawn_budget
+                    )
+                    shrinkable = task.worker_exit[rank] and (
+                        isinstance(exc, InjectedPermanentFault) or budget_spent
+                    )
                     failure = RankFailure(
                         task=self._tasks_run - 1,
                         rank=rank,
                         kind=failure_kind(exc),
                         error=exc,
                         phase=task.stats[rank].current_phase,
+                        shrinkable=shrinkable,
                     )
                     self.failures.append(failure)
                     self.degraded = True
                     for r in range(self.size):
-                        if task.worker_exit[r]:
-                            self._threads[r] = self._spawn_worker(r)
+                        if not task.worker_exit[r]:
+                            continue
+                        if shrinkable and r == rank:
+                            self._pending_dead = rank
+                            continue
+                        self._threads[r] = self._spawn_worker(r)
+                        self.respawns += 1
                     err = RankError(rank, exc)
                     err.failure = failure
                     # Partial report of the failed attempt: the retry
@@ -427,6 +471,44 @@ class SpmdSession:
                 check_byte_conservation(task.stats)
             self.degraded = False
             return SpmdResult(list(task.results), task.report())
+
+    def shrink(self, dead_rank: int) -> None:
+        """Remove ``dead_rank`` from the world: continue at ``size - 1``.
+
+        The executor half of elastic degraded-mode recovery
+        (docs/resilience.md): surviving workers are cycled onto a fresh
+        ``size-1`` queue set — safe because every task carries a fresh
+        :class:`~repro.mpi.runtime.GroupContext` and rank-resident state
+        lives in driver closures keyed by the *new* rank ids, which the
+        driver remaps before the next task.  State migration itself
+        (blocks, plans, handles) is the driver's job
+        (:meth:`repro.core.driver.TsSession.shrink`).
+        """
+        with self._run_lock:
+            if self._closed:
+                raise DeadSessionError(
+                    "cannot shrink a closed session",
+                    reason=self._dead_reason or "",
+                )
+            if not 0 <= dead_rank < self.size:
+                raise ValueError(
+                    f"dead_rank must be in [0, {self.size}), got {dead_rank}"
+                )
+            if self.size < 2:
+                raise ValueError("cannot shrink a 1-rank world")
+            dead_has_worker = self._pending_dead != dead_rank
+            with self._queue_lock:
+                for r, q in enumerate(self._queues):
+                    if r != dead_rank or dead_has_worker:
+                        q.put(None)
+            for r, t in enumerate(self._threads):
+                if r != dead_rank or dead_has_worker:
+                    t.join(timeout=self.join_timeout)
+            self.size -= 1
+            self._queues = [queue.Queue() for _ in range(self.size)]
+            self._threads = [self._spawn_worker(r) for r in range(self.size)]
+            self._pending_dead = None
+            self.shrinks += 1
 
     def ping(self, timeout: float = 30.0) -> bool:
         """Liveness probe: run a barrier as a *system* task.
@@ -479,6 +561,7 @@ class ResidentSession:
         recoverable: bool = False,
         injector: Optional[FaultInjector] = None,
         checksum: bool = False,
+        respawn_budget: Optional[int] = None,
         join_timeout: float = 2.0,
     ):
         self.p = p
@@ -491,6 +574,7 @@ class ResidentSession:
             recoverable=recoverable,
             injector=injector,
             checksum=checksum,
+            respawn_budget=respawn_budget,
             join_timeout=join_timeout,
         )
 

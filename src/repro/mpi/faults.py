@@ -16,7 +16,7 @@ Spec grammar (CLI ``--faults``, ``TsConfig(faults=...)``)::
 
     plan   := spec (';' spec)*
     spec   := kind '@' rank (',' key '=' value)*
-    kind   := 'crash' | 'transient' | 'slow' | 'corrupt'
+    kind   := 'crash' | 'transient' | 'slow' | 'corrupt' | 'permfail'
     key    := 'task' | 'phase' | 'seq' | 'delay'
 
 e.g. ``"crash@1,task=2,seq=3"`` — rank 1's worker dies at its 4th fault
@@ -46,12 +46,13 @@ import numpy as np
 from .errors import (
     InjectedCrashFault,
     InjectedFault,
+    InjectedPermanentFault,
     InjectedTransientFault,
     PayloadCorruptionError,
 )
 
 #: Recognized failure kinds.
-FAULT_KINDS = ("crash", "transient", "slow", "corrupt")
+FAULT_KINDS = ("crash", "transient", "slow", "corrupt", "permfail")
 
 #: Environment variable carrying comma-separated seeds for the CI fault
 #: sweep; consumed only by the fault/recovery test suites.
@@ -219,7 +220,7 @@ class FaultPlan:
 # injector
 # ----------------------------------------------------------------------
 #: Probe points: collective entry vs outgoing all-to-all payload.
-_COLLECTIVE_KINDS = frozenset({"crash", "transient", "slow"})
+_COLLECTIVE_KINDS = frozenset({"crash", "transient", "slow", "permfail"})
 _PAYLOAD_KINDS = frozenset({"corrupt"})
 
 
@@ -290,6 +291,10 @@ class FaultInjector:
     def raise_for(self, spec: FaultSpec, rank: int) -> None:
         """Raise the error a fired crash/transient spec stands for."""
         where = f"(task {self._task}, rank {rank}, spec {spec.render()!r})"
+        if spec.kind == "permfail":
+            raise InjectedPermanentFault(
+                f"injected permanent rank loss {where}", ranks=(rank,), spec=spec
+            )
         if spec.kind == "crash":
             raise InjectedCrashFault(
                 f"injected rank crash {where}", ranks=(rank,), spec=spec
@@ -320,10 +325,15 @@ class RankFailure:
     kind: str
     error: BaseException = field(compare=False)
     phase: Optional[str] = None
+    #: The failed rank will not come back: its worker was not respawned
+    #: (permanent fault, or the session's respawn budget is exhausted).
+    #: The driver must either shrink the world or declare the session dead.
+    shrinkable: bool = False
 
     def describe(self) -> str:
         where = f" in phase {self.phase!r}" if self.phase else ""
-        return f"task {self.task}: rank {self.rank} {self.kind}{where}"
+        tail = " [shrinkable]" if self.shrinkable else ""
+        return f"task {self.task}: rank {self.rank} {self.kind}{where}{tail}"
 
 
 def is_recoverable_failure(exc: BaseException) -> bool:
@@ -337,6 +347,9 @@ def is_recoverable_failure(exc: BaseException) -> bool:
 
 
 def failure_kind(exc: BaseException) -> str:
+    # permfail first: InjectedPermanentFault subclasses InjectedCrashFault.
+    if isinstance(exc, InjectedPermanentFault):
+        return "permfail"
     if isinstance(exc, InjectedCrashFault):
         return "crash"
     if isinstance(exc, InjectedTransientFault):

@@ -233,6 +233,38 @@ class SpmdReport:
         return out
 
 
+def project_report(report: "SpmdReport", dead_rank: int) -> "SpmdReport":
+    """The ``p-1`` survivors' view of a ``p``-sized report.
+
+    Used by the driver's elastic shrink: a failed attempt was charged on
+    the old world, but every later report — the shrink task itself, the
+    retry, all subsequent multiplies — has ``p-1`` ranks, and
+    :func:`merge_reports` (rightly) refuses to mix sizes.  This drops the
+    dead rank's entry and renumbers the survivors, who each lived through
+    the attempt; the dead rank's partial charges die with it, exactly
+    like its partial work did.  The input is not mutated (the projected
+    rank stats share the survivors' phase tables by reference).
+    """
+    if not 0 <= dead_rank < report.size:
+        raise IndexError(
+            f"dead_rank {dead_rank} out of range for size {report.size}"
+        )
+    keep = [r for r in range(report.size) if r != dead_rank]
+    rank_stats = []
+    for new_rank, old_rank in enumerate(keep):
+        rs = report.rank_stats[old_rank]
+        rank_stats.append(
+            RankStats(rank=new_rank, phases=rs.phases, events=rs.events)
+        )
+    return SpmdReport(
+        size=report.size - 1,
+        rank_stats=rank_stats,
+        clocks=[report.clocks[r] for r in keep],
+        comm_times=[report.comm_times[r] for r in keep],
+        compute_times=[report.compute_times[r] for r in keep],
+    )
+
+
 def merge_reports(reports: List["SpmdReport"]) -> "SpmdReport":
     """Combine several same-size task reports into one aggregate.
 

@@ -86,15 +86,24 @@ class DistSparseMatrix:
         *,
         charge_comm: bool = False,
         phase: str = "scatter-input",
+        rows: Optional[Block1D] = None,
     ) -> "DistSparseMatrix":
         """Distribute ``global_mat`` row-block-wise onto ``comm``.
 
         With ``charge_comm=True`` the distribution is performed as a root
         scatter and its α–β cost lands on the clocks, under ``phase``; by
         default it is free (pre-distributed input, matching the paper's
-        timing scope).
+        timing scope).  ``rows`` overrides the balanced default partition
+        — operands must follow the session's row map after an elastic
+        shrink left it unbalanced.
         """
-        rows = Block1D(global_mat.nrows, comm.size)
+        if rows is None:
+            rows = Block1D(global_mat.nrows, comm.size)
+        elif rows.n != global_mat.nrows or rows.p != comm.size:
+            raise ValueError(
+                f"partition is {rows.n} rows over {rows.p} ranks; matrix "
+                f"has {global_mat.nrows} rows on {comm.size} ranks"
+            )
         lo, hi = rows.range_of(comm.rank)
         block = extract_row_range(global_mat, lo, hi)
         if charge_comm:
@@ -181,7 +190,7 @@ class DistSparseMatrix:
         return extract_row_range(self.col_copy, lo, hi)
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: hashable, weakly trackable
 class DistHandle:
     """A driver-side *handle* to a rank-resident row-partitioned matrix.
 
@@ -236,7 +245,7 @@ class DistHandle:
         return _vstack_blocks(self.blocks, self.ncols)
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: hashable, weakly trackable
 class DistDenseHandle:
     """A driver-side handle to a rank-resident row-partitioned *dense* matrix.
 
@@ -291,16 +300,24 @@ class DistDenseMatrix:
         *,
         charge_comm: bool = False,
         phase: str = "scatter-input",
+        rows: Optional[Block1D] = None,
     ) -> "DistDenseMatrix":
         """Distribute ``global_mat`` row-block-wise onto ``comm``.
 
         Mirrors :meth:`DistSparseMatrix.scatter_rows`: free by default
         (pre-distributed input); with ``charge_comm=True`` performed as a
         charged root scatter under ``phase`` — the per-multiply driver
-        round-trip accounting of the dense-operand ablation.
+        round-trip accounting of the dense-operand ablation.  ``rows``
+        overrides the balanced default partition (post-shrink operands).
         """
         global_mat = np.asarray(global_mat)
-        rows = Block1D(global_mat.shape[0], comm.size)
+        if rows is None:
+            rows = Block1D(global_mat.shape[0], comm.size)
+        elif rows.n != global_mat.shape[0] or rows.p != comm.size:
+            raise ValueError(
+                f"partition is {rows.n} rows over {rows.p} ranks; matrix "
+                f"has {global_mat.shape[0]} rows on {comm.size} ranks"
+            )
         lo, hi = rows.range_of(comm.rank)
         block = global_mat[lo:hi]
         if charge_comm:
@@ -337,6 +354,48 @@ def _vstack_blocks(blocks: List[CsrMatrix], ncols: int) -> CsrMatrix:
         _np.concatenate(indices) if indices else _np.zeros(0, dtype=np.int64),
         _np.concatenate(data) if data else _np.zeros(0),
         check=False,
+    )
+
+
+def _hstack_blocks(left: CsrMatrix, right: CsrMatrix) -> CsrMatrix:
+    """Concatenate two same-height CSR blocks column-wise.
+
+    ``right``'s column ids are shifted past ``left``'s width and each
+    row's entries are the row-wise concatenation ``left-then-right`` — so
+    when both inputs keep sorted column ids per row (as every extracted
+    column strip does), the result does too.  This is how elastic shrink
+    merges a dead rank's ``Ac`` column strip into its adopter's: the two
+    strips cover adjacent column ranges, and the merged strip is
+    byte-identical to what ``build_column_copy`` would produce for the
+    merged range.
+    """
+    if left.nrows != right.nrows:
+        raise ValueError(
+            f"hstack needs equal heights, got {left.nrows} and {right.nrows}"
+        )
+    import numpy as _np
+
+    n = left.nrows
+    l_counts = left.row_nnz()
+    r_counts = right.row_nnz()
+    indptr = _np.zeros(n + 1, dtype=np.int64)
+    _np.cumsum(l_counts + r_counts, out=indptr[1:])
+    nnz = left.nnz + right.nnz
+    indices = _np.empty(nnz, dtype=np.int64)
+    data = _np.empty(nnz, dtype=_np.result_type(left.data, right.data))
+    # Destination offsets of each row's left-part and right-part.
+    l_dst = indptr[:-1]
+    r_dst = indptr[:-1] + l_counts
+    l_take = _np.repeat(l_dst - left.indptr[:-1], l_counts)
+    r_take = _np.repeat(r_dst - right.indptr[:-1], r_counts)
+    l_pos = _np.arange(left.nnz, dtype=np.int64) + l_take
+    r_pos = _np.arange(right.nnz, dtype=np.int64) + r_take
+    indices[l_pos] = left.indices
+    indices[r_pos] = right.indices + left.ncols
+    data[l_pos] = left.data
+    data[r_pos] = right.data
+    return CsrMatrix(
+        (n, left.ncols + right.ncols), indptr, indices, data, check=False
     )
 
 

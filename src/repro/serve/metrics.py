@@ -25,8 +25,23 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..mpi.stats import SpmdReport, merge_reports
+from ..mpi.stats import RankStats, SpmdReport, merge_reports
 from .query import STATUS_EXPIRED, STATUS_FAILED, STATUS_OK, STATUS_SHED
+
+
+def _pad_report(report: SpmdReport, size: int) -> SpmdReport:
+    """``report`` widened to ``size`` ranks with zero-charge padding."""
+    if report.size == size:
+        return report
+    pad = size - report.size
+    return SpmdReport(
+        size=size,
+        rank_stats=report.rank_stats
+        + [RankStats(rank=report.size + i) for i in range(pad)],
+        clocks=report.clocks + [0.0] * pad,
+        comm_times=report.comm_times + [0.0] * pad,
+        compute_times=report.compute_times + [0.0] * pad,
+    )
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -55,7 +70,13 @@ class ServiceMetrics:
             "retries": 0,  # in-task fault retries observed
             "recoveries": 0,  # rank recoveries those retries performed
             "respawns": 0,  # dead sessions replaced by the pool
+            "shrinks": 0,  # elastic world shrinks survived mid-serve
         }
+        #: Width of the narrowest session that executed a batch so far
+        #: (``None`` before the first batch): the operator-facing gauge
+        #: that a slot is serving in degraded p-1 mode after a permanent
+        #: rank loss.
+        self.world_size: Optional[int] = None
         self._latency: Dict[str, List[float]] = {
             STATUS_OK: [],
             STATUS_EXPIRED: [],
@@ -108,6 +129,8 @@ class ServiceMetrics:
         degraded: bool,
         retries: int = 0,
         recoveries: int = 0,
+        shrinks: int = 0,
+        world_size: Optional[int] = None,
         reports: Optional[List[SpmdReport]] = None,
     ) -> None:
         with self._lock:
@@ -117,6 +140,13 @@ class ServiceMetrics:
                 self.counters["degraded_batches"] += 1
             self.counters["retries"] += retries
             self.counters["recoveries"] += recoveries
+            self.counters["shrinks"] += shrinks
+            if world_size is not None:
+                self.world_size = (
+                    world_size
+                    if self.world_size is None
+                    else min(self.world_size, world_size)
+                )
             if reports:
                 self._reports.extend(reports)
 
@@ -131,12 +161,20 @@ class ServiceMetrics:
 
     def modelled_report(self) -> Optional[SpmdReport]:
         """Fold of every batch's SPMD report (deterministic: the merge is
-        order-stable), or ``None`` before the first batch."""
+        order-stable), or ``None`` before the first batch.
+
+        Batches executed after an elastic shrink report ``p-1`` ranks;
+        their reports are padded with zero-charge ranks up to the widest
+        size seen so the fold stays well-defined (rank identities across
+        a shrink do not correspond anyway — the aggregate phase/byte/time
+        totals are the meaningful quantities here).
+        """
         with self._lock:
             reports = list(self._reports)
         if not reports:
             return None
-        return merge_reports(reports)
+        width = max(r.size for r in reports)
+        return merge_reports([_pad_report(r, width) for r in reports])
 
     def snapshot(self) -> Dict[str, object]:
         """Point-in-time copy of everything, for reporting/assertions."""
@@ -167,6 +205,7 @@ class ServiceMetrics:
                 if self._batch_sizes
                 else 0.0
             )
+            snap["world_size"] = self.world_size
             snap["elapsed"] = elapsed
             snap["throughput"] = (
                 served / elapsed if elapsed else 0.0

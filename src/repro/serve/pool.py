@@ -78,6 +78,39 @@ class SessionPool:
         return len(self._slots)
 
     @property
+    def world_size(self) -> int:
+        """Width of the *narrowest* live session in the pool.
+
+        Equals the configured ``p`` while healthy; drops when a slot
+        survives a permanent rank loss by shrinking
+        (:meth:`~repro.core.driver.TsSession.shrink`) and recovers once
+        :meth:`grow` (or a respawn) rebuilds the slot at full width.
+        """
+        with self._lock:
+            return min((s.session.p for s in self._slots), default=self.p)
+
+    def grow(self) -> int:
+        """Re-expand shrunken idle slots back to full width ``p``.
+
+        The healed-cluster half of elastic serving: a slot that shrank to
+        survive a permanent rank loss keeps serving at ``p-1``, and once
+        replacement capacity is available this rebuilds it from the
+        driver-held graph at the configured width — a respawn, so the
+        fresh slot's resident state is bit-identical to the original
+        setup.  Checked-out slots are left alone (they are mid-batch);
+        returns how many slots were regrown.
+        """
+        regrown = 0
+        with self._lock:
+            for slot in self._slots:
+                if slot.checked_out:
+                    continue
+                if slot.session.closed or slot.session.p < self.p:
+                    self._respawn_locked(slot)
+                    regrown += 1
+        return regrown
+
+    @property
     def n_vertices(self) -> int:
         return self._a_bool.nrows
 

@@ -48,7 +48,12 @@ from ..apps.influence import sample_keep_mask, sample_rng
 from ..apps.msbfs import msbfs_on_session
 from ..core.config import DEFAULT_CONFIG, TsConfig
 from ..mpi.costmodel import PERLMUTTER, MachineProfile
-from ..mpi.errors import DeadlockError, DeadSessionError, RankError
+from ..mpi.errors import (
+    DeadlockError,
+    DeadSessionError,
+    RankError,
+    ShrinkRefusedError,
+)
 from ..sparse.csr import CsrMatrix
 from .metrics import ServiceMetrics
 from .pool import SessionPool
@@ -220,9 +225,11 @@ class QueryService:
         self.stop()
 
     def health_check(self, timeout: float = 30.0) -> int:
-        """Ping idle pool slots (system tasks — fault plans unaffected);
-        returns how many dead sessions were respawned."""
+        """Ping idle pool slots (system tasks — fault plans unaffected)
+        and regrow slots left at degraded width by an elastic shrink;
+        returns how many sessions were respawned (dead + regrown)."""
         healed = self.pool.health_check(timeout)
+        healed += self.pool.grow()
         if healed:
             self.metrics.note_respawn(healed)
             self._enter_degraded()
@@ -366,15 +373,24 @@ class QueryService:
                 last_error = exc
                 break
             session = slot.session
-            r0, v0 = session.retries, session.recoveries
+            r0, v0, s0 = session.retries, session.recoveries, session.shrinks
             try:
                 values, reports, extra_r, extra_v = self._execute(
                     session, [t.query for t in batch]
                 )
-            except (DeadSessionError, DeadlockError, RankError) as exc:
+            except (
+                DeadSessionError,
+                DeadlockError,
+                RankError,
+                ShrinkRefusedError,
+            ) as exc:
                 # A session-level death the in-task retry loop could not
-                # heal.  A RankError *without* a failure record is a
-                # program bug — re-running would fail identically.
+                # heal — including a permanent rank loss the session
+                # *could not* shrink around (checkpoint="off", derived
+                # session, 1-rank world): the slot is replaced from the
+                # driver-held graph either way.  A RankError *without* a
+                # failure record is a program bug — re-running would
+                # fail identically.
                 recoverable = not (
                     isinstance(exc, RankError)
                     and getattr(exc, "failure", None) is None
@@ -395,16 +411,22 @@ class QueryService:
                 return
             retries = (session.retries - r0) + extra_r
             recoveries = (session.recoveries - v0) + extra_v
+            shrinks = session.shrinks - s0
+            world_size = session.p
             self.pool.checkin(slot)
             if retries:
                 # A rank died and recovered mid-batch: serve narrower for
                 # a window so the healing session is not re-saturated.
+                # (A shrink is a retry too, so a batch that survived a
+                # permanent rank loss at p-1 also lands here.)
                 self._enter_degraded()
             self.metrics.note_batch(
                 len(batch),
                 degraded=degraded,
                 retries=retries,
                 recoveries=recoveries,
+                shrinks=shrinks,
+                world_size=world_size,
                 reports=reports,
             )
             for ticket, value in zip(batch, values):

@@ -50,6 +50,9 @@ class TrafficReport:
     rejected: List[int] = field(default_factory=list)
     #: The structured rejections themselves (for assertions on fields).
     overload_errors: List[OverloadError] = field(default_factory=list)
+    #: Overloaded submissions retried after sleeping the rejection's
+    #: ``retry_after`` hint (``run_traffic(resubmit=...)``).
+    resubmits: int = 0
     submit_seconds: float = 0.0
 
 
@@ -121,6 +124,7 @@ def run_traffic(
     backpressure: bool = False,
     submit_timeout: Optional[float] = 120.0,
     arrival_rate: Optional[float] = None,
+    resubmit: int = 0,
 ) -> TrafficReport:
     """Submit ``queries`` in order; returns tickets + structured rejects.
 
@@ -130,7 +134,17 @@ def run_traffic(
     :class:`OverloadError`\\ s, never as a hang.  ``arrival_rate``
     (queries/second) paces submissions; ``None`` submits as fast as the
     service admits.
+
+    ``resubmit`` makes the producer *honour the admission controller's
+    backoff hint*: each overloaded submission sleeps the rejection's
+    :attr:`~repro.serve.query.OverloadError.retry_after` and retries, up
+    to ``resubmit`` times, before counting the query as rejected.  (The
+    previous behaviour — drop on first rejection, hint ignored — is the
+    ``resubmit=0`` default, and was the only behaviour before this
+    knob existed: the hint was computed, shipped, and discarded.)
     """
+    if resubmit < 0:
+        raise ValueError(f"resubmit must be >= 0, got {resubmit}")
     report = TrafficReport()
     gap = None if arrival_rate is None else 1.0 / arrival_rate
     t0 = _time.monotonic()
@@ -140,15 +154,23 @@ def run_traffic(
             delay = target - _time.monotonic()
             if delay > 0:
                 _time.sleep(delay)
-        try:
-            ticket = service.submit(
-                query, block=backpressure, timeout=submit_timeout
-            )
-        except OverloadError as exc:
-            report.rejected.append(i)
-            report.overload_errors.append(exc)
-            continue
-        report.tickets.append(ticket)
+        attempts = 0
+        while True:
+            try:
+                ticket = service.submit(
+                    query, block=backpressure, timeout=submit_timeout
+                )
+            except OverloadError as exc:
+                if attempts < resubmit:
+                    attempts += 1
+                    report.resubmits += 1
+                    _time.sleep(max(0.0, exc.retry_after))
+                    continue
+                report.rejected.append(i)
+                report.overload_errors.append(exc)
+            else:
+                report.tickets.append(ticket)
+            break
     report.submit_seconds = _time.monotonic() - t0
     return report
 

@@ -1,0 +1,22 @@
+"""S14 fixture: world size baked into a rank program as literals.
+
+Both shapes break the moment an elastic shrink drops the session to
+p-1: the equality guard silently flips on every surviving rank, and the
+literal peer loop still addresses the dead rank.
+"""
+
+
+def program(comm):
+    if comm.size == 4:  # EXPECT: S14
+        mode = "ring"
+    else:
+        mode = "star"
+    total = 0
+    for peer in range(4):
+        if peer != comm.rank:
+            with comm.phase("exchange"):
+                comm.send(mode, peer, tag=7)  # EXPECT: S14
+    for _ in range(comm.size - 1):
+        with comm.phase("exchange"):
+            total += len(comm.recv(tag=7))
+    return total

@@ -1,0 +1,16 @@
+"""S14 clean twin: every peer set and guard is derived from
+``comm.size``, so the program stays correct at any world width —
+including the p-1 world an elastic shrink leaves behind."""
+
+
+def program(comm):
+    mode = "ring" if comm.size > 1 else "solo"
+    total = 0
+    for peer in range(comm.size):
+        if peer != comm.rank:
+            with comm.phase("exchange"):
+                comm.send(mode, peer, tag=7)
+    for _ in range(comm.size - 1):
+        with comm.phase("exchange"):
+            total += len(comm.recv(tag=7))
+    return total

@@ -1,4 +1,4 @@
-"""Tier-1 tests of the ``spmdlint`` static checker (rules S1–S13).
+"""Tier-1 tests of the ``spmdlint`` static checker (rules S1–S14).
 
 Each rule has a pair of fixtures under ``tests/analysis/fixtures/``:
 ``sN_buggy.py`` carries ``# EXPECT: <rule>`` markers on every line the

@@ -81,3 +81,50 @@ def test_admission_control_counts_structured_rejections(graph):
         svc.stop()
     assert len(results) == 8
     assert all(r.ok for r in results.values())
+
+
+def test_resubmit_honours_the_backoff_hint(graph):
+    """``resubmit=N`` makes the producer sleep each rejection's
+    ``retry_after`` and retry before giving up — on a staged (never
+    draining) queue every overflow query burns exactly N resubmits."""
+    queries = make_queries(
+        12, N, seed=3, mix=TrafficMix(bfs=1.0, influence=0.0, embedding=0.0)
+    )
+    svc = QueryService(graph, P, start=False, capacity=8)
+    svc._accepting = True  # stage without a dispatcher: forces saturation
+    report = run_traffic(svc, queries, backpressure=False, resubmit=2)
+    assert len(report.rejected) == 4
+    assert report.resubmits == 4 * 2
+    # The producer actually slept the hints (0.01 s * depth 8 per retry).
+    assert report.submit_seconds >= 8 * 0.9 * (0.01 * 8)
+    svc.start()
+    try:
+        results = collect_results(report, timeout=120.0)
+    finally:
+        svc.stop()
+    assert len(results) == 8
+    assert all(r.ok for r in results.values())
+
+
+def test_resubmit_admits_when_capacity_frees_up(graph):
+    """With a live dispatcher draining the queue, resubmission converts
+    would-be rejections into admissions — exactly once, nothing lost."""
+    queries = make_queries(
+        24, N, seed=4, mix=TrafficMix(bfs=1.0, influence=0.0, embedding=0.0)
+    )
+    with QueryService(graph, P, capacity=4, batch_width=4) as svc:
+        report = run_traffic(
+            svc, queries, backpressure=False, resubmit=10_000
+        )
+        results = collect_results(report, timeout=120.0)
+    assert not report.rejected
+    assert len(results) == 24
+    assert all(r.ok for r in results.values())
+    snap = svc.metrics.snapshot()
+    assert snap["accepted"] == snap["delivered"] == 24
+    assert snap["duplicates"] == 0
+
+
+def test_resubmit_rejects_negative():
+    with pytest.raises(ValueError):
+        run_traffic(None, [], resubmit=-1)
